@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Ablation A1: bundle size sweep.
+ *
+ * Version 4's machinery with bundle sizes from 1 to 400 rays per job
+ * (the paper moved 1 -> 50 -> 100). Utilization rises steeply as
+ * per-job overhead amortizes, then flattens; very large bundles start
+ * to cost again through load balancing (fewer, chunkier jobs).
+ */
+
+#include <cstdio>
+
+#include "bench_common.hh"
+#include "partracer/runner.hh"
+
+using namespace supmon;
+using namespace supmon::par;
+
+int
+main()
+{
+    sim::setQuiet(true);
+    bench::banner("Ablation A1", "bundle size sweep (V4 machinery)");
+
+    std::printf("  %-8s %12s %12s %10s %12s\n", "bundle", "util [%]",
+                "app [s]", "jobs", "cycle [ms]");
+
+    const unsigned bundles[] = {1, 5, 10, 25, 50, 100, 200, 400};
+    double best = 0.0;
+    unsigned best_bundle = 0;
+    for (unsigned b : bundles) {
+        RunConfig cfg;
+        cfg.version = Version::V4Tuned;
+        cfg.numServants = 15;
+        cfg.imageWidth = cfg.imageHeight = 128;
+        cfg.applyVersionDefaults();
+        cfg.bundleSize = b;
+        // Keep the queue fix scaled to the bundle size.
+        cfg.pixelQueueLimit = static_cast<std::size_t>(b) *
+                                  cfg.windowSize * cfg.numServants +
+                              b;
+        const RunResult res = runRayTracer(cfg);
+        if (!res.completed) {
+            std::fprintf(stderr, "bundle %u did not complete\n", b);
+            return 1;
+        }
+        std::printf("  %-8u %11.1f%% %12.1f %10llu %12.1f\n", b,
+                    100.0 * res.servantUtilizationMeasured,
+                    sim::toSeconds(res.applicationTime),
+                    static_cast<unsigned long long>(res.jobsSent),
+                    res.masterCycleMs.mean());
+        if (res.servantUtilizationMeasured > best) {
+            best = res.servantUtilizationMeasured;
+            best_bundle = b;
+        }
+    }
+    std::printf("\n");
+    bench::paperRow("best bundle size", "100 (chosen in V4)",
+                    sim::strprintf("%u (%.1f %%)", best_bundle,
+                                   100.0 * best));
+    bench::paperRow("bundling motivation",
+                    "\"reduce the number of messages\"",
+                    "utilization rises steeply from bundle 1");
+    std::printf("\n");
+    return 0;
+}

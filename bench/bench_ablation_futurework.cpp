@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Ablation A6: the paper's future-work items, implemented.
+ *
+ * "In our future work we intend to make use of SUPRENUM's vector
+ * processing capabilities. More precisely, we plan to implement a
+ * hierarchical bounding volume scheme based on parallelopipeds.
+ * Plane intersection operations will be vectorized to further
+ * increase the performance of the servant processes."
+ *
+ * Measures V4 with (a) the parallelepiped BVH inside the servants and
+ * (b) VFPU vectorization of the geometry tests, alone and combined.
+ * Both make the *servants* faster - which lowers their utilization,
+ * because the master hot-spot takes over: a nice illustration of why
+ * the authors kept monitoring.
+ */
+
+#include <cstdio>
+
+#include "bench_common.hh"
+#include "partracer/runner.hh"
+
+using namespace supmon;
+using namespace supmon::par;
+
+namespace
+{
+
+par::RunResult
+variant(bool bvh, double vfpu)
+{
+    RunConfig cfg;
+    cfg.version = Version::V4Tuned;
+    cfg.numServants = 15;
+    cfg.imageWidth = cfg.imageHeight = 96;
+    cfg.scene = SceneKind::FractalPyramid;
+    cfg.sceneParam = 3;
+    cfg.applyVersionDefaults();
+    cfg.useBvh = bvh;
+    cfg.costModel.vectorSpeedup = vfpu;
+    return runRayTracer(cfg);
+}
+
+} // namespace
+
+int
+main()
+{
+    sim::setQuiet(true);
+    bench::banner("Ablation A6",
+                  "future work: parallelepiped BVH + VFPU "
+                  "vectorization (fractal pyramid)");
+
+    struct Case
+    {
+        const char *name;
+        bool bvh;
+        double vfpu;
+    };
+    const Case cases[] = {
+        {"baseline (scalar, brute force)", false, 1.0},
+        {"BVH only", true, 1.0},
+        {"VFPU x4 only", false, 4.0},
+        {"BVH + VFPU x4", true, 4.0},
+    };
+
+    double base_time = 0.0;
+    std::printf("  %-32s %14s %12s %12s\n", "variant",
+                "ray cost [ms]", "app [s]", "util [%]");
+    for (const auto &c : cases) {
+        const RunResult res = variant(c.bvh, c.vfpu);
+        if (!res.completed) {
+            std::fprintf(stderr, "%s did not complete\n", c.name);
+            return 1;
+        }
+        const double t = sim::toSeconds(res.applicationTime);
+        if (base_time == 0.0)
+            base_time = t;
+        std::printf("  %-32s %14.1f %12.1f %11.1f%%\n", c.name,
+                    res.rayCostMs.mean(), t,
+                    100.0 * res.servantUtilizationMeasured);
+    }
+    std::printf("\n");
+
+    const RunResult base = variant(false, 1.0);
+    const RunResult both = variant(true, 4.0);
+    bench::paperRow("servant speedup (BVH + VFPU)",
+                    "\"further increase the performance\"",
+                    sim::strprintf("%.1fx faster rays",
+                                   base.rayCostMs.mean() /
+                                       both.rayCostMs.mean()));
+    bench::paperRow("completion speedup",
+                    "(future work, no number)",
+                    sim::strprintf(
+                        "%.1fx",
+                        static_cast<double>(base.applicationTime) /
+                            static_cast<double>(both.applicationTime)));
+    bench::paperRow("observation", "-",
+                    "faster servants re-expose the master hot-spot");
+    std::printf("\n");
+    return 0;
+}

@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Ablation A8: the "rudimentary method" - log files with local
+ * clocks (paper, section 1).
+ *
+ * "Therefore users often resort to rudimentary methods, such as
+ * writing log-files during program execution [...] But only a
+ * relatively small fraction of the needed information can be obtained
+ * that way. A major problem with multiprocessors is the absence of a
+ * global clock with high resolution."
+ *
+ * Compares log-file monitoring against the hybrid/ZM4 path on the
+ * two-processor Figure 7 analysis: (a) the intrusion of the log
+ * writes and (b) the loss of cross-node time: with node-local clocks
+ * the master/servant transition synchronization of Figure 7 is no
+ * longer measurable - the distances scatter with the clock skew.
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.hh"
+#include "partracer/runner.hh"
+#include "sim/stats.hh"
+
+using namespace supmon;
+using namespace supmon::par;
+
+namespace
+{
+
+struct Fig7Analysis
+{
+    double app_seconds = 0.0;
+    double util = 0.0;
+    sim::SummaryStat sync_distance_ms;
+};
+
+Fig7Analysis
+analyze(hybrid::MonitorMode mode, std::uint64_t seed = 1)
+{
+    RunConfig cfg;
+    cfg.version = Version::V1Mailbox;
+    cfg.numServants = 1;
+    cfg.imageWidth = cfg.imageHeight = 40;
+    cfg.applyVersionDefaults();
+    cfg.monitorMode = mode;
+    cfg.seed = seed;
+    const RunResult res = runRayTracer(cfg);
+
+    Fig7Analysis out;
+    out.app_seconds = sim::toSeconds(res.applicationTime);
+    out.util = res.servantUtilizationMeasured;
+
+    std::vector<sim::Tick> waits;
+    std::vector<sim::Tick> work_ends;
+    bool in_work = false;
+    for (const auto &ev : res.events) {
+        if (ev.stream == res.masterStream &&
+            ev.token == evWaitForResultsBegin)
+            waits.push_back(ev.timestamp);
+        if (ev.stream == res.servantStreams[0]) {
+            if (ev.token == evWorkBegin)
+                in_work = true;
+            else if (in_work && ev.token == evWaitForJobBegin) {
+                in_work = false;
+                work_ends.push_back(ev.timestamp);
+            }
+        }
+    }
+    for (std::size_t i = waits.size() / 4; i < waits.size() * 3 / 4;
+         ++i) {
+        sim::Tick best = sim::maxTick;
+        for (const sim::Tick w : work_ends) {
+            best = std::min(best, w > waits[i] ? w - waits[i]
+                                               : waits[i] - w);
+        }
+        out.sync_distance_ms.push(sim::toMilliseconds(best));
+    }
+    return out;
+}
+
+} // namespace
+
+int
+main()
+{
+    sim::setQuiet(true);
+    bench::banner("Ablation A8",
+                  "log files with local clocks vs hybrid monitoring");
+
+    const Fig7Analysis off = analyze(hybrid::MonitorMode::Off);
+    const Fig7Analysis hybrid_run =
+        analyze(hybrid::MonitorMode::Hybrid);
+
+    std::printf("  %-12s %10s %12s %26s\n", "mode", "app [s]",
+                "util", "Fig.7 sync distance [ms]");
+    std::printf("  %-12s %10.2f %11.1f%% %26s\n", "off",
+                off.app_seconds, 100.0 * off.util, "n/a");
+    std::printf("  %-12s %10.2f %11.1f%% %15.2f +/- %6.2f\n", "hybrid",
+                hybrid_run.app_seconds, 100.0 * hybrid_run.util,
+                hybrid_run.sync_distance_ms.mean(),
+                hybrid_run.sync_distance_ms.stddev());
+
+    // With unsynchronized node clocks, the measured cross-node
+    // distance depends on the (unknown) clock skew of the machine the
+    // measurement happened to run on: five machines, five answers.
+    double lf_min = 1e18;
+    double lf_max = -1e18;
+    Fig7Analysis logfile;
+    for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+        const Fig7Analysis lf =
+            analyze(hybrid::MonitorMode::LogFile, seed);
+        if (seed == 1)
+            logfile = lf;
+        lf_min = std::min(lf_min, lf.sync_distance_ms.mean());
+        lf_max = std::max(lf_max, lf.sync_distance_ms.mean());
+        std::printf("  %-12s %10.2f %11.1f%% %15.2f +/- %6.2f\n",
+                    sim::strprintf("logfile #%llu",
+                                   static_cast<unsigned long long>(
+                                       seed))
+                        .c_str(),
+                    lf.app_seconds, 100.0 * lf.util,
+                    lf.sync_distance_ms.mean(),
+                    lf.sync_distance_ms.stddev());
+    }
+    std::printf("\n");
+
+    bench::paperRow(
+        "log-file intrusion", "\"rudimentary\"",
+        sim::strprintf("%.1f %% slowdown (hybrid: %.1f %%)",
+                       100.0 * (logfile.app_seconds / off.app_seconds -
+                                1.0),
+                       100.0 * (hybrid_run.app_seconds /
+                                    off.app_seconds -
+                                1.0)));
+    bench::paperRow(
+        "cross-node timing", "\"absence of a global clock\"",
+        sim::strprintf("hybrid: %.2f ms always; logfile: %.2f..%.2f "
+                       "ms depending on the machine's clock skew",
+                       hybrid_run.sync_distance_ms.mean(), lf_min,
+                       lf_max));
+    bench::paperRow("per-node utilization", "still obtainable",
+                    sim::strprintf("%.1f %% (same-clock intervals "
+                                   "survive)",
+                                   100.0 * logfile.util));
+    std::printf("\n");
+    return 0;
+}

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Ablation A4: ray partitioning schemes (paper, section 4.1).
+ *
+ * "The performance of static ray partitioning is often quite poor
+ * because the computation time for a single ray varies significantly
+ * [...] This results in a load balancing problem which can be at
+ * least partly solved by assigning discontinuous subsets of rays to
+ * the processors."
+ *
+ * Compares static contiguous patches, static interleaved assignment
+ * and the paper's dynamic scheme, on the same V4 machinery.
+ */
+
+#include <cstdio>
+
+#include "bench_common.hh"
+#include "partracer/runner.hh"
+
+using namespace supmon;
+using namespace supmon::par;
+
+int
+main()
+{
+    sim::setQuiet(true);
+    bench::banner("Ablation A4",
+                  "static vs dynamic ray partitioning");
+
+    std::printf("  %-22s %12s %12s %10s\n", "scheme", "util [%]",
+                "app [s]", "jobs");
+
+    const Assignment schemes[] = {Assignment::StaticContiguous,
+                                  Assignment::StaticInterleaved,
+                                  Assignment::Dynamic};
+    double app_time[3] = {0, 0, 0};
+    for (int i = 0; i < 3; ++i) {
+        RunConfig cfg;
+        cfg.version = Version::V4Tuned;
+        cfg.numServants = 15;
+        cfg.imageWidth = cfg.imageHeight = 128;
+        cfg.applyVersionDefaults();
+        cfg.assignment = schemes[i];
+        const RunResult res = runRayTracer(cfg);
+        if (!res.completed) {
+            std::fprintf(stderr, "%s did not complete\n",
+                         assignmentName(schemes[i]));
+            return 1;
+        }
+        app_time[i] = sim::toSeconds(res.applicationTime);
+        std::printf("  %-22s %11.1f%% %12.1f %10llu\n",
+                    assignmentName(schemes[i]),
+                    100.0 * res.servantUtilizationActual,
+                    app_time[i],
+                    static_cast<unsigned long long>(res.jobsSent));
+    }
+    std::printf("\n");
+
+    bench::paperRow("static contiguous", "\"often quite poor\"",
+                    sim::strprintf("%.2fx slower than dynamic",
+                                   app_time[0] / app_time[2]));
+    bench::paperRow("static interleaved",
+                    "\"at least partly solved\"",
+                    sim::strprintf("%.2fx slower than dynamic",
+                                   app_time[1] / app_time[2]));
+    bench::paperRow("dynamic (the paper's scheme)", "chosen",
+                    "fastest completion");
+    std::printf("\n");
+    return 0;
+}

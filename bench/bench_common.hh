@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Shared helpers for the experiment benches: banner printing and
+ * paper-vs-measured rows (EXPERIMENTS.md format).
+ */
+
+#ifndef BENCH_COMMON_HH
+#define BENCH_COMMON_HH
+
+#include <cstdio>
+#include <string>
+
+#include "sim/logging.hh"
+
+namespace bench
+{
+
+inline void
+banner(const char *id, const char *title)
+{
+    std::printf("==============================================="
+                "=====================\n");
+    std::printf("%s: %s\n", id, title);
+    std::printf("==============================================="
+                "=====================\n");
+}
+
+inline void
+paperRow(const char *metric, const std::string &paper,
+         const std::string &measured)
+{
+    std::printf("  %-44s paper: %-14s measured: %s\n", metric,
+                paper.c_str(), measured.c_str());
+}
+
+inline std::string
+pct(double fraction)
+{
+    return supmon::sim::strprintf("%.1f %%", 100.0 * fraction);
+}
+
+} // namespace bench
+
+#endif // BENCH_COMMON_HH

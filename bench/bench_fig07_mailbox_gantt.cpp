@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Figure 7: "Behaviour of the mailbox communication (ray tracer on
+ * two processors)".
+ *
+ * Runs version 1 (mailbox communication) with one master and one
+ * servant, renders the Gantt chart of a mid-run window like the
+ * paper's figure, and quantifies the headline observation: the
+ * master's Send Jobs -> Wait for Results transition occurs
+ * synchronized with the servant's Work -> Wait for Job transition,
+ * i.e. the "asynchronous" mailbox behaves synchronously.
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.hh"
+#include "partracer/runner.hh"
+#include "sim/stats.hh"
+#include "trace/gantt.hh"
+#include "trace/report.hh"
+
+using namespace supmon;
+using namespace supmon::par;
+
+int
+main()
+{
+    sim::setQuiet(true);
+    bench::banner("Figure 7", "mailbox communication, 2 processors");
+
+    RunConfig cfg;
+    cfg.version = Version::V1Mailbox;
+    cfg.numServants = 1;
+    cfg.imageWidth = 48;
+    cfg.imageHeight = 48;
+    cfg.applyVersionDefaults();
+    // The paper's master wrote a stretch of ~3 pixels at a time
+    // ("every third cycle" in the Figure 7 window).
+    cfg.writeBatchMin = 3;
+    const RunResult res = runRayTracer(cfg);
+    if (!res.completed) {
+        std::fprintf(stderr, "run did not complete\n");
+        return 1;
+    }
+
+    // A ~90 ms window in the middle of the run, as in the figure.
+    const sim::Tick mid =
+        res.phaseBegin + (res.phaseEnd - res.phaseBegin) / 2;
+    const auto activity = res.activity();
+    trace::GanttChart chart(activity, res.dictionary);
+    trace::GanttChart::Options opts;
+    opts.width = 96;
+    opts.streams = {res.masterStream, res.servantStreams[0]};
+    std::printf("%s\n",
+                chart.render(mid, mid + sim::milliseconds(90), opts)
+                    .c_str());
+
+    // Quantify the synchronization: distance between each master
+    // Send->Wait transition and the nearest servant Work-end.
+    std::vector<sim::Tick> wait_begins;
+    std::vector<sim::Tick> work_ends;
+    bool in_work = false;
+    for (const auto &ev : res.events) {
+        if (ev.stream == res.masterStream &&
+            ev.token == evWaitForResultsBegin)
+            wait_begins.push_back(ev.timestamp);
+        if (ev.stream == res.servantStreams[0]) {
+            if (ev.token == evWorkBegin)
+                in_work = true;
+            else if (in_work && ev.token == evWaitForJobBegin) {
+                in_work = false;
+                work_ends.push_back(ev.timestamp);
+            }
+        }
+    }
+    sim::SummaryStat dist;
+    for (std::size_t i = wait_begins.size() / 4;
+         i < wait_begins.size() * 3 / 4; ++i) {
+        sim::Tick best = sim::maxTick;
+        for (const sim::Tick w : work_ends) {
+            best = std::min(best, w > wait_begins[i]
+                                      ? w - wait_begins[i]
+                                      : wait_begins[i] - w);
+        }
+        dist.push(sim::toMilliseconds(best));
+    }
+
+    std::printf("\n");
+    bench::paperRow("master/servant transitions synchronized",
+                    "yes (Fig. 7)",
+                    sim::strprintf(
+                        "distance %.2f +/- %.2f ms (ray %.1f ms)",
+                        dist.mean(), dist.stddev(),
+                        res.rayCostMs.mean()));
+    bench::paperRow("servant utilization (1 servant)", "\"very good\"",
+                    bench::pct(res.servantUtilizationMeasured));
+    std::uint64_t write_activities = 0;
+    for (const auto &ev : res.events) {
+        if (ev.stream == res.masterStream &&
+            ev.token == evWritePixelsBegin)
+            ++write_activities;
+    }
+    bench::paperRow("write activity", "every ~3rd cycle",
+                    sim::strprintf(
+                        "every %.1f cycles (%llu writes / %llu "
+                        "cycles)",
+                        static_cast<double>(res.resultsReceived) /
+                            static_cast<double>(write_activities),
+                        static_cast<unsigned long long>(
+                            write_activities),
+                        static_cast<unsigned long long>(
+                            res.resultsReceived)));
+    std::printf("\n");
+    return 0;
+}

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Figure 8: "Servant utilization using mailbox communication (ray
+ * tracer on 16 processors)".
+ *
+ * Version 1 with one master and 15 servants on the moderate scene:
+ * the servants work only a small fraction of the time (paper: about
+ * 15 %); the chart shows one servant's WORK/WAIT FOR JOB rows over a
+ * multi-second window, as in the figure.
+ */
+
+#include <cstdio>
+
+#include "bench_common.hh"
+#include "partracer/runner.hh"
+#include "trace/gantt.hh"
+#include "trace/report.hh"
+
+using namespace supmon;
+using namespace supmon::par;
+
+int
+main()
+{
+    sim::setQuiet(true);
+    bench::banner("Figure 8",
+                  "servant utilization with mailboxes, 16 processors");
+
+    RunConfig cfg;
+    cfg.version = Version::V1Mailbox;
+    cfg.numServants = 15;
+    cfg.imageWidth = 96;
+    cfg.imageHeight = 96;
+    cfg.applyVersionDefaults();
+    const RunResult res = runRayTracer(cfg);
+    if (!res.completed) {
+        std::fprintf(stderr, "run did not complete\n");
+        return 1;
+    }
+
+    const sim::Tick mid =
+        res.phaseBegin + (res.phaseEnd - res.phaseBegin) / 2;
+    const auto activity = res.activity();
+    trace::GanttChart chart(activity, res.dictionary);
+    trace::GanttChart::Options opts;
+    opts.width = 96;
+    opts.streams = {res.servantStreams[0]};
+    std::printf("%s\n",
+                chart.render(mid, mid + sim::seconds(2), opts).c_str());
+
+    double min_u = 1.0;
+    double max_u = 0.0;
+    for (unsigned stream : res.servantStreams) {
+        const double u = activity.utilization(
+            stream, "WORK", res.phaseBegin, res.phaseEnd);
+        min_u = std::min(min_u, u);
+        max_u = std::max(max_u, u);
+    }
+
+    bench::paperRow("servant utilization (mean)", "about 15 %",
+                    bench::pct(res.servantUtilizationMeasured));
+    bench::paperRow("servant utilization (min..max)",
+                    "\"behave similarly\"",
+                    bench::pct(min_u) + " .. " + bench::pct(max_u));
+    bench::paperRow("window size / job size", "3 / 1 ray",
+                    sim::strprintf("%u / %u ray(s)", cfg.windowSize,
+                                   cfg.bundleSize));
+    std::printf("\n");
+    return 0;
+}

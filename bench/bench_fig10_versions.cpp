@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Figure 10: "Improvement of servant utilization" - the bar chart of
+ * the four program versions (paper: 15 % / 29 % / 46 % / 60 %).
+ */
+
+#include <cstdio>
+
+#include "bench_common.hh"
+#include "partracer/runner.hh"
+
+using namespace supmon;
+using namespace supmon::par;
+
+int
+main()
+{
+    sim::setQuiet(true);
+    bench::banner("Figure 10", "improvement of servant utilization");
+
+    const double paper[4] = {0.15, 0.29, 0.46, 0.60};
+    double measured[4] = {0, 0, 0, 0};
+
+    for (int v = 1; v <= 4; ++v) {
+        RunConfig cfg;
+        cfg.version = static_cast<Version>(v);
+        cfg.numServants = 15;
+        // Bundled versions need enough bundles per servant.
+        cfg.imageWidth = cfg.imageHeight = (v >= 3 ? 128 : 96);
+        cfg.applyVersionDefaults();
+        const RunResult res = runRayTracer(cfg);
+        if (!res.completed) {
+            std::fprintf(stderr, "version %d did not complete\n", v);
+            return 1;
+        }
+        measured[v - 1] = res.servantUtilizationMeasured;
+        std::printf("  %-34s %5.1f %%   (app %.1f s, %llu jobs, "
+                    "queue limit %zu)\n",
+                    versionName(cfg.version),
+                    100.0 * res.servantUtilizationMeasured,
+                    sim::toSeconds(res.applicationTime),
+                    static_cast<unsigned long long>(res.jobsSent),
+                    cfg.pixelQueueLimit);
+    }
+
+    std::printf("\n  Servant Utilization (%%)\n");
+    for (int row = 7; row >= 1; --row) {
+        std::printf("  %3d |", row * 10);
+        for (int v = 0; v < 4; ++v) {
+            std::printf("  %s  ",
+                        measured[v] * 100.0 >= row * 10 - 5 ? "####"
+                                                            : "    ");
+        }
+        std::printf("\n");
+    }
+    std::printf("      +------------------------------\n");
+    std::printf("        V1      V2      V3      V4\n\n");
+
+    for (int v = 0; v < 4; ++v) {
+        bench::paperRow(
+            sim::strprintf("version %d servant utilization", v + 1)
+                .c_str(),
+            bench::pct(paper[v]), bench::pct(measured[v]));
+    }
+    const double gain_paper = paper[3] / paper[0];
+    const double gain = measured[3] / measured[0];
+    bench::paperRow("overall improvement V1 -> V4",
+                    sim::strprintf("%.1fx", gain_paper),
+                    sim::strprintf("%.1fx", gain));
+    std::printf("\n");
+    return 0;
+}

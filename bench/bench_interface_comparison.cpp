@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Section 3.2: the choice of the measurement interface.
+ *
+ * Reproduces the paper's numbers for the two candidate interfaces of
+ * a SUPRENUM node:
+ *  - V.24 terminal interface: < 20 KBit/s, "more than 2.4 ms to
+ *    output 48 bits of event data, not including time for context
+ *    switching";
+ *  - seven segment display via hybrid_mon: "less than one twentieth"
+ *    of that, so that an event costs two orders of magnitude less
+ *    than the measured activities.
+ */
+
+#include <cstdio>
+#include <memory>
+
+#include "bench_common.hh"
+#include "hybrid/instrument.hh"
+#include "suprenum/machine.hh"
+
+using namespace supmon;
+using hybrid::Instrumentor;
+using hybrid::MonitorMode;
+
+namespace
+{
+
+/** Simulated cost of emitting one event in the given mode. */
+sim::Tick
+eventCost(MonitorMode mode)
+{
+    sim::Simulation simul;
+    suprenum::MachineParams params;
+    params.numClusters = 1;
+    params.nodesPerCluster = 1;
+    suprenum::Machine machine(simul, params);
+    sim::Tick cost = 0;
+    machine.nodeByIndex(0).spawn(
+        "probe", [&, mode](suprenum::ProcessEnv env) -> sim::Task {
+            Instrumentor mon(env, mode);
+            const sim::Tick before = env.now();
+            co_await mon(0x0101, 0xdeadbeef);
+            cost = env.now() - before;
+        });
+    simul.run();
+    return cost;
+}
+
+} // namespace
+
+int
+main()
+{
+    sim::setQuiet(true);
+    bench::banner("Interface comparison",
+                  "terminal (V.24) vs seven segment display");
+
+    const sim::Tick terminal = eventCost(MonitorMode::Terminal);
+    const sim::Tick hybrid_cost = eventCost(MonitorMode::Hybrid);
+    const sim::Tick off = eventCost(MonitorMode::Off);
+
+    suprenum::SerialPort port(19200);
+    const sim::Tick raw_serial = port.transmissionTime(48);
+
+    std::printf("  %-36s %12.1f us\n", "terminal: 48-bit serial time",
+                sim::toMicroseconds(raw_serial));
+    std::printf("  %-36s %12.1f us (incl. context switch)\n",
+                "terminal: full event cost",
+                sim::toMicroseconds(terminal));
+    std::printf("  %-36s %12.1f us (32 display writes)\n",
+                "hybrid_mon: full event cost",
+                sim::toMicroseconds(hybrid_cost));
+    std::printf("  %-36s %12.1f us\n", "instrumentation compiled out",
+                sim::toMicroseconds(off));
+    std::printf("\n");
+
+    bench::paperRow("terminal 48-bit output", "> 2.4 ms",
+                    sim::strprintf("%.2f ms",
+                                   sim::toMilliseconds(raw_serial)));
+    bench::paperRow("hybrid_mon vs terminal", "< 1/20",
+                    sim::strprintf("1/%.1f",
+                                   static_cast<double>(terminal) /
+                                       static_cast<double>(
+                                           hybrid_cost)));
+    bench::paperRow(
+        "event cost vs activity duration", "> 2 orders of magnitude",
+        sim::strprintf("1/%.0f (vs a ~15 ms ray)",
+                       15e6 / static_cast<double>(hybrid_cost)));
+    std::printf("\n");
+    return 0;
+}

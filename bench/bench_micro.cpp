@@ -1,0 +1,189 @@
+/**
+ * @file
+ * Microbenchmarks (google-benchmark) of the library's hot paths:
+ * geometric intersection, BVH traversal, event encoding/decoding,
+ * recorder capture, CEC merge, and activity mapping. These measure
+ * *host* performance of the simulator itself, not simulated time.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "hybrid/event_code.hh"
+#include "raytracer/bvh.hh"
+#include "raytracer/render.hh"
+#include "raytracer/scenes.hh"
+#include "sim/random.hh"
+#include "trace/activity.hh"
+#include "zm4/cec.hh"
+#include "zm4/event_recorder.hh"
+#include "zm4/monitor_agent.hh"
+
+using namespace supmon;
+
+namespace
+{
+
+rt::Ray
+randomRay(sim::Random &rng)
+{
+    for (;;) {
+        const rt::Vec3 dir{rng.uniformReal(-1, 1),
+                           rng.uniformReal(-1, 1),
+                           rng.uniformReal(-1, 1)};
+        if (dir.length() < 0.1)
+            continue;
+        return rt::Ray{{rng.uniformReal(-5, 5), rng.uniformReal(0.1, 5),
+                        rng.uniformReal(-5, 7)},
+                       dir.normalized()};
+    }
+}
+
+void
+BM_SceneIntersectBruteForce(benchmark::State &state)
+{
+    const rt::Scene scene = rt::fractalPyramid(
+        static_cast<unsigned>(state.range(0)));
+    sim::Random rng(1);
+    rt::TraceCounters c;
+    rt::HitRecord rec;
+    for (auto _ : state) {
+        const rt::Ray ray = randomRay(rng);
+        benchmark::DoNotOptimize(scene.intersect(
+            ray, 1e-9, std::numeric_limits<double>::infinity(), rec,
+            c));
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(
+        state.iterations()));
+}
+BENCHMARK(BM_SceneIntersectBruteForce)->Arg(2)->Arg(3)->Arg(4);
+
+void
+BM_SceneIntersectBvh(benchmark::State &state)
+{
+    const rt::Scene scene = rt::fractalPyramid(
+        static_cast<unsigned>(state.range(0)));
+    const rt::Bvh bvh(scene);
+    sim::Random rng(1);
+    rt::TraceCounters c;
+    rt::HitRecord rec;
+    for (auto _ : state) {
+        const rt::Ray ray = randomRay(rng);
+        benchmark::DoNotOptimize(bvh.intersect(
+            ray, 1e-9, std::numeric_limits<double>::infinity(), rec,
+            c));
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(
+        state.iterations()));
+}
+BENCHMARK(BM_SceneIntersectBvh)->Arg(2)->Arg(3)->Arg(4);
+
+void
+BM_TracePixelModerate(benchmark::State &state)
+{
+    const rt::Scene scene = rt::moderateScene();
+    const rt::Camera cam(rt::moderateCamera(), 128, 128);
+    const rt::Renderer renderer(scene, cam, rt::Renderer::Options{});
+    sim::Random rng(7);
+    rt::TraceCounters c;
+    std::size_t i = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            renderer.tracePixel(i % (128 * 128), rng, c));
+        i += 97;
+    }
+}
+BENCHMARK(BM_TracePixelModerate);
+
+void
+BM_EventEncode(benchmark::State &state)
+{
+    std::uint16_t token = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            hybrid::encodePatternSequence(token++, 0xdeadbeef));
+    }
+}
+BENCHMARK(BM_EventEncode);
+
+void
+BM_EventDecode(benchmark::State &state)
+{
+    const auto seq = hybrid::encodePatternSequence(0x1234, 0xdeadbeef);
+    hybrid::PatternDecoder dec;
+    for (auto _ : state) {
+        for (std::uint8_t p : seq)
+            benchmark::DoNotOptimize(dec.feed(p));
+    }
+}
+BENCHMARK(BM_EventDecode);
+
+void
+BM_RecorderCapture(benchmark::State &state)
+{
+    sim::Simulation simul;
+    zm4::MonitorAgent agent("ma");
+    zm4::RecorderParams params;
+    params.fifoCapacity = 1u << 20; // avoid overflow in the loop
+    zm4::EventRecorder rec(simul, 0, params);
+    std::uint64_t i = 0;
+    for (auto _ : state)
+        rec.record(0, i++);
+}
+BENCHMARK(BM_RecorderCapture);
+
+void
+BM_CecMerge(benchmark::State &state)
+{
+    const std::size_t n = static_cast<std::size_t>(state.range(0));
+    std::vector<std::vector<zm4::RawRecord>> locals(8);
+    sim::Random rng(3);
+    for (unsigned t = 0; t < 8; ++t) {
+        sim::Tick ts = 0;
+        for (std::size_t i = 0; i < n / 8; ++i) {
+            ts += rng.uniformInt(1, 1000);
+            zm4::RawRecord r;
+            r.timestamp = ts;
+            r.recorderId = static_cast<std::uint16_t>(t);
+            r.seq = i;
+            locals[t].push_back(r);
+        }
+    }
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            zm4::ControlEvaluationComputer::merge(locals));
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_CecMerge)->Arg(1024)->Arg(16384);
+
+void
+BM_ActivityBuild(benchmark::State &state)
+{
+    trace::EventDictionary dict;
+    dict.defineBegin(1, "A", "A");
+    dict.defineBegin(2, "B", "B");
+    std::vector<trace::TraceEvent> events;
+    sim::Random rng(5);
+    sim::Tick ts = 0;
+    for (int i = 0; i < 20000; ++i) {
+        ts += rng.uniformInt(1, 100000);
+        trace::TraceEvent ev;
+        ev.timestamp = ts;
+        ev.token = static_cast<std::uint16_t>(1 + i % 2);
+        ev.stream = static_cast<unsigned>(i % 16);
+        events.push_back(ev);
+    }
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            trace::ActivityMap::build(events, dict));
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) * 20000);
+}
+BENCHMARK(BM_ActivityBuild);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Section 3.1: ZM4 event recorder rates.
+ *
+ *  - clock resolution 100 ns;
+ *  - about 10000 events/s sustained from the FIFO to the monitor
+ *    agent's disk;
+ *  - 120 MB/s FIFO input bandwidth = peak 10 million events/s during
+ *    bursts, absorbed by the 32K x 96 bit FIFO;
+ *  - losses once a burst exceeds the FIFO.
+ */
+
+#include <cstdio>
+
+#include "bench_common.hh"
+#include "zm4/event_recorder.hh"
+#include "zm4/monitor_agent.hh"
+
+using namespace supmon;
+using zm4::EventRecorder;
+using zm4::MonitorAgent;
+
+namespace
+{
+
+struct BurstResult
+{
+    std::uint64_t captured = 0;
+    std::uint64_t lost = 0;
+    std::size_t max_fifo = 0;
+    double drain_seconds = 0.0;
+};
+
+/** Fire @p count events at @p events_per_second and drain. */
+BurstResult
+burst(std::uint64_t count, std::uint64_t events_per_second)
+{
+    sim::Simulation simul;
+    MonitorAgent agent("ma");
+    EventRecorder rec(simul, 0);
+    rec.attachAgent(agent);
+    const sim::Tick gap = sim::transferTime(1, events_per_second);
+    for (std::uint64_t i = 0; i < count; ++i) {
+        simul.scheduleAt(i * gap, [&rec, i] { rec.record(0, i); });
+    }
+    simul.run();
+    BurstResult r;
+    r.captured = agent.storedCount();
+    r.lost = rec.lostToOverflow() + rec.lostToInputRate();
+    r.max_fifo = rec.maxFifoDepth();
+    r.drain_seconds = sim::toSeconds(simul.now());
+    return r;
+}
+
+} // namespace
+
+int
+main()
+{
+    sim::setQuiet(true);
+    bench::banner("ZM4 throughput", "event recorder rates and limits");
+
+    std::printf("  %-12s %-12s %10s %10s %10s %12s\n", "events",
+                "rate [1/s]", "captured", "lost", "maxFIFO",
+                "drain [s]");
+    struct Case
+    {
+        std::uint64_t count;
+        std::uint64_t rate;
+    };
+    const Case cases[] = {
+        {5000, 9000},      // below the sustained disk rate
+        {5000, 10000},     // at the sustained rate
+        {20000, 100000},   // burst absorbed by the FIFO
+        {32768, 10000000}, // full-FIFO burst at peak input rate
+        {40000, 10000000}, // burst exceeding the FIFO: losses
+    };
+    for (const auto &c : cases) {
+        const BurstResult r = burst(c.count, c.rate);
+        std::printf("  %-12llu %-12llu %10llu %10llu %10zu %12.2f\n",
+                    static_cast<unsigned long long>(c.count),
+                    static_cast<unsigned long long>(c.rate),
+                    static_cast<unsigned long long>(r.captured),
+                    static_cast<unsigned long long>(r.lost),
+                    r.max_fifo, r.drain_seconds);
+    }
+    std::printf("\n");
+
+    const BurstResult sustained = burst(5000, 9000);
+    bench::paperRow("sustained rate to MA disk", "~10000 events/s",
+                    sim::strprintf("%.0f events/s",
+                                   5000.0 / sustained.drain_seconds));
+    const BurstResult peak = burst(32768, 10000000);
+    bench::paperRow("peak burst rate", "10M events/s",
+                    peak.lost == 0 ? "10M events/s, no loss"
+                                   : "LOSS at 10M events/s");
+    bench::paperRow("FIFO capacity", "32K entries",
+                    sim::strprintf("%zu used, 0 lost", peak.max_fifo));
+    const BurstResult over = burst(40000, 10000000);
+    bench::paperRow("burst beyond the FIFO", "events lost",
+                    sim::strprintf("%llu lost of 40000",
+                                   static_cast<unsigned long long>(
+                                       over.lost)));
+
+    sim::Simulation simul;
+    EventRecorder rec(simul, 0);
+    bench::paperRow("time stamp resolution", "100 ns",
+                    sim::strprintf("%llu ns",
+                                   static_cast<unsigned long long>(
+                                       rec.params().clockResolution)));
+    std::printf("\n");
+    return 0;
+}

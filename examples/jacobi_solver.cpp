@@ -1,0 +1,253 @@
+/**
+ * @file
+ * A second monitored application: SPMD Jacobi relaxation.
+ *
+ * SUPRENUM was built for numerics (grid applications are the subject
+ * of Solchenbach & Trottenberg's companion paper cited as [13]);
+ * this example shows the monitoring toolchain on that kind of
+ * workload. A 2-D Laplace problem is row-partitioned over several
+ * nodes; every iteration alternates a COMPUTE phase with a HALO
+ * EXCHANGE phase of rendezvous messages between neighbours (even
+ * ranks send first - the classic deadlock-free ordering for
+ * synchronous sends).
+ *
+ * The Gantt chart makes the alternating compute/communicate pattern -
+ * completely different from the ray tracer's master/servant picture -
+ * immediately visible, and the state statistics give the
+ * communication share per node.
+ */
+
+#include <cmath>
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "hybrid/instrument.hh"
+#include "sim/logging.hh"
+#include "suprenum/machine.hh"
+#include "trace/gantt.hh"
+#include "trace/harness.hh"
+#include "trace/report.hh"
+
+using namespace supmon;
+using suprenum::Machine;
+using suprenum::MachineParams;
+using suprenum::Message;
+using suprenum::Pid;
+using suprenum::ProcessEnv;
+
+namespace
+{
+
+enum : std::uint16_t
+{
+    evComputeBegin = 0x0101,
+    evExchangeBegin = 0x0102,
+    evReduceBegin = 0x0103,
+};
+
+constexpr int tagHalo = 1;
+constexpr int tagResidual = 2;
+constexpr int tagDone = 3;
+
+struct Problem
+{
+    unsigned gridSize = 96;        // N x N interior points
+    unsigned ranks = 6;            // row-partitioned
+    unsigned maxIterations = 60;
+    double tolerance = 1e-4;
+    /** Simulated cost per cell update on the MC68020/68882. */
+    sim::Tick perCellCost = sim::nanoseconds(12000);
+};
+
+struct SharedState
+{
+    Problem prob;
+    std::vector<Pid> workers;
+    double finalResidual = 0.0;
+    unsigned iterationsRun = 0;
+};
+
+using Row = std::vector<double>;
+
+/** One SPMD worker owning a band of rows. */
+sim::Task
+jacobiWorker(ProcessEnv env, SharedState *shared, unsigned rank)
+{
+    const Problem &prob = shared->prob;
+    hybrid::Instrumentor mon(env, hybrid::MonitorMode::Hybrid);
+
+    const unsigned n = prob.gridSize;
+    const unsigned rows_per_rank = n / prob.ranks;
+    const unsigned first_row = rank * rows_per_rank;
+    const unsigned my_rows = rank == prob.ranks - 1
+                                 ? n - first_row
+                                 : rows_per_rank;
+
+    // Local band with two ghost rows; boundary condition: top edge of
+    // the global domain held at 1.0, everything else 0.
+    std::vector<Row> grid(my_rows + 2, Row(n + 2, 0.0));
+    std::vector<Row> next = grid;
+    if (rank == 0) {
+        for (double &v : grid[0])
+            v = 1.0;
+        next[0] = grid[0];
+    }
+
+    const bool has_up = rank > 0;
+    const bool has_down = rank + 1 < prob.ranks;
+    const Pid up = has_up ? shared->workers[rank - 1] : suprenum::nobody;
+    const Pid down =
+        has_down ? shared->workers[rank + 1] : suprenum::nobody;
+    const std::uint32_t halo_bytes =
+        static_cast<std::uint32_t>((n + 2) * 8);
+
+    for (unsigned iter = 0; iter < prob.maxIterations; ++iter) {
+        // ---------------- COMPUTE ---------------------------------
+        co_await mon(evComputeBegin, iter);
+        double local_residual = 0.0;
+        for (unsigned r = 1; r <= my_rows; ++r) {
+            for (unsigned c = 1; c <= n; ++c) {
+                const double v = 0.25 * (grid[r - 1][c] +
+                                         grid[r + 1][c] +
+                                         grid[r][c - 1] +
+                                         grid[r][c + 1]);
+                local_residual =
+                    std::max(local_residual,
+                             std::fabs(v - grid[r][c]));
+                next[r][c] = v;
+            }
+        }
+        std::swap(grid, next);
+        co_await env.compute(prob.perCellCost * my_rows * n);
+
+        // ---------------- HALO EXCHANGE ----------------------------
+        co_await mon(evExchangeBegin, iter);
+        if (rank % 2 == 0) {
+            // Even ranks send first (deadlock-free with rendezvous).
+            if (has_up)
+                co_await env.send(up, halo_bytes, tagHalo, grid[1]);
+            if (has_down)
+                co_await env.send(down, halo_bytes, tagHalo,
+                                  grid[my_rows]);
+            if (has_up) {
+                Message m = co_await env.receive(
+                    suprenum::withTag(tagHalo));
+                grid[0] = suprenum::payloadAs<Row>(m);
+            }
+            if (has_down) {
+                Message m = co_await env.receive(
+                    suprenum::withTag(tagHalo));
+                grid[my_rows + 1] = suprenum::payloadAs<Row>(m);
+            }
+        } else {
+            Message first = co_await env.receive(
+                suprenum::withTag(tagHalo));
+            grid[0] = suprenum::payloadAs<Row>(first);
+            if (has_down) {
+                Message m = co_await env.receive(
+                    suprenum::withTag(tagHalo));
+                grid[my_rows + 1] = suprenum::payloadAs<Row>(m);
+            }
+            co_await env.send(up, halo_bytes, tagHalo, grid[1]);
+            if (has_down)
+                co_await env.send(down, halo_bytes, tagHalo,
+                                  grid[my_rows]);
+        }
+
+        // ---------------- RESIDUAL REDUCTION ------------------------
+        co_await mon(evReduceBegin, iter);
+        if (rank == 0) {
+            double residual = local_residual;
+            for (unsigned r = 1; r < prob.ranks; ++r) {
+                Message m = co_await env.receive(
+                    suprenum::withTag(tagResidual));
+                residual = std::max(
+                    residual, suprenum::payloadAs<double>(m));
+            }
+            shared->finalResidual = residual;
+            shared->iterationsRun = iter + 1;
+            const bool done = residual < prob.tolerance ||
+                              iter + 1 == prob.maxIterations;
+            for (unsigned r = 1; r < prob.ranks; ++r) {
+                co_await env.send(shared->workers[r], 16, tagDone,
+                                  done ? 1 : 0);
+            }
+            if (done)
+                co_return;
+        } else {
+            co_await env.send(shared->workers[0], 16, tagResidual,
+                              local_residual);
+            Message m =
+                co_await env.receive(suprenum::withTag(tagDone));
+            if (suprenum::payloadAs<int>(m))
+                co_return;
+        }
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    sim::setQuiet(true);
+    Problem prob;
+    if (argc > 1)
+        prob.gridSize = static_cast<unsigned>(std::atoi(argv[1]));
+
+    sim::Simulation simul;
+    MachineParams params;
+    params.numClusters = 1;
+    Machine machine(simul, params);
+
+    // Monitor: one recorder per 4 nodes, global clock - one object.
+    trace::MonitoringHarness zm4(machine, prob.ranks);
+    zm4.startMeasurement();
+
+    // Spawn the SPMD team. Workers learn each other's pids through
+    // the shared state (in reality: well-known process naming).
+    SharedState shared;
+    shared.prob = prob;
+    shared.workers.resize(prob.ranks);
+    for (unsigned r = 0; r < prob.ranks; ++r) {
+        shared.workers[r] = machine.spawnOn(
+            machine.nodeIdByIndex(r), "jacobi-" + std::to_string(r),
+            [&shared, r](ProcessEnv env) {
+                return jacobiWorker(env, &shared, r);
+            });
+    }
+    machine.setInitialProcess(shared.workers[0]);
+    if (!machine.runToCompletion(sim::seconds(3600))) {
+        std::fprintf(stderr, "solver did not terminate\n");
+        return 1;
+    }
+
+    // Evaluate.
+    const auto events = zm4.harvest();
+    trace::EventDictionary dict;
+    dict.defineBegin(evComputeBegin, "Compute Begin", "COMPUTE");
+    dict.defineBegin(evExchangeBegin, "Exchange Begin",
+                     "HALO EXCHANGE");
+    dict.defineBegin(evReduceBegin, "Reduce Begin", "REDUCE");
+    for (unsigned r = 0; r < prob.ranks; ++r)
+        dict.nameStream(r, "RANK " + std::to_string(r));
+    const auto activity = trace::ActivityMap::build(events, dict);
+
+    std::printf("Jacobi on a %ux%u grid over %u nodes: %u iterations, "
+                "residual %.2e, %.2f s simulated\n\n",
+                prob.gridSize, prob.gridSize, prob.ranks,
+                shared.iterationsRun, shared.finalResidual,
+                sim::toSeconds(machine.applicationExitTime()));
+
+    trace::GanttChart chart(activity, dict);
+    const sim::Tick t0 = activity.traceBegin();
+    std::printf("%s\n",
+                chart.render(t0, t0 + sim::milliseconds(600)).c_str());
+    std::printf("%s\n",
+                trace::stateStatisticsReport(activity, dict,
+                                             activity.traceBegin(),
+                                             activity.traceEnd())
+                    .c_str());
+    return 0;
+}

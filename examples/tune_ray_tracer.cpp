@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Replay of the paper's tuning story (section 4.3): run the four
+ * versions of the parallel ray tracer on the moderate 25-primitive
+ * scene with 16 processors and watch servant utilization improve,
+ * ending with the bar chart of Figure 10.
+ */
+
+#include <cstdio>
+#include <string>
+
+#include "partracer/runner.hh"
+#include "trace/io.hh"
+#include "sim/logging.hh"
+
+using namespace supmon;
+
+int
+main(int argc, char **argv)
+{
+    sim::setQuiet(true);
+    unsigned width = 64;
+    unsigned height = 64;
+    if (argc > 1) {
+        width = height =
+            static_cast<unsigned>(std::atoi(argv[1]) > 0
+                                      ? std::atoi(argv[1])
+                                      : 64);
+    }
+
+    std::printf("Tuning the parallel ray tracer "
+                "(moderate scene, %ux%u, 1 master + 15 servants)\n\n",
+                width, height);
+
+    double utilization[4] = {0, 0, 0, 0};
+    for (int v = 1; v <= 4; ++v) {
+        par::RunConfig cfg;
+        cfg.version = static_cast<par::Version>(v);
+        cfg.imageWidth = width;
+        cfg.imageHeight = height;
+        cfg.applyVersionDefaults();
+        const par::RunResult res = par::runRayTracer(cfg);
+        if (!res.completed) {
+            std::fprintf(stderr, "version %d did not terminate!\n", v);
+            return 1;
+        }
+        utilization[v - 1] = res.servantUtilizationMeasured;
+        // Archive the measured trace for offline evaluation with the
+        // traceview tool (as the CEC archives traces in the real
+        // toolchain).
+        const std::string trace_path =
+            "/tmp/supmon_v" + std::to_string(v) + ".smtr";
+        if (trace::saveTrace(trace_path, res.events))
+            std::printf("    trace archived: %s\n", trace_path.c_str());
+        std::printf(
+            "%-32s servant utilization %5.1f%%  "
+            "(app %.1f s, %llu jobs, master pool %zu, image %s)\n",
+            par::versionName(cfg.version),
+            100.0 * res.servantUtilizationMeasured,
+            sim::toSeconds(res.applicationTime),
+            static_cast<unsigned long long>(res.jobsSent),
+            res.masterAgentPoolSize,
+            res.missingPixels == 0 ? "complete" : "INCOMPLETE");
+    }
+
+    // The Figure 10 bar chart.
+    std::printf("\nImprovement of servant utilization (Figure 10):\n\n");
+    for (int row = 6; row >= 1; --row) {
+        std::printf("  %3d%% |", row * 10);
+        for (int v = 0; v < 4; ++v) {
+            const bool filled = utilization[v] * 100.0 >= row * 10 - 5;
+            std::printf("   %s   ", filled ? "###" : "   ");
+        }
+        std::printf("\n");
+    }
+    std::printf("       +------------------------------\n");
+    std::printf("          V1     V2     V3     V4\n");
+    for (int v = 0; v < 4; ++v)
+        std::printf("          %4.0f%%", 100.0 * utilization[v]);
+    std::printf("  (measured)\n");
+    return 0;
+}

@@ -1,0 +1,25 @@
+#include "instrument.hh"
+
+namespace supmon
+{
+namespace hybrid
+{
+
+const char *
+monitorModeName(MonitorMode m)
+{
+    switch (m) {
+      case MonitorMode::Off:
+        return "off";
+      case MonitorMode::Hybrid:
+        return "hybrid";
+      case MonitorMode::Terminal:
+        return "terminal";
+      case MonitorMode::LogFile:
+        return "logfile";
+    }
+    return "?";
+}
+
+} // namespace hybrid
+} // namespace supmon

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * The program instrumentation layer: the hybrid_mon() routine.
+ *
+ * "The routine that can be called from the user program in order to
+ * output data via the seven segment display [...] is called as
+ * hybrid_mon(p1, p2) where p1 is a 16-bit integer defining the event
+ * and p2 is a 32-bit parameter." (paper, section 3.2)
+ *
+ * One call takes less than one twentieth of the time that would be
+ * needed to output an event via the terminal interface; this is the
+ * (low) intrusion of hybrid monitoring and it is charged to the
+ * calling process.
+ *
+ * The Instrumentor supports three modes so that the intrusion
+ * ablation can be measured:
+ *   Off      - measurement instructions compiled out (zero cost),
+ *   Hybrid   - the seven-segment path of the paper (~100 us),
+ *   Terminal - the rejected V.24 path (>2.4 ms plus context switch).
+ */
+
+#ifndef HYBRID_INSTRUMENT_HH
+#define HYBRID_INSTRUMENT_HH
+
+#include <coroutine>
+#include <cstdint>
+
+#include "hybrid/event_code.hh"
+#include "suprenum/kernel.hh"
+
+namespace supmon
+{
+namespace hybrid
+{
+
+enum class MonitorMode
+{
+    /** Measurement instructions compiled out. */
+    Off,
+    /** The paper's seven-segment / ZM4 path (~100 us per event). */
+    Hybrid,
+    /** The rejected V.24 path (> 2.4 ms per event). */
+    Terminal,
+    /**
+     * The "rudimentary method" of the paper's introduction: write a
+     * log file on the node, stamped with the unsynchronized node
+     * clock (no ZM4 involved).
+     */
+    LogFile,
+};
+
+const char *monitorModeName(MonitorMode m);
+
+class Instrumentor
+{
+  public:
+    Instrumentor(suprenum::NodeKernel &kernel, suprenum::Lwp &self,
+                 MonitorMode mode)
+        : kern(&kernel), lwp(&self), monMode(mode)
+    {
+    }
+
+    /** Convenience constructor from a process environment. */
+    Instrumentor(const suprenum::ProcessEnv &env, MonitorMode mode)
+        : Instrumentor(env.kernel(), env.self(), mode)
+    {
+    }
+
+    MonitorMode
+    mode() const
+    {
+        return monMode;
+    }
+
+    struct MonAwaiter
+    {
+        suprenum::NodeKernel *kern;
+        suprenum::Lwp *lwp;
+        MonitorMode mode;
+        std::uint16_t token;
+        std::uint32_t param;
+
+        bool
+        await_ready() const
+        {
+            return mode == MonitorMode::Off;
+        }
+
+        void
+        await_suspend(std::coroutine_handle<>)
+        {
+            if (mode == MonitorMode::Hybrid) {
+                kern->emitDisplaySequence(
+                    lwp, encodePatternSequence(token, param),
+                    kern->params().hybridMonCost);
+            } else if (mode == MonitorMode::Terminal) {
+                kern->emitSerial(lwp, pack48(token, param), 48);
+            } else {
+                kern->emitSoftwareLog(lwp, token, param);
+            }
+        }
+
+        void
+        await_resume()
+        {
+        }
+    };
+
+    /**
+     * The measurement instruction: mark an event.
+     * Usage: @code co_await mon(evWorkBegin, job_id); @endcode
+     */
+    MonAwaiter
+    operator()(std::uint16_t token, std::uint32_t param = 0) const
+    {
+        return MonAwaiter{kern, lwp, monMode, token, param};
+    }
+
+  private:
+    suprenum::NodeKernel *kern;
+    suprenum::Lwp *lwp;
+    MonitorMode monMode;
+};
+
+} // namespace hybrid
+} // namespace supmon
+
+#endif // HYBRID_INSTRUMENT_HH

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * The interface between SUPRENUM and ZM4 (paper, Figure 3).
+ *
+ * Probes are plugged into the socket of the seven segment display on
+ * one side; the other side connects to the event recorder of the ZM4.
+ * The contained event detector recognizes the triggerword and
+ * reconstructs the original 48 bits of event data from the pattern
+ * sequence T m_0 ... T m_15. Once a 48-bit event is assembled, the
+ * interface issues a request signal and the event is recorded.
+ *
+ * This is the only object-system-specific part of the monitor (the
+ * ZM4 itself is universal); hence it lives in the hybrid library, not
+ * in zm4.
+ */
+
+#ifndef HYBRID_INTERFACE_HH
+#define HYBRID_INTERFACE_HH
+
+#include <cstdint>
+#include <functional>
+
+#include "hybrid/event_code.hh"
+#include "sim/types.hh"
+#include "suprenum/seven_segment.hh"
+
+namespace supmon
+{
+namespace hybrid
+{
+
+class SuprenumInterface
+{
+  public:
+    /**
+     * The request signal towards the event recorder: a complete
+     * 48-bit event is available.
+     */
+    using RequestFn = std::function<void(std::uint64_t data48,
+                                         sim::Tick when)>;
+
+    /**
+     * Plug the probes into @p display and connect the request line to
+     * @p request. Also reserves the display for monitoring so that
+     * firmware writes cannot violate the pair-atomicity condition.
+     */
+    void
+    attach(suprenum::SevenSegmentDisplay &display, RequestFn request)
+    {
+        requestFn = std::move(request);
+        display.reserveForMonitoring(true);
+        display.attachObserver(
+            [this](std::uint8_t glyph, sim::Tick when) {
+                observe(glyph, when);
+            });
+    }
+
+    /** Feed one observed glyph (used directly by unit tests). */
+    void
+    observe(std::uint8_t glyph, sim::Tick when)
+    {
+        const std::uint8_t pattern =
+            suprenum::sevenSegmentPatternOf(glyph);
+        if (pattern == 0xff) {
+            ++unknownGlyphs;
+            return;
+        }
+        if (auto ev = decoder.feed(pattern)) {
+            if (requestFn)
+                requestFn(pack48(ev->token, ev->param), when);
+        }
+    }
+
+    const PatternDecoder &
+    detector() const
+    {
+        return decoder;
+    }
+
+    std::uint64_t
+    unknownGlyphCount() const
+    {
+        return unknownGlyphs;
+    }
+
+  private:
+    PatternDecoder decoder;
+    RequestFn requestFn;
+    std::uint64_t unknownGlyphs = 0;
+};
+
+} // namespace hybrid
+} // namespace supmon
+
+#endif // HYBRID_INTERFACE_HH

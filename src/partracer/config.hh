@@ -1,0 +1,183 @@
+/**
+ * @file
+ * Configuration of a parallel ray tracer run: which program version,
+ * workload, machine and monitoring setup to use.
+ *
+ * The four versions follow the paper's section 4.3:
+ *  - V1: SUPRENUM's mailbox mechanism for both directions, jobs of a
+ *    single ray, window size 3;
+ *  - V2: a pool of communication agents forwards master->servant
+ *    messages (agents are created on demand);
+ *  - V3: agents in both directions, jobs are bundles of 50 rays;
+ *  - V4: bundle size 100 and the pixel-queue length bug fixed.
+ */
+
+#ifndef PARTRACER_CONFIG_HH
+#define PARTRACER_CONFIG_HH
+
+#include <cstdint>
+
+#include "hybrid/instrument.hh"
+#include "raytracer/cost.hh"
+#include "sim/types.hh"
+#include "suprenum/config.hh"
+
+namespace supmon
+{
+namespace par
+{
+
+enum class Version
+{
+    /** Mailbox communication, bundle 1, window 3. */
+    V1Mailbox = 1,
+    /** Communication agents master->servant. */
+    V2AgentsForward = 2,
+    /** Agents in both directions, bundle 50. */
+    V3AgentsBoth = 3,
+    /** Bundle 100 and fixed pixel-queue length. */
+    V4Tuned = 4,
+};
+
+const char *versionName(Version v);
+
+/**
+ * Ray partitioning scheme (paper, section 4.1). Dynamic assignment is
+ * the paper's contribution; the static schemes are the baselines its
+ * discussion dismisses: contiguous patches suffer badly from the high
+ * per-ray time variance, which interleaving only partly mitigates.
+ */
+enum class Assignment
+{
+    /** Dynamic ray partitioning under window flow control. */
+    Dynamic,
+    /** One contiguous block of pixels per servant, fixed upfront. */
+    StaticContiguous,
+    /** Pixels dealt round-robin (stride = numServants), fixed
+     *  upfront. */
+    StaticInterleaved,
+};
+
+const char *assignmentName(Assignment a);
+
+enum class SceneKind
+{
+    /** The 25-primitive scene of the measurements. */
+    Moderate,
+    /** The >250 primitive fractal pyramid. */
+    FractalPyramid,
+    /** Parameterized n x n sphere grid (complexity sweep). */
+    SphereGrid,
+};
+
+struct RunConfig
+{
+    Version version = Version::V1Mailbox;
+    Assignment assignment = Assignment::Dynamic;
+
+    // ----- workload ---------------------------------------------------
+    SceneKind scene = SceneKind::Moderate;
+    /** Subdivision level / grid size for parameterized scenes. */
+    unsigned sceneParam = 3;
+    unsigned imageWidth = 96;
+    unsigned imageHeight = 96;
+    /** Rays per pixel (the master's oversampling scheme). */
+    unsigned oversampling = 1;
+    /** Use the future-work BVH inside the servants. */
+    bool useBvh = false;
+
+    // ----- parallelization --------------------------------------------
+    /** Number of servant processors (master adds one more). */
+    unsigned numServants = 15;
+    /** Window flow control: credits per servant. */
+    unsigned windowSize = 3;
+    /** Rays per job; overridden per version by applyVersionDefaults. */
+    unsigned bundleSize = 1;
+    /**
+     * Length constant of the master's pixel queue: the maximum number
+     * of pixels allowed "in the system" (queued + outstanding +
+     * completed but not yet written). 1000 is the inadequate
+     * constant of versions 1-3; version 4 fixes it.
+     */
+    std::size_t pixelQueueLimit = 1000;
+
+    // ----- master cost model (calibrated, DESIGN.md section 5) --------
+    sim::Tick adminBase = sim::microseconds(800);
+    sim::Tick perPixelQueueInsert = sim::microseconds(500);
+    sim::Tick perJobSendPrep = sim::microseconds(300);
+    sim::Tick resultProcessBase = sim::microseconds(400);
+    sim::Tick perRayResultProcess = sim::microseconds(700);
+    sim::Tick writePixelsBase = sim::microseconds(300);
+    sim::Tick perPixelWrite = sim::microseconds(700);
+    /** Servant-side job unpack / result marshalling cost. */
+    sim::Tick servantJobOverhead = sim::microseconds(600);
+    /**
+     * Ship the picture file to the disk node once this many written
+     * pixels have accumulated (amortizes the disk-node rendezvous).
+     */
+    std::size_t diskShipThreshold = 128;
+    /**
+     * Run the Write Pixels activity only once this many contiguous
+     * completed pixels are available (1 = write every stretch; the
+     * paper's Figure 7 shows a write roughly every third cycle,
+     * matching a batch of ~3).
+     */
+    std::size_t writeBatchMin = 1;
+
+    // ----- per-ray simulated cost --------------------------------------
+    rt::CostModel costModel;
+
+    // ----- machine & monitoring ----------------------------------------
+    suprenum::MachineParams machine;
+    hybrid::MonitorMode monitorMode = hybrid::MonitorMode::Hybrid;
+    /** Instrument Send Results Begin (added for Figure 9). */
+    bool instrumentSendResults = false;
+    /**
+     * Instrument the node operating systems (the paper's future
+     * work): record every scheduler/communication action of every
+     * node's kernel.
+     */
+    bool instrumentKernel = false;
+    /** CPU cost charged per kernel probe event (0 = ideal probe). */
+    sim::Tick kernelProbeCost = 0;
+    /** Synchronize recorder clocks through the MTG (default on). */
+    bool useGlobalClock = true;
+
+    std::uint64_t seed = 1;
+
+    /** Simulation safety limit. */
+    sim::Tick tickLimit = sim::seconds(36000);
+
+    /** Total pixels of the image. */
+    std::size_t
+    totalPixels() const
+    {
+        return static_cast<std::size_t>(imageWidth) * imageHeight;
+    }
+
+    /**
+     * Apply the paper's per-version parameters (bundle size, agent
+     * usage, pixel-queue fix, Send Results instrumentation).
+     */
+    void applyVersionDefaults();
+
+    /** Agents forward master->servant messages (V2 and later). */
+    bool
+    forwardAgents() const
+    {
+        return version != Version::V1Mailbox;
+    }
+
+    /** Agents forward servant->master messages (V3 and later). */
+    bool
+    reverseAgents() const
+    {
+        return version == Version::V3AgentsBoth ||
+               version == Version::V4Tuned;
+    }
+};
+
+} // namespace par
+} // namespace supmon
+
+#endif // PARTRACER_CONFIG_HH

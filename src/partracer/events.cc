@@ -1,0 +1,62 @@
+#include "events.hh"
+
+#include "hybrid/event_code.hh"
+
+namespace supmon
+{
+namespace par
+{
+
+unsigned
+logicalStreamOf(const zm4::RawRecord &rec,
+                unsigned channels_per_recorder)
+{
+    const unsigned node =
+        static_cast<unsigned>(rec.recorderId) * channels_per_recorder +
+        rec.channel;
+    const auto data = hybrid::unpack48(rec.data48);
+    const TokenClass cls = tokenClassOf(data.token);
+    const unsigned agent_index =
+        cls == TokenClass::Agent ? data.param >> 24 : 0;
+    return streamOf(node, cls, agent_index);
+}
+
+trace::EventDictionary
+rayTracerDictionary()
+{
+    trace::EventDictionary dict;
+    // Master rows exactly as in Figures 7 and 9.
+    dict.defineBegin(evDistributeJobsBegin, "Distribute Jobs Begin",
+                     "DISTRIBUTE JOBS");
+    dict.defineBegin(evSendJobsBegin, "Send Jobs Begin", "SEND JOBS");
+    dict.definePoint(evSendJobsEnd, "Send Jobs End");
+    dict.defineBegin(evWaitForResultsBegin, "Wait for Results Begin",
+                     "WAIT FOR RESULTS");
+    dict.defineBegin(evReceiveResultsBegin, "Receive Results Begin",
+                     "RECEIVE RESULTS");
+    dict.defineBegin(evWritePixelsBegin, "Write Pixels Begin",
+                     "WRITE PIXELS");
+    dict.definePoint(evWritePixelsEnd, "Write Pixels End");
+    dict.definePoint(evMasterStart, "Master Start");
+    dict.definePoint(evMasterDone, "Master Done");
+
+    // Servant rows.
+    dict.defineBegin(evWaitForJobBegin, "Wait for Job Begin",
+                     "WAIT FOR JOB");
+    dict.defineBegin(evWorkBegin, "Work Begin", "WORK");
+    dict.defineBegin(evSendResultsBegin, "Send Results Begin",
+                     "SEND RESULTS");
+    dict.definePoint(evServantStart, "Servant Start");
+    dict.definePoint(evServantDone, "Servant Done");
+
+    // Agent rows (Figure 9, bottom).
+    dict.defineBegin(evAgentWakeUp, "Agent Wake Up", "WAKE UP");
+    dict.defineBegin(evAgentForward, "Agent Forward",
+                     "FORWARD MESSAGE");
+    dict.defineBegin(evAgentFreed, "Agent Freed", "FREED");
+    dict.defineBegin(evAgentSleep, "Agent Sleep", "SLEEP");
+    return dict;
+}
+
+} // namespace par
+} // namespace supmon

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Measurement event tokens of the parallel ray tracer, matching the
+ * instrumentation points of the paper's Figure 6 (horizontal bars in
+ * the master/servant structure) plus the communication agent events
+ * visible in Figure 9.
+ *
+ * Token layout: the high byte selects the instrumented object class
+ * (1 = master, 2 = servant, 3 = agent); evaluation uses it to
+ * demultiplex the per-node event stream into logical streams (all
+ * processes of a node share the node's seven segment display).
+ */
+
+#ifndef PARTRACER_EVENTS_HH
+#define PARTRACER_EVENTS_HH
+
+#include <cstdint>
+
+#include "trace/dictionary.hh"
+#include "zm4/event_recorder.hh"
+
+namespace supmon
+{
+namespace par
+{
+
+enum Token : std::uint16_t
+{
+    // ----- master (Figure 6, left) -----------------------------------
+    evDistributeJobsBegin = 0x0101,
+    evSendJobsBegin = 0x0102,
+    evSendJobsEnd = 0x0103,
+    evWaitForResultsBegin = 0x0104,
+    evReceiveResultsBegin = 0x0105,
+    evWritePixelsBegin = 0x0106,
+    evWritePixelsEnd = 0x0107,
+    /** Marker: master initialization done, ray tracing phase begins. */
+    evMasterStart = 0x0110,
+    /** Marker: the complete image has been written. */
+    evMasterDone = 0x0111,
+
+    // ----- servant (Figure 6, right) ----------------------------------
+    evWaitForJobBegin = 0x0201,
+    evWorkBegin = 0x0202,
+    /** Added for the Figure 9 charts ("we inserted an additional
+     *  measurement instruction at the beginning of Send Results"). */
+    evSendResultsBegin = 0x0203,
+    evServantStart = 0x0210,
+    evServantDone = 0x0211,
+
+    // ----- communication agent (Figure 9) ------------------------------
+    evAgentWakeUp = 0x0301,
+    evAgentForward = 0x0302,
+    evAgentFreed = 0x0303,
+    evAgentSleep = 0x0304,
+};
+
+/** Object class encoded in a token's high byte. */
+enum class TokenClass
+{
+    Master = 1,
+    Servant = 2,
+    Agent = 3,
+    Unknown = 0,
+};
+
+inline TokenClass
+tokenClassOf(std::uint16_t token)
+{
+    switch (token >> 8) {
+      case 1:
+        return TokenClass::Master;
+      case 2:
+        return TokenClass::Servant;
+      case 3:
+        return TokenClass::Agent;
+      default:
+        return TokenClass::Unknown;
+    }
+}
+
+/** Logical streams per node (display demultiplexing). */
+constexpr unsigned streamsPerNode = 8;
+
+/**
+ * Map a raw record to its logical stream: 8 streams per node -
+ * 0 master-class, 1 servant-class, 2+k agent k (agents carry their
+ * pool index in the event parameter).
+ */
+unsigned logicalStreamOf(const zm4::RawRecord &rec,
+                         unsigned channels_per_recorder = 4);
+
+/** Logical stream of an object class on a node. */
+inline unsigned
+streamOf(unsigned node_index, TokenClass cls, unsigned agent_index = 0)
+{
+    unsigned sub = 0;
+    switch (cls) {
+      case TokenClass::Master:
+        sub = 0;
+        break;
+      case TokenClass::Servant:
+        sub = 1;
+        break;
+      case TokenClass::Agent:
+        sub = 2 + (agent_index < 6 ? agent_index : 5);
+        break;
+      default:
+        sub = 7;
+        break;
+    }
+    return node_index * streamsPerNode + sub;
+}
+
+/**
+ * Build the evaluation dictionary for the ray tracer's events: state
+ * names match the paper's Gantt chart rows.
+ */
+trace::EventDictionary rayTracerDictionary();
+
+} // namespace par
+} // namespace supmon
+
+#endif // PARTRACER_EVENTS_HH

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * The master/servant wire protocol: job and result messages, message
+ * tags and wire sizes.
+ *
+ * Jobs are bundles of one or more rays (consecutive pixels in scan
+ * order); results return the computed colour values. The maximum
+ * number of outstanding jobs per servant is limited by the window
+ * flow control scheme: the master holds a fixed number of credits per
+ * servant and gets one credit back with each result.
+ */
+
+#ifndef PARTRACER_PROTOCOL_HH
+#define PARTRACER_PROTOCOL_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "raytracer/vec3.hh"
+
+namespace supmon
+{
+namespace par
+{
+
+/** @{ message tags */
+constexpr int tagJob = 1;
+constexpr int tagResult = 2;
+/** @} */
+
+struct JobMsg
+{
+    std::uint32_t jobId = 0;
+    /** First pixel (scan order linear index). */
+    std::uint32_t firstPixel = 0;
+    /** Number of pixels in the job (the bundle). */
+    std::uint32_t count = 0;
+    /** Distance between consecutive pixels of the job: 1 for the
+     *  dynamic bundles, numServants for static interleaved
+     *  partitioning (paper, section 4.1). */
+    std::uint32_t stride = 1;
+    /** Servant index the job is addressed to. */
+    std::uint16_t servant = 0;
+    /** Termination request ("a process can only terminate itself"). */
+    bool quit = false;
+
+    /** Wire size: header + pixel descriptor. */
+    std::uint32_t
+    wireBytes() const
+    {
+        return 24;
+    }
+};
+
+struct ResultMsg
+{
+    std::uint32_t jobId = 0;
+    std::uint32_t firstPixel = 0;
+    std::uint32_t stride = 1;
+    std::uint16_t servant = 0;
+    std::vector<rt::Vec3> colors;
+
+    /** Wire size: header + 6 bytes per pixel (16-bit RGB). */
+    std::uint32_t
+    wireBytes() const
+    {
+        return 16 + static_cast<std::uint32_t>(colors.size()) * 6;
+    }
+};
+
+} // namespace par
+} // namespace supmon
+
+#endif // PARTRACER_PROTOCOL_HH

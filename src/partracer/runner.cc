@@ -1,0 +1,322 @@
+#include "runner.hh"
+
+#include <algorithm>
+#include <map>
+
+#include "raytracer/scenes.hh"
+#include "sim/logging.hh"
+#include "trace/harness.hh"
+
+namespace supmon
+{
+namespace par
+{
+
+namespace
+{
+
+rt::Scene
+buildScene(const RunConfig &cfg)
+{
+    switch (cfg.scene) {
+      case SceneKind::Moderate:
+        return rt::moderateScene();
+      case SceneKind::FractalPyramid:
+        return rt::fractalPyramid(cfg.sceneParam);
+      case SceneKind::SphereGrid:
+        return rt::sphereGrid(cfg.sceneParam);
+    }
+    return rt::moderateScene();
+}
+
+rt::Camera::Setup
+buildCamera(const RunConfig &cfg)
+{
+    switch (cfg.scene) {
+      case SceneKind::Moderate:
+        return rt::moderateCamera();
+      case SceneKind::FractalPyramid:
+        return rt::pyramidCamera();
+      case SceneKind::SphereGrid:
+        return rt::sphereGridCamera(cfg.sceneParam);
+    }
+    return rt::moderateCamera();
+}
+
+} // namespace
+
+RunResult
+runRayTracer(const RunConfig &cfg)
+{
+    RunResult result;
+    result.config = cfg;
+
+    const unsigned num_nodes = cfg.numServants + 1;
+
+    // ----- machine ------------------------------------------------------
+    suprenum::MachineParams mp = cfg.machine;
+    const unsigned needed_clusters =
+        (num_nodes + mp.nodesPerCluster - 1) / mp.nodesPerCluster;
+    if (mp.numClusters < needed_clusters)
+        mp.numClusters = needed_clusters;
+
+    sim::Simulation simul;
+    suprenum::Machine machine(simul, mp);
+
+    // ----- workload -------------------------------------------------------
+    const rt::Scene scene = buildScene(cfg);
+    const rt::Camera camera(buildCamera(cfg), cfg.imageWidth,
+                            cfg.imageHeight);
+    rt::Renderer::Options ropts;
+    ropts.oversampling = cfg.oversampling;
+    ropts.useBvh = cfg.useBvh;
+    const rt::Renderer renderer(scene, camera, ropts);
+    auto image =
+        std::make_unique<rt::Image>(cfg.imageWidth, cfg.imageHeight);
+
+    // The scene description is replicated on every node involved
+    // (ray partitioning's storage disadvantage).
+    for (unsigned n = 0; n < num_nodes; ++n) {
+        machine.nodeByIndex(n).allocateMemory(scene.descriptionBytes(),
+                                              "scene description");
+    }
+
+    // ----- ZM4 monitor -----------------------------------------------------
+    const bool logfile_mode =
+        cfg.monitorMode == hybrid::MonitorMode::LogFile;
+    const bool monitored =
+        cfg.monitorMode != hybrid::MonitorMode::Off && !logfile_mode;
+    if (logfile_mode) {
+        // The rudimentary method: no ZM4 - the nodes' own
+        // unsynchronized clocks stamp the log records. Give each node
+        // a realistic skew derived from the seed.
+        sim::Random clock_rng(cfg.seed ^ 0x10c5u);
+        for (unsigned n = 0; n < num_nodes; ++n) {
+            const auto offset = static_cast<sim::TickDelta>(
+                clock_rng.uniformInt(0, 6000000)) -
+                3000000; // +/- 3 ms
+            const double drift =
+                clock_rng.uniformReal(-40.0, 40.0); // ppm
+            machine.nodeByIndex(n).configureLocalClock(offset, drift);
+        }
+    }
+    std::unique_ptr<trace::MonitoringHarness> zm4;
+    if (monitored) {
+        zm4 = std::make_unique<trace::MonitoringHarness>(machine,
+                                                         num_nodes);
+        zm4->startMeasurement();
+        if (!cfg.useGlobalClock) {
+            // Demonstration mode: give each recorder its own skewed
+            // clock (as if the tick channel were unplugged).
+            for (unsigned r = 0; r < zm4->recorderCount(); ++r) {
+                zm4->configureSkew(
+                    r, static_cast<sim::TickDelta>(r) * 1500 - 1500,
+                    (r % 2 ? 40.0 : -25.0));
+            }
+        }
+    }
+
+    // ----- OS instrumentation (future work) ---------------------------------
+    struct KernelEntry
+    {
+        unsigned node;
+        sim::Tick at;
+        std::uint16_t token;
+        std::uint32_t param;
+    };
+    std::vector<KernelEntry> kernel_trace;
+    if (cfg.instrumentKernel) {
+        for (unsigned n = 0; n < num_nodes; ++n) {
+            machine.nodeByIndex(n).setKernelProbe(
+                [&kernel_trace, &simul, n](std::uint16_t token,
+                                           std::uint32_t param) {
+                    kernel_trace.push_back(
+                        {n, simul.now(), token, param});
+                },
+                cfg.kernelProbeCost);
+        }
+    }
+
+    // ----- application processes ------------------------------------------
+    RunContext ctx;
+    ctx.cfg = &cfg;
+    ctx.machine = &machine;
+    ctx.renderer = &renderer;
+    ctx.image = image.get();
+    ctx.sceneBytes = scene.descriptionBytes();
+    ctx.truth.servantWorkTime.assign(cfg.numServants, 0);
+
+    // Mailboxes first so every process knows its peers' addresses.
+    suprenum::Mailbox master_mailbox(machine.nodeByIndex(0),
+                                     "master-mailbox");
+    ctx.masterMailbox = &master_mailbox;
+
+    std::vector<std::unique_ptr<suprenum::Mailbox>> servant_mailboxes;
+    for (unsigned s = 0; s < cfg.numServants; ++s) {
+        servant_mailboxes.push_back(std::make_unique<suprenum::Mailbox>(
+            machine.nodeByIndex(s + 1),
+            "servant-" + std::to_string(s) + "-mailbox"));
+        ctx.servantMailboxes.push_back(servant_mailboxes.back().get());
+    }
+
+    std::unique_ptr<AgentPool> master_pool;
+    if (cfg.forwardAgents()) {
+        master_pool = std::make_unique<AgentPool>(
+            machine.nodeByIndex(0), "master", cfg.monitorMode);
+        ctx.masterPool = master_pool.get();
+    }
+    std::vector<std::unique_ptr<AgentPool>> servant_pools;
+    if (cfg.reverseAgents()) {
+        for (unsigned s = 0; s < cfg.numServants; ++s) {
+            servant_pools.push_back(std::make_unique<AgentPool>(
+                machine.nodeByIndex(s + 1),
+                "servant-" + std::to_string(s), cfg.monitorMode));
+            ctx.servantPools.push_back(servant_pools.back().get());
+        }
+    }
+
+    for (unsigned s = 0; s < cfg.numServants; ++s) {
+        machine.spawnOn(machine.nodeIdByIndex(s + 1),
+                        "servant-" + std::to_string(s),
+                        [&ctx, s](suprenum::ProcessEnv env) {
+                            return servantProcess(env, ctx, s);
+                        });
+    }
+    const bool static_mode = cfg.assignment != Assignment::Dynamic;
+    const suprenum::Pid master_pid = machine.spawnOn(
+        machine.nodeIdByIndex(0), "master",
+        [&ctx, static_mode](suprenum::ProcessEnv env) {
+            return static_mode ? staticMasterProcess(env, ctx)
+                               : masterProcess(env, ctx);
+        });
+    machine.setInitialProcess(master_pid);
+
+    // ----- run --------------------------------------------------------------
+    result.completed = machine.runToCompletion(cfg.tickLimit);
+    result.applicationTime = machine.applicationExitTime();
+
+    // ----- collect & evaluate -------------------------------------------------
+    result.dictionary = rayTracerDictionary();
+    result.masterStream = streamOf(0, TokenClass::Master);
+    result.dictionary.nameStream(result.masterStream, "MASTER");
+    for (unsigned a = 0; a < 6; ++a) {
+        result.dictionary.nameStream(
+            streamOf(0, TokenClass::Agent, a),
+            "AGENT " + std::to_string(a));
+    }
+    for (unsigned s = 0; s < cfg.numServants; ++s) {
+        const unsigned stream = streamOf(s + 1, TokenClass::Servant);
+        result.servantStreams.push_back(stream);
+        result.dictionary.nameStream(stream,
+                                     "SERVANT " + std::to_string(s + 1));
+        for (unsigned a = 0; a < 6; ++a) {
+            result.dictionary.nameStream(
+                streamOf(s + 1, TokenClass::Agent, a),
+                "AGENT " + std::to_string(a) + " (SERVANT " +
+                    std::to_string(s + 1) + ")");
+        }
+    }
+
+    if (monitored) {
+        result.events = zm4->harvest([](const zm4::RawRecord &rec) {
+            return logicalStreamOf(rec);
+        });
+        result.eventsRecorded = zm4->eventsRecorded();
+        result.eventsLost = zm4->eventsLost();
+        result.protocolErrors = zm4->protocolErrors();
+    } else if (logfile_mode) {
+        // Collect the per-node log files and merge them the only way
+        // a user could: by the (unsynchronized) local time stamps.
+        for (unsigned n = 0; n < num_nodes; ++n) {
+            for (const auto &rec :
+                 machine.nodeByIndex(n).softwareLog()) {
+                trace::TraceEvent ev;
+                ev.timestamp = rec.localTimestamp;
+                ev.token = rec.token;
+                ev.param = rec.param;
+                const TokenClass cls = tokenClassOf(rec.token);
+                const unsigned agent_index =
+                    cls == TokenClass::Agent ? rec.param >> 24 : 0;
+                ev.stream = streamOf(n, cls, agent_index);
+                result.events.push_back(ev);
+                ++result.eventsRecorded;
+            }
+        }
+        std::stable_sort(result.events.begin(), result.events.end(),
+                         [](const trace::TraceEvent &a,
+                            const trace::TraceEvent &b) {
+                             return a.timestamp < b.timestamp;
+                         });
+    }
+
+    // ----- metrics -------------------------------------------------------------
+    const auto &truth = ctx.truth;
+    result.phaseBegin = truth.firstWorkBegin;
+    result.phaseEnd = truth.lastResultReceived;
+    if (result.phaseEnd > result.phaseBegin) {
+        const double window =
+            static_cast<double>(result.phaseEnd - result.phaseBegin);
+        double sum = 0.0;
+        for (unsigned s = 0; s < cfg.numServants; ++s) {
+            sum += static_cast<double>(truth.servantWorkTime[s]) /
+                   window;
+        }
+        result.servantUtilizationActual =
+            sum / static_cast<double>(cfg.numServants);
+    }
+    if (!result.events.empty() &&
+        result.phaseEnd > result.phaseBegin) {
+        const auto activity = result.activity();
+        result.servantUtilizationMeasured = activity.meanUtilization(
+            result.servantStreams, "WORK", result.phaseBegin,
+            result.phaseEnd);
+    }
+
+    result.jobsSent = truth.jobsSent;
+    result.resultsReceived = truth.resultsReceived;
+    result.writeOps = truth.writeOps;
+    result.pixelQueueHighWater = truth.pixelQueueHighWater;
+    result.masterCycleMs = truth.masterCycleMs;
+    result.rayCostMs = truth.rayCostMs;
+    result.missingPixels = image->missingPixels();
+    result.duplicatedPixels = image->duplicatedPixels();
+    if (master_pool)
+        result.masterAgentPoolSize = master_pool->poolSize();
+    for (const auto &pool : servant_pools)
+        result.servantAgentPoolSizes.push_back(pool->poolSize());
+
+    if (cfg.instrumentKernel) {
+        for (unsigned n = 0; n < num_nodes; ++n) {
+            result.kernelEvents +=
+                machine.nodeByIndex(n).kernelEventCount();
+        }
+        // Mailbox scheduling delay on the servant nodes: delivery of
+        // a message to the mailbox process until its next dispatch.
+        std::map<unsigned, sim::Tick> pending; // node -> delivered at
+        for (const auto &e : kernel_trace) {
+            if (e.node == 0)
+                continue; // master node: different mailbox lwp id
+            const std::uint32_t mailbox_lwp =
+                ctx.servantMailboxes[e.node - 1]->pid().lwp;
+            if (e.token == suprenum::evKernDeliver &&
+                e.param == mailbox_lwp) {
+                if (!pending.count(e.node))
+                    pending[e.node] = e.at;
+            } else if (e.token == suprenum::evKernDispatch &&
+                       e.param == mailbox_lwp) {
+                auto it = pending.find(e.node);
+                if (it != pending.end()) {
+                    result.mailboxSchedulingDelayMs.push(
+                        sim::toMilliseconds(e.at - it->second));
+                    pending.erase(it);
+                }
+            }
+        }
+    }
+
+    result.image = std::move(image);
+    return result;
+}
+
+} // namespace par
+} // namespace supmon

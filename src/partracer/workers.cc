@@ -1,0 +1,485 @@
+#include "workers.hh"
+
+#include <algorithm>
+#include <deque>
+
+#include "partracer/events.hh"
+#include "sim/logging.hh"
+
+namespace supmon
+{
+namespace par
+{
+
+const char *
+versionName(Version v)
+{
+    switch (v) {
+      case Version::V1Mailbox:
+        return "V1 (mailbox)";
+      case Version::V2AgentsForward:
+        return "V2 (agents master->servant)";
+      case Version::V3AgentsBoth:
+        return "V3 (agents both, bundle 50)";
+      case Version::V4Tuned:
+        return "V4 (bundle 100, queue fixed)";
+    }
+    return "?";
+}
+
+const char *
+assignmentName(Assignment a)
+{
+    switch (a) {
+      case Assignment::Dynamic:
+        return "dynamic";
+      case Assignment::StaticContiguous:
+        return "static-contiguous";
+      case Assignment::StaticInterleaved:
+        return "static-interleaved";
+    }
+    return "?";
+}
+
+void
+RunConfig::applyVersionDefaults()
+{
+    switch (version) {
+      case Version::V1Mailbox:
+        bundleSize = 1;
+        instrumentSendResults = false;
+        break;
+      case Version::V2AgentsForward:
+        bundleSize = 1;
+        instrumentSendResults = true;
+        break;
+      case Version::V3AgentsBoth:
+        bundleSize = 50;
+        instrumentSendResults = true;
+        break;
+      case Version::V4Tuned:
+        bundleSize = 100;
+        instrumentSendResults = true;
+        // The fix of the "inadequate constant for the length of the
+        // master's queue of pixels": large enough for every window of
+        // every servant plus one bundle of slack.
+        pixelQueueLimit = static_cast<std::size_t>(bundleSize) *
+                              windowSize * numServants +
+                          bundleSize;
+        break;
+    }
+}
+
+sim::Task
+masterProcess(suprenum::ProcessEnv env, RunContext &ctx)
+{
+    const RunConfig &cfg = *ctx.cfg;
+    hybrid::Instrumentor mon(env, cfg.monitorMode);
+    auto &truth = ctx.truth;
+
+    if (cfg.numServants == 0)
+        sim::fatal("the ray tracer needs at least one servant");
+    if (cfg.pixelQueueLimit < cfg.bundleSize)
+        sim::fatal("pixel queue limit (%zu) below the bundle size (%u): "
+                   "no job could ever be formed",
+                   cfg.pixelQueueLimit, cfg.bundleSize);
+
+    // Initialization: the program and the scene description are
+    // downloaded from the front-end computer to the partition
+    // (section 2.2), then parsed. Excluded from the measured ray
+    // tracing phase, as in the paper.
+    co_await env.compute(
+        ctx.machine->downloadTime(262144 + ctx.sceneBytes) +
+        sim::milliseconds(10));
+    co_await mon(evMasterStart, 0);
+
+    const std::size_t total = cfg.totalPixels();
+    std::size_t next_to_enqueue = 0;
+    std::size_t write_frontier = 0;
+    std::deque<std::uint32_t> pixel_queue;
+    std::vector<std::uint8_t> completed(total, 0);
+    std::vector<unsigned> credits(cfg.numServants, cfg.windowSize);
+    std::size_t outstanding_pixels = 0;
+    std::size_t unshipped = 0;
+    std::uint32_t next_job_id = 1;
+    unsigned rr_cursor = 0;
+    sim::Tick cycle_start = env.now();
+
+    while (write_frontier < total) {
+        // ---------------- Distribute Jobs -------------------------
+        co_await mon(evDistributeJobsBegin,
+                     static_cast<std::uint32_t>(pixel_queue.size()));
+        // Re-fill the pixel queue: new pixels may only be inserted
+        // after pixels whose computation is completed have been
+        // written onto disk (the in-flight window is bounded by the
+        // queue length constant - the famous inadequate constant).
+        std::size_t inserted = 0;
+        while (next_to_enqueue < total &&
+               next_to_enqueue - write_frontier < cfg.pixelQueueLimit) {
+            pixel_queue.push_back(
+                static_cast<std::uint32_t>(next_to_enqueue++));
+            ++inserted;
+        }
+        truth.pixelQueueHighWater =
+            std::max(truth.pixelQueueHighWater, pixel_queue.size());
+        // The first unit of each per-pixel cost is absorbed in the
+        // base constant (a single-pixel cycle pays only the base).
+        co_await env.compute(cfg.adminBase +
+                             (inserted > 0 ? inserted - 1 : 0) *
+                                 cfg.perPixelQueueInsert);
+
+        // ---------------- Send Jobs -------------------------------
+        bool can_send = !pixel_queue.empty();
+        if (can_send) {
+            bool any_credit = false;
+            for (unsigned c : credits)
+                any_credit = any_credit || c > 0;
+            can_send = any_credit;
+        }
+        if (can_send) {
+            co_await mon(evSendJobsBegin, next_job_id);
+            // "The number of times the code for Send Jobs is executed
+            // in each loop may vary": one replacement job per received
+            // result plus one window-deepening job per cycle. Windows
+            // thus fill gradually while the master keeps collecting
+            // results; this also bounds the number of concurrently
+            // engaged communication agents, keeping the pool small as
+            // observed in the paper.
+            unsigned sends_left = 2;
+            {
+                while (!pixel_queue.empty() && sends_left > 0) {
+                    // Completely dynamic assignment: prefer the least
+                    // loaded servant (most credits left), rotating on
+                    // ties, so jobs do not stack up in one servant's
+                    // mailbox while others idle.
+                    unsigned s = cfg.numServants;
+                    unsigned best_credits = 0;
+                    for (unsigned k = 0; k < cfg.numServants; ++k) {
+                        const unsigned cand =
+                            (rr_cursor + k) % cfg.numServants;
+                        if (credits[cand] > best_credits) {
+                            best_credits = credits[cand];
+                            s = cand;
+                        }
+                    }
+                    if (s == cfg.numServants)
+                        break; // no credits anywhere
+                    JobMsg job;
+                    job.jobId = next_job_id++;
+                    job.firstPixel = pixel_queue.front();
+                    job.count = static_cast<std::uint32_t>(
+                        std::min<std::size_t>(cfg.bundleSize,
+                                              pixel_queue.size()));
+                    job.servant = static_cast<std::uint16_t>(s);
+                    for (unsigned i = 0; i < job.count; ++i)
+                        pixel_queue.pop_front();
+                    co_await env.compute(cfg.perJobSendPrep);
+                    if (cfg.forwardAgents()) {
+                        // Indicate to a free agent via the shared
+                        // variable, then relinquish the processor so
+                        // the agents get scheduled.
+                        ctx.masterPool->submit(
+                            ctx.servantMailboxes[s]->pid(),
+                            job.wireBytes(), tagJob, job);
+                        co_await env.yield();
+                    } else {
+                        // Version 1: SUPRENUM mailbox communication.
+                        // This send behaves synchronously - see
+                        // suprenum/mailbox.hh.
+                        co_await env.send(
+                            ctx.servantMailboxes[s]->pid(),
+                            job.wireBytes(), tagJob, job);
+                    }
+                    --credits[s];
+                    outstanding_pixels += job.count;
+                    ++truth.jobsSent;
+                    rr_cursor = (s + 1) % cfg.numServants;
+                    --sends_left;
+                }
+            }
+            co_await mon(evSendJobsEnd, next_job_id);
+        }
+
+        // ---------------- Wait for / Receive Results ---------------
+        if (outstanding_pixels > 0) {
+            co_await mon(evWaitForResultsBegin, 0);
+            suprenum::Message msg =
+                co_await ctx.masterMailbox->read(env);
+            const auto &res = suprenum::payloadAs<ResultMsg>(msg);
+            co_await mon(evReceiveResultsBegin, res.jobId);
+            const std::size_t extra_rays =
+                res.colors.empty() ? 0 : res.colors.size() - 1;
+            co_await env.compute(cfg.resultProcessBase +
+                                 extra_rays * cfg.perRayResultProcess);
+            for (std::size_t i = 0; i < res.colors.size(); ++i) {
+                const std::size_t px =
+                    res.firstPixel + i * res.stride;
+                ctx.image->setLinear(px, res.colors[i]);
+                completed[px] = 1;
+            }
+            if (res.servant >= credits.size())
+                sim::panic("result from unknown servant %u",
+                           res.servant);
+            ++credits[res.servant];
+            outstanding_pixels -= res.colors.size();
+            ++truth.resultsReceived;
+            truth.lastResultReceived = env.now();
+        }
+
+        // ---------------- Write Pixels -----------------------------
+        // Pixels have to be written in correct ordering: whenever a
+        // continuous stretch of pixels has been processed, the
+        // results are written onto disk.
+        std::size_t writable = 0;
+        while (write_frontier + writable < total &&
+               completed[write_frontier + writable])
+            ++writable;
+        const bool final_stretch =
+            writable > 0 && write_frontier + writable == total;
+        if (writable >= std::max<std::size_t>(1, cfg.writeBatchMin) ||
+            final_stretch) {
+            co_await mon(evWritePixelsBegin,
+                         static_cast<std::uint32_t>(writable));
+            co_await env.compute(cfg.writePixelsBase +
+                                 (writable - 1) * cfg.perPixelWrite);
+            write_frontier += writable;
+            truth.pixelsWritten += writable;
+            unshipped += writable;
+            // Ship the file data to the disk node in batches; the
+            // rendezvous with the disk service is paid once per batch.
+            if (unshipped >= cfg.diskShipThreshold ||
+                write_frontier == total) {
+                suprenum::DiskWriteRequest req;
+                req.bytes = static_cast<std::uint32_t>(unshipped) * 6;
+                co_await env.send(
+                    ctx.machine->diskService(env.pid().node.cluster),
+                    req.bytes, suprenum::tagDiskWrite, req);
+                unshipped = 0;
+                ++truth.writeOps;
+            }
+            co_await mon(evWritePixelsEnd,
+                         static_cast<std::uint32_t>(writable));
+        }
+
+        const sim::Tick now = env.now();
+        truth.masterCycleMs.push(sim::toMilliseconds(now - cycle_start));
+        cycle_start = now;
+    }
+
+    // Ask every servant to terminate itself. The rendering is done,
+    // so the master simply sends the quit jobs synchronously (burst-
+    // submitting them through the agent pool would only grow it).
+    for (unsigned s = 0; s < cfg.numServants; ++s) {
+        JobMsg quit;
+        quit.quit = true;
+        quit.servant = static_cast<std::uint16_t>(s);
+        co_await env.send(ctx.servantMailboxes[s]->pid(),
+                          quit.wireBytes(), tagJob, quit);
+    }
+
+    co_await mon(evMasterDone, 0);
+    truth.masterDoneAt = env.now();
+    // Termination of the initial process terminates the application.
+}
+
+
+sim::Task
+staticMasterProcess(suprenum::ProcessEnv env, RunContext &ctx)
+{
+    const RunConfig &cfg = *ctx.cfg;
+    hybrid::Instrumentor mon(env, cfg.monitorMode);
+    auto &truth = ctx.truth;
+
+    if (cfg.numServants == 0)
+        sim::fatal("the ray tracer needs at least one servant");
+
+    co_await env.compute(
+        ctx.machine->downloadTime(262144 + ctx.sceneBytes) +
+        sim::milliseconds(10));
+    co_await mon(evMasterStart, 0);
+
+    const std::size_t total = cfg.totalPixels();
+    std::vector<std::uint8_t> completed(total, 0);
+    const bool interleaved =
+        cfg.assignment == Assignment::StaticInterleaved;
+
+    // ---------------- Distribute + Send (once, upfront) -------------
+    co_await mon(evDistributeJobsBegin,
+                 static_cast<std::uint32_t>(total));
+    co_await env.compute(cfg.adminBase +
+                         (total - 1) * cfg.perPixelQueueInsert);
+    co_await mon(evSendJobsBegin, 1);
+    std::size_t outstanding = 0;
+    for (unsigned s = 0; s < cfg.numServants; ++s) {
+        JobMsg job;
+        job.jobId = s + 1;
+        job.servant = static_cast<std::uint16_t>(s);
+        if (interleaved) {
+            job.firstPixel = s;
+            job.stride = cfg.numServants;
+            job.count = static_cast<std::uint32_t>(
+                (total - s + cfg.numServants - 1) / cfg.numServants);
+        } else {
+            const std::size_t chunk =
+                (total + cfg.numServants - 1) / cfg.numServants;
+            const std::size_t first = s * chunk;
+            if (first >= total)
+                break;
+            job.firstPixel = static_cast<std::uint32_t>(first);
+            job.stride = 1;
+            job.count = static_cast<std::uint32_t>(
+                std::min(chunk, total - first));
+        }
+        outstanding += job.count;
+        co_await env.compute(cfg.perJobSendPrep);
+        if (cfg.forwardAgents()) {
+            ctx.masterPool->submit(ctx.servantMailboxes[s]->pid(),
+                                   job.wireBytes(), tagJob, job);
+            co_await env.yield();
+        } else {
+            co_await env.send(ctx.servantMailboxes[s]->pid(),
+                              job.wireBytes(), tagJob, job);
+        }
+        ++truth.jobsSent;
+    }
+    co_await mon(evSendJobsEnd, 1);
+
+    // ---------------- Collect results --------------------------------
+    std::size_t write_frontier = 0;
+    std::size_t unshipped = 0;
+    sim::Tick cycle_start = env.now();
+    while (outstanding > 0) {
+        co_await mon(evWaitForResultsBegin, 0);
+        suprenum::Message msg = co_await ctx.masterMailbox->read(env);
+        const auto &res = suprenum::payloadAs<ResultMsg>(msg);
+        co_await mon(evReceiveResultsBegin, res.jobId);
+        const std::size_t extra_rays =
+            res.colors.empty() ? 0 : res.colors.size() - 1;
+        co_await env.compute(cfg.resultProcessBase +
+                             extra_rays * cfg.perRayResultProcess);
+        for (std::size_t i = 0; i < res.colors.size(); ++i) {
+            const std::size_t px = res.firstPixel + i * res.stride;
+            ctx.image->setLinear(px, res.colors[i]);
+            completed[px] = 1;
+        }
+        outstanding -= res.colors.size();
+        ++truth.resultsReceived;
+        truth.lastResultReceived = env.now();
+
+        std::size_t writable = 0;
+        while (write_frontier + writable < total &&
+               completed[write_frontier + writable])
+            ++writable;
+        const bool final_stretch =
+            writable > 0 && write_frontier + writable == total;
+        if (writable >= std::max<std::size_t>(1, cfg.writeBatchMin) ||
+            final_stretch) {
+            co_await mon(evWritePixelsBegin,
+                         static_cast<std::uint32_t>(writable));
+            co_await env.compute(cfg.writePixelsBase +
+                                 (writable - 1) * cfg.perPixelWrite);
+            write_frontier += writable;
+            truth.pixelsWritten += writable;
+            unshipped += writable;
+            if (unshipped >= cfg.diskShipThreshold ||
+                write_frontier == total) {
+                suprenum::DiskWriteRequest req;
+                req.bytes = static_cast<std::uint32_t>(unshipped) * 6;
+                co_await env.send(
+                    ctx.machine->diskService(env.pid().node.cluster),
+                    req.bytes, suprenum::tagDiskWrite, req);
+                unshipped = 0;
+                ++truth.writeOps;
+            }
+            co_await mon(evWritePixelsEnd,
+                         static_cast<std::uint32_t>(writable));
+        }
+        const sim::Tick now = env.now();
+        truth.masterCycleMs.push(sim::toMilliseconds(now - cycle_start));
+        cycle_start = now;
+    }
+
+    for (unsigned s = 0; s < cfg.numServants; ++s) {
+        JobMsg quit;
+        quit.quit = true;
+        quit.servant = static_cast<std::uint16_t>(s);
+        co_await env.send(ctx.servantMailboxes[s]->pid(),
+                          quit.wireBytes(), tagJob, quit);
+    }
+    co_await mon(evMasterDone, 0);
+    truth.masterDoneAt = env.now();
+}
+
+sim::Task
+servantProcess(suprenum::ProcessEnv env, RunContext &ctx, unsigned index)
+{
+    const RunConfig &cfg = *ctx.cfg;
+    hybrid::Instrumentor mon(env, cfg.monitorMode);
+    auto &truth = ctx.truth;
+    sim::Random rng(cfg.seed * 7919u + index + 1);
+
+    // Initialization: receive the program and the replicated scene
+    // description (ray partitioning's redundant storage).
+    co_await env.compute(ctx.machine->downloadTime(ctx.sceneBytes) +
+                         sim::milliseconds(10));
+    co_await mon(evServantStart, index);
+
+    AgentPool *pool = cfg.reverseAgents() && index < ctx.servantPools.size()
+                          ? ctx.servantPools[index]
+                          : nullptr;
+
+    for (;;) {
+        co_await mon(evWaitForJobBegin, index);
+        suprenum::Message msg =
+            co_await ctx.servantMailboxes[index]->read(env);
+        const auto job = suprenum::payloadAs<JobMsg>(msg);
+        if (job.quit)
+            break;
+
+        co_await mon(evWorkBegin, job.jobId);
+        if (truth.firstWorkBegin == 0)
+            truth.firstWorkBegin = env.now();
+
+        // Trace the rays of the bundle natively; charge the simulated
+        // MC68020 time derived from the counted work.
+        rt::TraceCounters counters;
+        ResultMsg res;
+        res.jobId = job.jobId;
+        res.firstPixel = job.firstPixel;
+        res.stride = job.stride;
+        res.servant = static_cast<std::uint16_t>(index);
+        res.colors.reserve(job.count);
+        for (std::uint32_t i = 0; i < job.count; ++i) {
+            res.colors.push_back(ctx.renderer->tracePixel(
+                job.firstPixel + i * job.stride, rng, counters));
+        }
+        const sim::Tick cost =
+            cfg.costModel.costOf(counters) + cfg.servantJobOverhead;
+        if (job.count > 0) {
+            truth.rayCostMs.push(sim::toMilliseconds(cost) /
+                                 job.count);
+        }
+        truth.servantWorkTime[index] += cost;
+        co_await env.compute(cost);
+
+        if (cfg.instrumentSendResults)
+            co_await mon(evSendResultsBegin, job.jobId);
+        // Wire size must be computed before the payload is moved into
+        // the message (argument evaluation order is unspecified).
+        const std::uint32_t res_bytes = res.wireBytes();
+        if (pool) {
+            // Version 3+: agents for the reverse communication too.
+            pool->submit(ctx.masterMailbox->pid(), res_bytes, tagResult,
+                         std::move(res));
+            co_await env.yield();
+        } else {
+            co_await env.send(ctx.masterMailbox->pid(), res_bytes,
+                              tagResult, std::move(res));
+        }
+    }
+
+    co_await mon(evServantDone, index);
+}
+
+} // namespace par
+} // namespace supmon

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * The master and servant processes of the dynamic-ray-partitioning
+ * parallel ray tracer (paper, section 4.2, Figures 5 and 6).
+ *
+ * The master administrates the work: he keeps a queue of unfinished
+ * pixels, assigns jobs (bundles of rays) to the servants under window
+ * flow control, collects results, and writes the output picture file
+ * in correct pixel order. The servants trace the rays of their jobs
+ * and return the colour values; they never talk to each other.
+ *
+ * All behavioural differences between versions 1-4 are driven by the
+ * RunConfig: mailbox vs. agent forwarding per direction, bundle size,
+ * and the pixel-queue length constant.
+ */
+
+#ifndef PARTRACER_WORKERS_HH
+#define PARTRACER_WORKERS_HH
+
+#include <memory>
+#include <vector>
+
+#include "partracer/agent.hh"
+#include "partracer/config.hh"
+#include "partracer/protocol.hh"
+#include "raytracer/image.hh"
+#include "raytracer/render.hh"
+#include "sim/stats.hh"
+#include "suprenum/machine.hh"
+#include "suprenum/mailbox.hh"
+
+namespace supmon
+{
+namespace par
+{
+
+/**
+ * Everything master and servants share during a run: configuration,
+ * machine, renderer, mailbox addresses, pools and host-side ground
+ * truth bookkeeping.
+ */
+struct RunContext
+{
+    const RunConfig *cfg = nullptr;
+    suprenum::Machine *machine = nullptr;
+    const rt::Renderer *renderer = nullptr;
+    rt::Image *image = nullptr;
+    /** Size of the replicated scene description (download model). */
+    std::uint64_t sceneBytes = 0;
+
+    suprenum::Mailbox *masterMailbox = nullptr;
+    std::vector<suprenum::Mailbox *> servantMailboxes;
+    /** Agent pool on the master node (V2+), else nullptr. */
+    AgentPool *masterPool = nullptr;
+    /** Agent pools on the servant nodes (V3+), else empty. */
+    std::vector<AgentPool *> servantPools;
+
+    /** Host-side ground truth (independent of the monitor). */
+    struct GroundTruth
+    {
+        std::uint64_t jobsSent = 0;
+        std::uint64_t resultsReceived = 0;
+        std::uint64_t pixelsWritten = 0;
+        std::uint64_t writeOps = 0;
+        sim::Tick firstWorkBegin = 0;
+        sim::Tick lastResultReceived = 0;
+        sim::Tick masterDoneAt = 0;
+        /** Simulated work time accumulated per servant. */
+        std::vector<sim::Tick> servantWorkTime;
+        sim::SummaryStat masterCycleMs;
+        sim::SummaryStat rayCostMs;
+        std::size_t pixelQueueHighWater = 0;
+    } truth;
+};
+
+/** The master process (the application's initial process). */
+sim::Task masterProcess(suprenum::ProcessEnv env, RunContext &ctx);
+
+/** Master variant for the static partitioning baselines. */
+sim::Task staticMasterProcess(suprenum::ProcessEnv env,
+                              RunContext &ctx);
+
+/** Servant process @p index. */
+sim::Task servantProcess(suprenum::ProcessEnv env, RunContext &ctx,
+                         unsigned index);
+
+} // namespace par
+} // namespace supmon
+
+#endif // PARTRACER_WORKERS_HH

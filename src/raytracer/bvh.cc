@@ -1,0 +1,186 @@
+#include "bvh.hh"
+
+#include <algorithm>
+#include <numeric>
+
+#include "sim/logging.hh"
+
+namespace supmon
+{
+namespace rt
+{
+
+Bvh::Bvh(const Scene &s, std::size_t leaf_size) : scene(s)
+{
+    std::vector<std::uint32_t> bounded;
+    for (std::uint32_t i = 0; i < scene.primitives().size(); ++i) {
+        if (scene.primitives()[i]->unbounded())
+            unboundedPrims.push_back(i);
+        else
+            bounded.push_back(i);
+    }
+    if (!bounded.empty())
+        build(bounded, 0, bounded.size(), std::max<std::size_t>(1,
+                                                                leaf_size));
+}
+
+int
+Bvh::build(std::vector<std::uint32_t> &idx, std::size_t first,
+           std::size_t count, std::size_t leaf_size)
+{
+    Node node;
+    for (std::size_t i = first; i < first + count; ++i)
+        node.box.extend(scene.primitives()[idx[i]]->boundingBox());
+
+    const int my_index = static_cast<int>(nodes.size());
+    nodes.push_back(node);
+
+    if (count <= leaf_size) {
+        nodes[my_index].first =
+            static_cast<std::uint32_t>(primIndex.size());
+        nodes[my_index].count = static_cast<std::uint32_t>(count);
+        for (std::size_t i = first; i < first + count; ++i)
+            primIndex.push_back(idx[i]);
+        return my_index;
+    }
+
+    // Split along the widest axis at the median of box centers.
+    const Vec3 extent = node.box.hi - node.box.lo;
+    int axis = 0;
+    if (extent.y > extent.x)
+        axis = 1;
+    if (extent.z > (axis == 0 ? extent.x : extent.y))
+        axis = 2;
+
+    auto center_on = [this, axis](std::uint32_t p) {
+        const Vec3 c = scene.primitives()[p]->boundingBox().center();
+        return axis == 0 ? c.x : (axis == 1 ? c.y : c.z);
+    };
+
+    auto mid = idx.begin() + static_cast<std::ptrdiff_t>(first + count / 2);
+    std::nth_element(idx.begin() + static_cast<std::ptrdiff_t>(first),
+                     mid,
+                     idx.begin() +
+                         static_cast<std::ptrdiff_t>(first + count),
+                     [&](std::uint32_t a, std::uint32_t b) {
+                         return center_on(a) < center_on(b);
+                     });
+
+    const std::size_t half = count / 2;
+    const int left = build(idx, first, half, leaf_size);
+    const int right = build(idx, first + half, count - half, leaf_size);
+    nodes[my_index].left = left;
+    nodes[my_index].right = right;
+    return my_index;
+}
+
+bool
+Bvh::intersect(const Ray &ray, double tmin, double tmax, HitRecord &rec,
+               TraceCounters &counters) const
+{
+    bool hit = false;
+    double closest = tmax;
+    HitRecord tmp;
+
+    for (std::uint32_t p : unboundedPrims) {
+        ++counters.primitiveTests;
+        if (scene.primitives()[p]->intersect(ray, tmin, closest, tmp)) {
+            hit = true;
+            closest = tmp.t;
+            tmp.primitiveId = p;
+            rec = tmp;
+        }
+    }
+
+    if (nodes.empty())
+        return hit;
+
+    int stack[64];
+    int sp = 0;
+    stack[sp++] = 0;
+    while (sp > 0) {
+        const Node &node = nodes[stack[--sp]];
+        ++counters.bvhNodeTests;
+        if (!node.box.intersects(ray, tmin, closest))
+            continue;
+        if (node.isLeaf()) {
+            for (std::uint32_t i = node.first;
+                 i < node.first + node.count; ++i) {
+                const std::uint32_t p = primIndex[i];
+                ++counters.primitiveTests;
+                if (scene.primitives()[p]->intersect(ray, tmin, closest,
+                                                     tmp)) {
+                    hit = true;
+                    closest = tmp.t;
+                    tmp.primitiveId = p;
+                    rec = tmp;
+                }
+            }
+        } else {
+            if (sp + 2 > 64)
+                sim::panic("BVH traversal stack overflow");
+            stack[sp++] = node.left;
+            stack[sp++] = node.right;
+        }
+    }
+    return hit;
+}
+
+bool
+Bvh::occluded(const Ray &ray, double tmin, double tmax,
+              TraceCounters &counters) const
+{
+    HitRecord tmp;
+    for (std::uint32_t p : unboundedPrims) {
+        ++counters.primitiveTests;
+        if (scene.primitives()[p]->intersect(ray, tmin, tmax, tmp))
+            return true;
+    }
+    if (nodes.empty())
+        return false;
+
+    int stack[64];
+    int sp = 0;
+    stack[sp++] = 0;
+    while (sp > 0) {
+        const Node &node = nodes[stack[--sp]];
+        ++counters.bvhNodeTests;
+        if (!node.box.intersects(ray, tmin, tmax))
+            continue;
+        if (node.isLeaf()) {
+            for (std::uint32_t i = node.first;
+                 i < node.first + node.count; ++i) {
+                ++counters.primitiveTests;
+                if (scene.primitives()[primIndex[i]]->intersect(
+                        ray, tmin, tmax, tmp))
+                    return true;
+            }
+        } else {
+            if (sp + 2 > 64)
+                sim::panic("BVH traversal stack overflow");
+            stack[sp++] = node.left;
+            stack[sp++] = node.right;
+        }
+    }
+    return false;
+}
+
+std::size_t
+Bvh::depthOf(int node) const
+{
+    if (node < 0)
+        return 0;
+    const Node &n = nodes[static_cast<std::size_t>(node)];
+    if (n.isLeaf())
+        return 1;
+    return 1 + std::max(depthOf(n.left), depthOf(n.right));
+}
+
+std::size_t
+Bvh::depth() const
+{
+    return nodes.empty() ? 0 : depthOf(0);
+}
+
+} // namespace rt
+} // namespace supmon

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Hierarchical bounding volume acceleration based on parallelepipeds
+ * (axis-aligned boxes) - the extension the paper's conclusion
+ * announces as future work: "we plan to implement a hierarchical
+ * bounding volume scheme based on parallelopipeds".
+ *
+ * The BVH is built over the bounded primitives of a scene (unbounded
+ * planes are kept in a flat list and always tested). Traversal counts
+ * node tests and primitive tests separately so the cost model can
+ * price them differently - box/plane intersections are exactly the
+ * operations the paper wanted to vectorize on the VFPU, which the
+ * cost model exposes as a configurable speedup (see cost.hh).
+ */
+
+#ifndef RAYTRACER_BVH_HH
+#define RAYTRACER_BVH_HH
+
+#include <vector>
+
+#include "raytracer/scene.hh"
+
+namespace supmon
+{
+namespace rt
+{
+
+class Bvh
+{
+  public:
+    /** Build over @p scene (which must outlive the Bvh). */
+    explicit Bvh(const Scene &scene, std::size_t leaf_size = 4);
+
+    bool intersect(const Ray &ray, double tmin, double tmax,
+                   HitRecord &rec, TraceCounters &counters) const;
+
+    bool occluded(const Ray &ray, double tmin, double tmax,
+                  TraceCounters &counters) const;
+
+    std::size_t
+    nodeCount() const
+    {
+        return nodes.size();
+    }
+
+    /** Tree depth (for tests). */
+    std::size_t depth() const;
+
+  private:
+    struct Node
+    {
+        Aabb box;
+        /** Children for inner nodes (right = left + 1 subtree skip). */
+        int left = -1;
+        int right = -1;
+        /** Leaf payload: range in primIndex. */
+        std::uint32_t first = 0;
+        std::uint32_t count = 0;
+
+        bool
+        isLeaf() const
+        {
+            return count > 0;
+        }
+    };
+
+    int build(std::vector<std::uint32_t> &idx, std::size_t first,
+              std::size_t count, std::size_t leaf_size);
+    std::size_t depthOf(int node) const;
+
+    const Scene &scene;
+    std::vector<Node> nodes;
+    std::vector<std::uint32_t> primIndex;
+    std::vector<std::uint32_t> unboundedPrims;
+};
+
+} // namespace rt
+} // namespace supmon
+
+#endif // RAYTRACER_BVH_HH

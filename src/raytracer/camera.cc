@@ -1,0 +1,41 @@
+#include "camera.hh"
+
+#include <cmath>
+
+namespace supmon
+{
+namespace rt
+{
+
+Camera::Camera(const Setup &setup, unsigned width, unsigned height)
+    : imgWidth(width), imgHeight(height)
+{
+    const double aspect =
+        static_cast<double>(width) / static_cast<double>(height);
+    const double theta = setup.fovDegrees * M_PI / 180.0;
+    const double half_h = std::tan(theta / 2.0);
+    const double half_w = aspect * half_h;
+
+    const Vec3 w = (setup.eye - setup.lookAt).normalized();
+    const Vec3 u = setup.up.cross(w).normalized();
+    const Vec3 v = w.cross(u);
+
+    origin = setup.eye;
+    lowerLeft = origin - half_w * u - half_h * v - w;
+    horizontal = 2.0 * half_w * u;
+    vertical = 2.0 * half_h * v;
+}
+
+Ray
+Camera::rayThrough(unsigned px, unsigned py, double jx, double jy) const
+{
+    const double s =
+        (static_cast<double>(px) + jx) / static_cast<double>(imgWidth);
+    const double t = (static_cast<double>(imgHeight - 1 - py) + jy) /
+                     static_cast<double>(imgHeight);
+    const Vec3 target = lowerLeft + s * horizontal + t * vertical;
+    return Ray{origin, (target - origin).normalized()};
+}
+
+} // namespace rt
+} // namespace supmon

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Pinhole camera generating eye rays through image-plane pixels
+ * (Figure 4 of the paper: eye, screen, scene).
+ */
+
+#ifndef RAYTRACER_CAMERA_HH
+#define RAYTRACER_CAMERA_HH
+
+#include "raytracer/primitive.hh"
+#include "raytracer/vec3.hh"
+
+namespace supmon
+{
+namespace rt
+{
+
+class Camera
+{
+  public:
+    struct Setup
+    {
+        Vec3 eye{0.0, 1.5, 6.0};
+        Vec3 lookAt{0.0, 0.5, 0.0};
+        Vec3 up{0.0, 1.0, 0.0};
+        /** Vertical field of view in degrees. */
+        double fovDegrees = 55.0;
+    };
+
+    Camera(const Setup &setup, unsigned width, unsigned height);
+
+    /**
+     * Eye ray through pixel (px, py); (jx, jy) in [0,1) select the
+     * sample position inside the pixel (0.5/0.5 = center; random for
+     * the oversampling scheme the master organizes).
+     */
+    Ray rayThrough(unsigned px, unsigned py, double jx = 0.5,
+                   double jy = 0.5) const;
+
+    unsigned
+    width() const
+    {
+        return imgWidth;
+    }
+
+    unsigned
+    height() const
+    {
+        return imgHeight;
+    }
+
+  private:
+    unsigned imgWidth;
+    unsigned imgHeight;
+    Vec3 origin;
+    Vec3 lowerLeft;
+    Vec3 horizontal;
+    Vec3 vertical;
+};
+
+} // namespace rt
+} // namespace supmon
+
+#endif // RAYTRACER_CAMERA_HH

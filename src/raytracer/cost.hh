@@ -1,0 +1,69 @@
+/**
+ * @file
+ * The simulated-CPU cost model: translate counted ray tracing work
+ * into MC68020/68882 execution time on a SUPRENUM node.
+ *
+ * The paper does not publish per-operation timings; the constants
+ * below are calibrated (DESIGN.md section 5) so that the mean time to
+ * trace one ray of the moderate scene is on the order of 10 ms -
+ * consistent with the master-cycle lengths visible in Figure 7 and
+ * with the requirement that one hybrid_mon call (~100 us) is "more
+ * than two orders of magnitude smaller than the duration of the
+ * measured activities".
+ *
+ * The vectorSpeedup models the VFPU future-work item ("plane
+ * intersection operations will be vectorized"): it divides the
+ * geometry-test cost while leaving the scalar shading cost untouched.
+ */
+
+#ifndef RAYTRACER_COST_HH
+#define RAYTRACER_COST_HH
+
+#include "raytracer/scene.hh"
+#include "sim/types.hh"
+
+namespace supmon
+{
+namespace rt
+{
+
+struct CostModel
+{
+    /** Scalar cost of one ray/primitive intersection test. */
+    sim::Tick perPrimitiveTest = sim::microseconds(200);
+    /** Cost of one BVH node (parallelepiped) slab test. */
+    sim::Tick perBvhNodeTest = sim::microseconds(70);
+    /** Cost of one shading evaluation (Phong + recursion setup). */
+    sim::Tick perShadingEval = sim::microseconds(450);
+    /** Fixed cost per ray (setup, normalization, bookkeeping). */
+    sim::Tick perRayOverhead = sim::microseconds(250);
+    /**
+     * Vectorization factor applied to geometry tests (1.0 = scalar
+     * 68882; ~4-8 when batched on the WTL2264/65 VFPU).
+     */
+    double vectorSpeedup = 1.0;
+
+    /** Simulated CPU time for the counted work. */
+    sim::Tick
+    costOf(const TraceCounters &c) const
+    {
+        const double geometry =
+            static_cast<double>(c.primitiveTests) *
+                static_cast<double>(perPrimitiveTest) +
+            static_cast<double>(c.bvhNodeTests) *
+                static_cast<double>(perBvhNodeTest);
+        const double scalar =
+            static_cast<double>(c.shadingEvals) *
+                static_cast<double>(perShadingEval) +
+            static_cast<double>(c.raysTraced) *
+                static_cast<double>(perRayOverhead);
+        const double speedup = vectorSpeedup >= 1.0 ? vectorSpeedup
+                                                    : 1.0;
+        return static_cast<sim::Tick>(geometry / speedup + scalar);
+    }
+};
+
+} // namespace rt
+} // namespace supmon
+
+#endif // RAYTRACER_COST_HH

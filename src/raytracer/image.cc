@@ -1,0 +1,65 @@
+#include "image.hh"
+
+#include <cmath>
+#include <cstdio>
+
+namespace supmon
+{
+namespace rt
+{
+
+std::size_t
+Image::missingPixels() const
+{
+    std::size_t n = 0;
+    for (auto w_ : writes) {
+        if (w_ == 0)
+            ++n;
+    }
+    return n;
+}
+
+std::size_t
+Image::duplicatedPixels() const
+{
+    std::size_t n = 0;
+    for (auto w_ : writes) {
+        if (w_ > 1)
+            ++n;
+    }
+    return n;
+}
+
+bool
+Image::writePpm(const std::string &path) const
+{
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    if (!f)
+        return false;
+    std::fprintf(f, "P6\n%u %u\n255\n", w, h);
+    for (const auto &p : pixels) {
+        const Vec3 c = clamp(p, 0.0, 1.0);
+        // Gamma 2.0 for display.
+        const unsigned char rgb[3] = {
+            static_cast<unsigned char>(255.99 * std::sqrt(c.x)),
+            static_cast<unsigned char>(255.99 * std::sqrt(c.y)),
+            static_cast<unsigned char>(255.99 * std::sqrt(c.z))};
+        std::fwrite(rgb, 1, 3, f);
+    }
+    std::fclose(f);
+    return true;
+}
+
+double
+Image::meanLuminance() const
+{
+    if (pixels.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (const auto &p : pixels)
+        sum += (p.x + p.y + p.z) / 3.0;
+    return sum / static_cast<double>(pixels.size());
+}
+
+} // namespace rt
+} // namespace supmon

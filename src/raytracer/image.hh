@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Simple RGB image buffer with PPM output and completeness tracking.
+ *
+ * Completeness tracking (was every pixel written exactly once?) is a
+ * debugging aid in the spirit of the paper: a wrong master/servant
+ * protocol typically shows up as missing or doubly-assigned pixels.
+ */
+
+#ifndef RAYTRACER_IMAGE_HH
+#define RAYTRACER_IMAGE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "raytracer/vec3.hh"
+
+namespace supmon
+{
+namespace rt
+{
+
+class Image
+{
+  public:
+    Image(unsigned width, unsigned height)
+        : w(width), h(height), pixels(static_cast<std::size_t>(width) *
+                                      height),
+          writes(static_cast<std::size_t>(width) * height, 0)
+    {
+    }
+
+    unsigned
+    width() const
+    {
+        return w;
+    }
+
+    unsigned
+    height() const
+    {
+        return h;
+    }
+
+    std::size_t
+    pixelCount() const
+    {
+        return pixels.size();
+    }
+
+    void
+    set(unsigned x, unsigned y, const Vec3 &color)
+    {
+        const std::size_t i = index(x, y);
+        pixels[i] = color;
+        ++writes[i];
+    }
+
+    /** Linear-index variant (scan order, as the pixel queue uses). */
+    void
+    setLinear(std::size_t i, const Vec3 &color)
+    {
+        pixels.at(i) = color;
+        ++writes.at(i);
+    }
+
+    const Vec3 &
+    at(unsigned x, unsigned y) const
+    {
+        return pixels[index(x, y)];
+    }
+
+    const Vec3 &
+    atLinear(std::size_t i) const
+    {
+        return pixels.at(i);
+    }
+
+    /** Number of pixels never written. */
+    std::size_t missingPixels() const;
+
+    /** Number of pixels written more than once. */
+    std::size_t duplicatedPixels() const;
+
+    /** Write an 8-bit PPM (P6) file. @return false on I/O error. */
+    bool writePpm(const std::string &path) const;
+
+    /** Mean channel value (useful for regression tests). */
+    double meanLuminance() const;
+
+  private:
+    std::size_t
+    index(unsigned x, unsigned y) const
+    {
+        return static_cast<std::size_t>(y) * w + x;
+    }
+
+    unsigned w;
+    unsigned h;
+    std::vector<Vec3> pixels;
+    std::vector<std::uint16_t> writes;
+};
+
+} // namespace rt
+} // namespace supmon
+
+#endif // RAYTRACER_IMAGE_HH

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Surface materials for the Whitted illumination model.
+ *
+ * The colour of a ray is a combination of the object's own (shaded)
+ * colour, the colour of the reflected ray for "shiny" objects, and
+ * the colour of the transmitted ray for non-opaque objects
+ * (paper, section 4.1; Whitted 1980).
+ */
+
+#ifndef RAYTRACER_MATERIAL_HH
+#define RAYTRACER_MATERIAL_HH
+
+#include "raytracer/vec3.hh"
+
+namespace supmon
+{
+namespace rt
+{
+
+struct Material
+{
+    /** Base surface colour. */
+    Vec3 color{0.8, 0.8, 0.8};
+    /** Ambient reflection coefficient. */
+    double ambient = 0.1;
+    /** Diffuse (Lambert) coefficient. */
+    double diffuse = 0.7;
+    /** Specular (Phong) coefficient. */
+    double specular = 0.3;
+    /** Phong exponent. */
+    double shininess = 32.0;
+    /** Fraction of light mirrored ("shiny" objects). */
+    double reflectivity = 0.0;
+    /** Fraction of light transmitted (non-opaque objects). */
+    double transparency = 0.0;
+    /** Refractive index for transmitted rays. */
+    double refractiveIndex = 1.5;
+};
+
+/** @{ a few stock materials used by the procedural scenes */
+inline Material
+matte(const Vec3 &color)
+{
+    Material m;
+    m.color = color;
+    m.specular = 0.1;
+    m.shininess = 8.0;
+    return m;
+}
+
+inline Material
+shiny(const Vec3 &color, double reflectivity = 0.5)
+{
+    Material m;
+    m.color = color;
+    m.specular = 0.8;
+    m.shininess = 96.0;
+    m.reflectivity = reflectivity;
+    return m;
+}
+
+inline Material
+glass(double transparency = 0.85, double index = 1.5)
+{
+    Material m;
+    m.color = {0.95, 0.95, 0.95};
+    m.diffuse = 0.1;
+    m.specular = 0.9;
+    m.shininess = 128.0;
+    m.reflectivity = 0.1;
+    m.transparency = transparency;
+    m.refractiveIndex = index;
+    return m;
+}
+/** @} */
+
+} // namespace rt
+} // namespace supmon
+
+#endif // RAYTRACER_MATERIAL_HH

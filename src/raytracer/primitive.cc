@@ -1,0 +1,221 @@
+#include "primitive.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace supmon
+{
+namespace rt
+{
+
+bool
+Aabb::intersects(const Ray &ray, double tmin, double tmax) const
+{
+    const double o[3] = {ray.origin.x, ray.origin.y, ray.origin.z};
+    const double d[3] = {ray.dir.x, ray.dir.y, ray.dir.z};
+    const double lo_[3] = {lo.x, lo.y, lo.z};
+    const double hi_[3] = {hi.x, hi.y, hi.z};
+    for (int a = 0; a < 3; ++a) {
+        const double inv = 1.0 / d[a];
+        double t0 = (lo_[a] - o[a]) * inv;
+        double t1 = (hi_[a] - o[a]) * inv;
+        if (inv < 0.0)
+            std::swap(t0, t1);
+        tmin = std::max(tmin, t0);
+        tmax = std::min(tmax, t1);
+        if (tmax < tmin)
+            return false;
+    }
+    return true;
+}
+
+bool
+Sphere::intersect(const Ray &ray, double tmin, double tmax,
+                  HitRecord &rec) const
+{
+    const Vec3 oc = ray.origin - c;
+    const double half_b = oc.dot(ray.dir);
+    const double cc = oc.lengthSquared() - r * r;
+    const double disc = half_b * half_b - cc;
+    if (disc < 0.0)
+        return false;
+    const double sq = std::sqrt(disc);
+    double t = -half_b - sq;
+    if (t <= tmin || t >= tmax) {
+        t = -half_b + sq;
+        if (t <= tmin || t >= tmax)
+            return false;
+    }
+    rec.t = t;
+    rec.point = ray.at(t);
+    const Vec3 outward = (rec.point - c) / r;
+    rec.frontFace = outward.dot(ray.dir) < 0.0;
+    rec.normal = rec.frontFace ? outward : -outward;
+    rec.material = &material;
+    return true;
+}
+
+Aabb
+Sphere::boundingBox() const
+{
+    Aabb box;
+    box.extend(c - Vec3{r, r, r});
+    box.extend(c + Vec3{r, r, r});
+    return box;
+}
+
+bool
+Plane::intersect(const Ray &ray, double tmin, double tmax,
+                 HitRecord &rec) const
+{
+    const double denom = n.dot(ray.dir);
+    if (std::fabs(denom) < 1e-12)
+        return false;
+    const double t = (p - ray.origin).dot(n) / denom;
+    if (t <= tmin || t >= tmax)
+        return false;
+    rec.t = t;
+    rec.point = ray.at(t);
+    rec.frontFace = denom < 0.0;
+    rec.normal = rec.frontFace ? n : -n;
+    rec.material = &material;
+    return true;
+}
+
+Aabb
+Plane::boundingBox() const
+{
+    return Aabb{}; // invalid: unbounded
+}
+
+bool
+Triangle::intersect(const Ray &ray, double tmin, double tmax,
+                    HitRecord &rec) const
+{
+    // Moeller-Trumbore.
+    const Vec3 pvec = ray.dir.cross(e2);
+    const double det = e1.dot(pvec);
+    if (std::fabs(det) < 1e-12)
+        return false;
+    const double inv_det = 1.0 / det;
+    const Vec3 tvec = ray.origin - v0;
+    const double u = tvec.dot(pvec) * inv_det;
+    if (u < 0.0 || u > 1.0)
+        return false;
+    const Vec3 qvec = tvec.cross(e1);
+    const double v = ray.dir.dot(qvec) * inv_det;
+    if (v < 0.0 || u + v > 1.0)
+        return false;
+    const double t = e2.dot(qvec) * inv_det;
+    if (t <= tmin || t >= tmax)
+        return false;
+    rec.t = t;
+    rec.point = ray.at(t);
+    const Vec3 normal = e1.cross(e2).normalized();
+    rec.frontFace = normal.dot(ray.dir) < 0.0;
+    rec.normal = rec.frontFace ? normal : -normal;
+    rec.material = &material;
+    return true;
+}
+
+Aabb
+Triangle::boundingBox() const
+{
+    Aabb box;
+    box.extend(v0);
+    box.extend(v0 + e1);
+    box.extend(v0 + e2);
+    // Guard against degenerate flat boxes breaking the slab test.
+    const Vec3 eps{1e-9, 1e-9, 1e-9};
+    box.extend(box.lo - eps);
+    box.extend(box.hi + eps);
+    return box;
+}
+
+bool
+Box::intersect(const Ray &ray, double tmin, double tmax,
+               HitRecord &rec) const
+{
+    // Slab test that also yields the entry parameter and face normal.
+    const double o[3] = {ray.origin.x, ray.origin.y, ray.origin.z};
+    const double d[3] = {ray.dir.x, ray.dir.y, ray.dir.z};
+    const double lo_[3] = {bounds.lo.x, bounds.lo.y, bounds.lo.z};
+    const double hi_[3] = {bounds.hi.x, bounds.hi.y, bounds.hi.z};
+
+    double t_enter = tmin;
+    double t_exit = tmax;
+    int enter_axis = -1;
+    double enter_sign = 1.0;
+    for (int a = 0; a < 3; ++a) {
+        const double inv = 1.0 / d[a];
+        double t0 = (lo_[a] - o[a]) * inv;
+        double t1 = (hi_[a] - o[a]) * inv;
+        double sign = -1.0;
+        if (inv < 0.0) {
+            std::swap(t0, t1);
+            sign = 1.0;
+        }
+        if (t0 > t_enter) {
+            t_enter = t0;
+            enter_axis = a;
+            enter_sign = sign;
+        }
+        t_exit = std::min(t_exit, t1);
+        if (t_exit < t_enter)
+            return false;
+    }
+
+    double t = t_enter;
+    bool inside = false;
+    if (enter_axis < 0 || t <= tmin) {
+        // Ray starts inside the box: exit hit.
+        t = t_exit;
+        inside = true;
+        if (t <= tmin || t >= tmax)
+            return false;
+    }
+
+    rec.t = t;
+    rec.point = ray.at(t);
+    rec.frontFace = !inside;
+    if (inside) {
+        // Normal of the exit face, flipped against the ray.
+        Vec3 n{0, 0, 0};
+        double best = std::numeric_limits<double>::infinity();
+        const double faces[6] = {rec.point.x - lo_[0],
+                                 hi_[0] - rec.point.x,
+                                 rec.point.y - lo_[1],
+                                 hi_[1] - rec.point.y,
+                                 rec.point.z - lo_[2],
+                                 hi_[2] - rec.point.z};
+        const Vec3 normals[6] = {{-1, 0, 0}, {1, 0, 0},  {0, -1, 0},
+                                 {0, 1, 0},  {0, 0, -1}, {0, 0, 1}};
+        for (int f = 0; f < 6; ++f) {
+            if (std::fabs(faces[f]) < best) {
+                best = std::fabs(faces[f]);
+                n = normals[f];
+            }
+        }
+        rec.normal = n.dot(ray.dir) < 0.0 ? n : -n;
+    } else {
+        Vec3 n{0, 0, 0};
+        if (enter_axis == 0)
+            n = {enter_sign, 0, 0};
+        else if (enter_axis == 1)
+            n = {0, enter_sign, 0};
+        else
+            n = {0, 0, enter_sign};
+        rec.normal = n;
+    }
+    rec.material = &material;
+    return true;
+}
+
+Aabb
+Box::boundingBox() const
+{
+    return bounds;
+}
+
+} // namespace rt
+} // namespace supmon

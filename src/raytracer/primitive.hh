@@ -1,0 +1,220 @@
+/**
+ * @file
+ * Geometric primitives: sphere, plane, triangle and axis-aligned box
+ * (parallelepiped - the bounding volume shape the paper's future-work
+ * section proposes).
+ */
+
+#ifndef RAYTRACER_PRIMITIVE_HH
+#define RAYTRACER_PRIMITIVE_HH
+
+#include <cstdint>
+#include <limits>
+#include <memory>
+
+#include "raytracer/material.hh"
+#include "raytracer/vec3.hh"
+
+namespace supmon
+{
+namespace rt
+{
+
+struct Ray
+{
+    Vec3 origin;
+    Vec3 dir; // unit length
+
+    Vec3
+    at(double t) const
+    {
+        return origin + dir * t;
+    }
+};
+
+struct HitRecord
+{
+    double t = std::numeric_limits<double>::infinity();
+    Vec3 point;
+    Vec3 normal; // unit, pointing against the ray
+    const Material *material = nullptr;
+    std::uint32_t primitiveId = 0;
+    /** True if the ray hit the outside of the surface (the geometric
+     *  normal faced the ray); false when leaving a solid. */
+    bool frontFace = true;
+};
+
+/** Axis-aligned bounding box. */
+struct Aabb
+{
+    Vec3 lo{std::numeric_limits<double>::infinity(),
+            std::numeric_limits<double>::infinity(),
+            std::numeric_limits<double>::infinity()};
+    Vec3 hi{-std::numeric_limits<double>::infinity(),
+            -std::numeric_limits<double>::infinity(),
+            -std::numeric_limits<double>::infinity()};
+
+    void
+    extend(const Vec3 &p)
+    {
+        lo.x = std::min(lo.x, p.x);
+        lo.y = std::min(lo.y, p.y);
+        lo.z = std::min(lo.z, p.z);
+        hi.x = std::max(hi.x, p.x);
+        hi.y = std::max(hi.y, p.y);
+        hi.z = std::max(hi.z, p.z);
+    }
+
+    void
+    extend(const Aabb &o)
+    {
+        extend(o.lo);
+        extend(o.hi);
+    }
+
+    Vec3
+    center() const
+    {
+        return (lo + hi) * 0.5;
+    }
+
+    /** Slab test; @return true if the ray hits within [tmin, tmax]. */
+    bool intersects(const Ray &ray, double tmin, double tmax) const;
+
+    bool
+    valid() const
+    {
+        return lo.x <= hi.x && lo.y <= hi.y && lo.z <= hi.z;
+    }
+};
+
+class Primitive
+{
+  public:
+    explicit Primitive(Material mat) : material(mat)
+    {
+    }
+
+    virtual ~Primitive() = default;
+
+    /**
+     * Intersect with @p ray; on a hit with t in (tmin, tmax) fill
+     * @p rec and return true.
+     */
+    virtual bool intersect(const Ray &ray, double tmin, double tmax,
+                           HitRecord &rec) const = 0;
+
+    /** Bounding box (planes are unbounded: valid() == false). */
+    virtual Aabb boundingBox() const = 0;
+
+    /** True if the primitive cannot be put into a finite box. */
+    virtual bool
+    unbounded() const
+    {
+        return false;
+    }
+
+    const Material &
+    surface() const
+    {
+        return material;
+    }
+
+  protected:
+    Material material;
+};
+
+class Sphere : public Primitive
+{
+  public:
+    Sphere(const Vec3 &center, double radius, Material mat)
+        : Primitive(mat), c(center), r(radius)
+    {
+    }
+
+    bool intersect(const Ray &ray, double tmin, double tmax,
+                   HitRecord &rec) const override;
+    Aabb boundingBox() const override;
+
+    const Vec3 &
+    center() const
+    {
+        return c;
+    }
+
+    double
+    radius() const
+    {
+        return r;
+    }
+
+  private:
+    Vec3 c;
+    double r;
+};
+
+class Plane : public Primitive
+{
+  public:
+    /** Plane through @p point with unit normal @p normal. */
+    Plane(const Vec3 &point, const Vec3 &normal, Material mat)
+        : Primitive(mat), p(point), n(normal.normalized())
+    {
+    }
+
+    bool intersect(const Ray &ray, double tmin, double tmax,
+                   HitRecord &rec) const override;
+    Aabb boundingBox() const override;
+
+    bool
+    unbounded() const override
+    {
+        return true;
+    }
+
+  private:
+    Vec3 p;
+    Vec3 n;
+};
+
+class Triangle : public Primitive
+{
+  public:
+    Triangle(const Vec3 &a, const Vec3 &b, const Vec3 &c, Material mat)
+        : Primitive(mat), v0(a), e1(b - a), e2(c - a)
+    {
+    }
+
+    bool intersect(const Ray &ray, double tmin, double tmax,
+                   HitRecord &rec) const override;
+    Aabb boundingBox() const override;
+
+  private:
+    Vec3 v0;
+    Vec3 e1;
+    Vec3 e2;
+};
+
+/** Axis-aligned box (solid parallelepiped). */
+class Box : public Primitive
+{
+  public:
+    Box(const Vec3 &lo, const Vec3 &hi, Material mat)
+        : Primitive(mat)
+    {
+        bounds.extend(lo);
+        bounds.extend(hi);
+    }
+
+    bool intersect(const Ray &ray, double tmin, double tmax,
+                   HitRecord &rec) const override;
+    Aabb boundingBox() const override;
+
+  private:
+    Aabb bounds;
+};
+
+} // namespace rt
+} // namespace supmon
+
+#endif // RAYTRACER_PRIMITIVE_HH

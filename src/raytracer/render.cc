@@ -1,0 +1,157 @@
+#include "render.hh"
+
+#include <cmath>
+
+namespace supmon
+{
+namespace rt
+{
+
+namespace
+{
+constexpr double rayEpsilon = 1e-6;
+constexpr double shadowEpsilon = 1e-4;
+} // namespace
+
+Renderer::Renderer(const Scene &s, const Camera &camera,
+                   const Options &options)
+    : scene(s), cam(camera), opts(options)
+{
+    if (opts.useBvh)
+        bvh = std::make_unique<Bvh>(scene);
+}
+
+bool
+Renderer::closestHit(const Ray &ray, double tmin, double tmax,
+                     HitRecord &rec, TraceCounters &counters) const
+{
+    if (bvh)
+        return bvh->intersect(ray, tmin, tmax, rec, counters);
+    return scene.intersect(ray, tmin, tmax, rec, counters);
+}
+
+bool
+Renderer::inShadow(const Ray &ray, double tmax,
+                   TraceCounters &counters) const
+{
+    if (bvh)
+        return bvh->occluded(ray, shadowEpsilon, tmax, counters);
+    return scene.occluded(ray, shadowEpsilon, tmax, counters);
+}
+
+Vec3
+Renderer::shade(const Ray &ray, const HitRecord &rec, unsigned depth,
+                TraceCounters &counters) const
+{
+    ++counters.shadingEvals;
+    const Material &mat = *rec.material;
+
+    // Ambient term.
+    Vec3 color = mat.ambient * mat.color * scene.ambientLight;
+
+    // Direct illumination with shadow rays.
+    for (const auto &light : scene.lights()) {
+        const Vec3 to_light = light.position - rec.point;
+        const double dist = to_light.length();
+        const Vec3 l = to_light / dist;
+        const Ray shadow_ray{rec.point, l};
+        if (inShadow(shadow_ray, dist, counters))
+            continue;
+        const double n_dot_l = rec.normal.dot(l);
+        if (n_dot_l > 0.0) {
+            color += mat.diffuse * n_dot_l * light.intensity *
+                     (mat.color * light.color);
+            const Vec3 r = reflect(-l, rec.normal);
+            const double r_dot_v = -r.dot(ray.dir);
+            if (r_dot_v > 0.0) {
+                color += mat.specular *
+                         std::pow(r_dot_v, mat.shininess) *
+                         light.intensity * light.color;
+            }
+        }
+    }
+
+    if (depth == 0)
+        return color;
+
+    // Reflected ray for shiny objects.
+    if (mat.reflectivity > 0.0) {
+        const Vec3 rdir = reflect(ray.dir, rec.normal).normalized();
+        const Ray reflected{rec.point + rdir * shadowEpsilon, rdir};
+        color += mat.reflectivity *
+                 traceRay(reflected, depth - 1, counters);
+    }
+
+    // Transmitted ray for non-opaque objects.
+    if (mat.transparency > 0.0) {
+        // Entering a solid refracts into the denser medium; leaving
+        // refracts back out (the hit record tracks which face we hit).
+        const double eta = rec.frontFace ? 1.0 / mat.refractiveIndex
+                                         : mat.refractiveIndex;
+        Vec3 tdir;
+        if (refract(ray.dir, rec.normal, eta, tdir)) {
+            const Ray transmitted{rec.point + tdir * shadowEpsilon,
+                                  tdir.normalized()};
+            color += mat.transparency *
+                     traceRay(transmitted, depth - 1, counters);
+        } else {
+            // Total internal reflection.
+            const Vec3 rdir = reflect(ray.dir, rec.normal).normalized();
+            const Ray reflected{rec.point + rdir * shadowEpsilon, rdir};
+            color += mat.transparency *
+                     traceRay(reflected, depth - 1, counters);
+        }
+    }
+
+    return color;
+}
+
+Vec3
+Renderer::traceRay(const Ray &ray, unsigned depth,
+                   TraceCounters &counters) const
+{
+    ++counters.raysTraced;
+    HitRecord rec;
+    if (!closestHit(ray, rayEpsilon,
+                    std::numeric_limits<double>::infinity(), rec,
+                    counters)) {
+        // A ray which does not intersect any object of the scene gets
+        // assigned the background colour without further processing.
+        return scene.background;
+    }
+    return shade(ray, rec, depth, counters);
+}
+
+Vec3
+Renderer::tracePixel(std::size_t linear_index, sim::Random &rng,
+                     TraceCounters &counters) const
+{
+    const unsigned x = static_cast<unsigned>(linear_index % cam.width());
+    const unsigned y = static_cast<unsigned>(linear_index / cam.width());
+    Vec3 sum{0, 0, 0};
+    const unsigned samples = std::max(1u, opts.oversampling);
+    for (unsigned s = 0; s < samples; ++s) {
+        double jx = 0.5;
+        double jy = 0.5;
+        if (samples > 1) {
+            jx = rng.uniformReal();
+            jy = rng.uniformReal();
+        }
+        const Ray ray = cam.rayThrough(x, y, jx, jy);
+        sum += traceRay(ray, opts.maxDepth, counters);
+    }
+    return sum / static_cast<double>(samples);
+}
+
+TraceCounters
+Renderer::renderImage(Image &img, std::uint64_t seed) const
+{
+    TraceCounters counters;
+    sim::Random rng(seed);
+    for (std::size_t i = 0; i < img.pixelCount(); ++i)
+        img.setLinear(i, tracePixel(i, rng, counters));
+    return counters;
+}
+
+} // namespace rt
+} // namespace supmon

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * The Whitted-style recursive ray tracer (paper, section 4.1;
+ * Whitted 1980): the colour of an eye ray combines the shaded object
+ * colour, the colour of the reflected ray for shiny surfaces, and
+ * the colour of the transmitted ray for non-opaque surfaces, with
+ * shadow rays towards each light source.
+ */
+
+#ifndef RAYTRACER_RENDER_HH
+#define RAYTRACER_RENDER_HH
+
+#include "raytracer/bvh.hh"
+#include "raytracer/camera.hh"
+#include "raytracer/image.hh"
+#include "raytracer/scene.hh"
+#include "sim/random.hh"
+
+namespace supmon
+{
+namespace rt
+{
+
+class Renderer
+{
+  public:
+    struct Options
+    {
+        /** Maximum recursion depth for secondary rays. */
+        unsigned maxDepth = 4;
+        /** Rays per pixel (the master's oversampling scheme). */
+        unsigned oversampling = 1;
+        /** Use the bounding-volume hierarchy (future-work variant). */
+        bool useBvh = false;
+    };
+
+    Renderer(const Scene &scene, const Camera &camera,
+             const Options &options);
+
+    /** Colour of a single ray (recursive). */
+    Vec3 traceRay(const Ray &ray, unsigned depth,
+                  TraceCounters &counters) const;
+
+    /**
+     * Colour of pixel @p linear_index (scan order), averaging
+     * `oversampling` jittered samples.
+     */
+    Vec3 tracePixel(std::size_t linear_index, sim::Random &rng,
+                    TraceCounters &counters) const;
+
+    /** Render the full image sequentially (reference renderer). */
+    TraceCounters renderImage(Image &img, std::uint64_t seed = 1) const;
+
+    const Options &
+    options() const
+    {
+        return opts;
+    }
+
+  private:
+    bool closestHit(const Ray &ray, double tmin, double tmax,
+                    HitRecord &rec, TraceCounters &counters) const;
+    bool inShadow(const Ray &ray, double tmax,
+                  TraceCounters &counters) const;
+    Vec3 shade(const Ray &ray, const HitRecord &rec, unsigned depth,
+               TraceCounters &counters) const;
+
+    const Scene &scene;
+    const Camera &cam;
+    Options opts;
+    std::unique_ptr<Bvh> bvh;
+};
+
+} // namespace rt
+} // namespace supmon
+
+#endif // RAYTRACER_RENDER_HH

@@ -1,0 +1,50 @@
+#include "scene.hh"
+
+namespace supmon
+{
+namespace rt
+{
+
+bool
+Scene::intersect(const Ray &ray, double tmin, double tmax,
+                 HitRecord &rec, TraceCounters &counters) const
+{
+    bool hit = false;
+    double closest = tmax;
+    HitRecord tmp;
+    for (std::size_t i = 0; i < prims.size(); ++i) {
+        ++counters.primitiveTests;
+        if (prims[i]->intersect(ray, tmin, closest, tmp)) {
+            hit = true;
+            closest = tmp.t;
+            tmp.primitiveId = static_cast<std::uint32_t>(i);
+            rec = tmp;
+        }
+    }
+    return hit;
+}
+
+bool
+Scene::occluded(const Ray &ray, double tmin, double tmax,
+                TraceCounters &counters) const
+{
+    HitRecord tmp;
+    for (const auto &prim : prims) {
+        ++counters.primitiveTests;
+        if (prim->intersect(ray, tmin, tmax, tmp))
+            return true;
+    }
+    return false;
+}
+
+std::uint64_t
+Scene::descriptionBytes() const
+{
+    // A primitive record in a 1990 scene description: geometry,
+    // material and bookkeeping - roughly 200 bytes each - plus lights
+    // and header.
+    return 4096 + prims.size() * 200 + pointLights.size() * 64;
+}
+
+} // namespace rt
+} // namespace supmon

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Scene container: primitives, point lights, background colour, and
+ * the intersection entry points with work counters.
+ *
+ * The work counters matter beyond profiling curiosity: when the ray
+ * tracer runs on the simulated SUPRENUM, the *simulated* CPU time of
+ * a ray is derived from the counted intersection tests and shading
+ * evaluations (see cost.hh). The large per-ray variance the paper's
+ * load balancing discussion depends on thus comes from the real
+ * geometry.
+ */
+
+#ifndef RAYTRACER_SCENE_HH
+#define RAYTRACER_SCENE_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "raytracer/primitive.hh"
+
+namespace supmon
+{
+namespace rt
+{
+
+struct PointLight
+{
+    Vec3 position;
+    Vec3 color{1.0, 1.0, 1.0};
+    double intensity = 1.0;
+};
+
+/** Work counters accumulated while tracing. */
+struct TraceCounters
+{
+    std::uint64_t primitiveTests = 0;
+    std::uint64_t bvhNodeTests = 0;
+    std::uint64_t shadingEvals = 0;
+    std::uint64_t raysTraced = 0;
+
+    TraceCounters &
+    operator+=(const TraceCounters &o)
+    {
+        primitiveTests += o.primitiveTests;
+        bvhNodeTests += o.bvhNodeTests;
+        shadingEvals += o.shadingEvals;
+        raysTraced += o.raysTraced;
+        return *this;
+    }
+};
+
+class Bvh;
+
+class Scene
+{
+  public:
+    Scene() = default;
+    Scene(Scene &&) = default;
+    Scene &operator=(Scene &&) = default;
+
+    void
+    add(std::unique_ptr<Primitive> prim)
+    {
+        prims.push_back(std::move(prim));
+    }
+
+    void
+    addLight(PointLight light)
+    {
+        pointLights.push_back(light);
+    }
+
+    std::size_t
+    primitiveCount() const
+    {
+        return prims.size();
+    }
+
+    const std::vector<std::unique_ptr<Primitive>> &
+    primitives() const
+    {
+        return prims;
+    }
+
+    const std::vector<PointLight> &
+    lights() const
+    {
+        return pointLights;
+    }
+
+    Vec3 background{0.05, 0.06, 0.12};
+    Vec3 ambientLight{1.0, 1.0, 1.0};
+
+    /**
+     * Closest intersection by brute force over all primitives
+     * (the paper's ray tracer; the BVH is the future-work variant).
+     */
+    bool intersect(const Ray &ray, double tmin, double tmax,
+                   HitRecord &rec, TraceCounters &counters) const;
+
+    /** Any-hit query for shadow rays. */
+    bool occluded(const Ray &ray, double tmin, double tmax,
+                  TraceCounters &counters) const;
+
+    /**
+     * Rough simulated memory footprint of the replicated scene
+     * description (every servant stores the whole scene; the paper
+     * names this as ray partitioning's storage disadvantage).
+     */
+    std::uint64_t descriptionBytes() const;
+
+  private:
+    std::vector<std::unique_ptr<Primitive>> prims;
+    std::vector<PointLight> pointLights;
+};
+
+} // namespace rt
+} // namespace supmon
+
+#endif // RAYTRACER_SCENE_HH

@@ -1,0 +1,192 @@
+#include "scenes.hh"
+
+#include "sim/logging.hh"
+
+namespace supmon
+{
+namespace rt
+{
+
+Scene
+moderateScene()
+{
+    Scene scene;
+    scene.background = {0.08, 0.10, 0.18};
+
+    // 1: ground plane.
+    scene.add(std::make_unique<Plane>(Vec3{0, 0, 0}, Vec3{0, 1, 0},
+                                      matte({0.55, 0.55, 0.5})));
+
+    // 12 matte spheres in a loose ring.
+    const Vec3 palette[4] = {{0.8, 0.25, 0.2},
+                             {0.2, 0.6, 0.25},
+                             {0.25, 0.35, 0.8},
+                             {0.8, 0.7, 0.2}};
+    for (int i = 0; i < 12; ++i) {
+        const double angle = 2.0 * M_PI * i / 12.0;
+        const double radius = 2.4 + 0.35 * ((i % 3) - 1);
+        const Vec3 center{radius * std::cos(angle), 0.35,
+                          radius * std::sin(angle)};
+        scene.add(std::make_unique<Sphere>(center, 0.35,
+                                           matte(palette[i % 4])));
+    }
+
+    // 4 shiny spheres.
+    scene.add(std::make_unique<Sphere>(Vec3{-0.9, 0.7, 0.3}, 0.7,
+                                       shiny({0.9, 0.9, 0.95}, 0.6)));
+    scene.add(std::make_unique<Sphere>(Vec3{1.0, 0.55, -0.6}, 0.55,
+                                       shiny({0.95, 0.7, 0.3}, 0.4)));
+    scene.add(std::make_unique<Sphere>(Vec3{0.3, 0.4, 1.2}, 0.4,
+                                       shiny({0.4, 0.8, 0.9}, 0.5)));
+    scene.add(std::make_unique<Sphere>(Vec3{-1.6, 0.3, -1.4}, 0.3,
+                                       shiny({0.8, 0.4, 0.8}, 0.45)));
+
+    // 1 glass sphere.
+    scene.add(std::make_unique<Sphere>(Vec3{0.2, 0.85, 2.4}, 0.45,
+                                       glass()));
+
+    // 4 boxes.
+    scene.add(std::make_unique<Box>(Vec3{-2.6, 0.0, 0.6},
+                                    Vec3{-1.9, 0.8, 1.3},
+                                    matte({0.7, 0.5, 0.3})));
+    scene.add(std::make_unique<Box>(Vec3{1.7, 0.0, 0.8},
+                                    Vec3{2.3, 0.5, 1.4},
+                                    matte({0.35, 0.6, 0.7})));
+    scene.add(std::make_unique<Box>(Vec3{-0.4, 0.0, -2.6},
+                                    Vec3{0.5, 1.1, -1.9},
+                                    shiny({0.75, 0.75, 0.8}, 0.3)));
+    scene.add(std::make_unique<Box>(Vec3{2.0, 0.0, -1.9},
+                                    Vec3{2.6, 0.35, -1.3},
+                                    matte({0.6, 0.6, 0.25})));
+
+    // 3 triangles (a simple tent).
+    const Vec3 apex{-2.2, 1.5, -0.2};
+    const Vec3 base_a{-2.9, 0.0, 0.4};
+    const Vec3 base_b{-1.5, 0.0, 0.4};
+    const Vec3 base_c{-2.2, 0.0, -1.0};
+    scene.add(std::make_unique<Triangle>(base_a, base_b, apex,
+                                         matte({0.85, 0.5, 0.45})));
+    scene.add(std::make_unique<Triangle>(base_b, base_c, apex,
+                                         matte({0.75, 0.45, 0.5})));
+    scene.add(std::make_unique<Triangle>(base_c, base_a, apex,
+                                         matte({0.65, 0.4, 0.55})));
+
+    if (scene.primitiveCount() != 25)
+        sim::panic("moderateScene must contain 25 primitives (has %zu)",
+                   scene.primitiveCount());
+
+    scene.addLight(PointLight{{4.0, 6.0, 4.0}, {1.0, 0.98, 0.9}, 0.9});
+    scene.addLight(PointLight{{-5.0, 4.0, 1.5}, {0.7, 0.75, 0.9}, 0.5});
+    return scene;
+}
+
+Camera::Setup
+moderateCamera()
+{
+    Camera::Setup setup;
+    setup.eye = {0.0, 2.2, 6.5};
+    setup.lookAt = {0.0, 0.5, 0.0};
+    setup.fovDegrees = 52.0;
+    return setup;
+}
+
+namespace
+{
+
+void
+addTetrahedron(Scene &scene, const Vec3 &base, double size,
+               const Material &mat)
+{
+    // Regular-ish tetrahedron with corner at base.
+    const Vec3 a = base;
+    const Vec3 b = base + Vec3{size, 0.0, 0.0};
+    const Vec3 c = base + Vec3{size / 2.0, 0.0, size * 0.8660254};
+    const Vec3 d = base + Vec3{size / 2.0, size * 0.8164966,
+                               size * 0.2886751};
+    scene.add(std::make_unique<Triangle>(a, b, d, mat));
+    scene.add(std::make_unique<Triangle>(b, c, d, mat));
+    scene.add(std::make_unique<Triangle>(c, a, d, mat));
+    scene.add(std::make_unique<Triangle>(a, c, b, mat));
+}
+
+void
+sierpinski(Scene &scene, const Vec3 &base, double size, unsigned level,
+           const Material &mat)
+{
+    if (level == 0) {
+        addTetrahedron(scene, base, size, mat);
+        return;
+    }
+    const double half = size / 2.0;
+    sierpinski(scene, base, half, level - 1, mat);
+    sierpinski(scene, base + Vec3{half, 0.0, 0.0}, half, level - 1, mat);
+    sierpinski(scene, base + Vec3{half / 2.0, 0.0, half * 0.8660254},
+               half, level - 1, mat);
+    sierpinski(scene,
+               base + Vec3{half / 2.0, half * 0.8164966,
+                           half * 0.2886751},
+               half, level - 1, mat);
+}
+
+} // namespace
+
+Scene
+fractalPyramid(unsigned level)
+{
+    Scene scene;
+    scene.background = {0.06, 0.07, 0.14};
+    scene.add(std::make_unique<Plane>(Vec3{0, 0, 0}, Vec3{0, 1, 0},
+                                      matte({0.5, 0.5, 0.55})));
+    Material mat = shiny({0.85, 0.65, 0.3}, 0.25);
+    sierpinski(scene, Vec3{-1.5, 0.0, -1.3}, 3.0, level, mat);
+    scene.addLight(PointLight{{5.0, 7.0, 5.0}, {1.0, 0.97, 0.9}, 0.95});
+    scene.addLight(PointLight{{-4.0, 5.0, 2.0}, {0.75, 0.8, 0.95}, 0.45});
+    return scene;
+}
+
+Camera::Setup
+pyramidCamera()
+{
+    Camera::Setup setup;
+    setup.eye = {0.0, 2.4, 5.2};
+    setup.lookAt = {0.0, 0.9, 0.0};
+    setup.fovDegrees = 50.0;
+    return setup;
+}
+
+Scene
+sphereGrid(unsigned n)
+{
+    Scene scene;
+    scene.background = {0.07, 0.08, 0.15};
+    scene.add(std::make_unique<Plane>(Vec3{0, 0, 0}, Vec3{0, 1, 0},
+                                      matte({0.5, 0.52, 0.55})));
+    const double spacing = 5.0 / (n ? n : 1);
+    for (unsigned i = 0; i < n; ++i) {
+        for (unsigned j = 0; j < n; ++j) {
+            const Vec3 c{-2.5 + spacing * (i + 0.5), 0.3,
+                         -2.5 + spacing * (j + 0.5)};
+            Material mat = ((i + j) % 3 == 0)
+                               ? shiny({0.8, 0.7, 0.4}, 0.35)
+                               : matte({0.3 + 0.5 * (i % 2),
+                                        0.4 + 0.4 * (j % 2), 0.6});
+            scene.add(std::make_unique<Sphere>(c, spacing * 0.35, mat));
+        }
+    }
+    scene.addLight(PointLight{{4.0, 6.0, 4.0}, {1.0, 0.98, 0.9}, 0.9});
+    return scene;
+}
+
+Camera::Setup
+sphereGridCamera(unsigned n)
+{
+    (void)n;
+    Camera::Setup setup;
+    setup.eye = {0.0, 3.2, 6.0};
+    setup.lookAt = {0.0, 0.2, 0.0};
+    setup.fovDegrees = 50.0;
+    return setup;
+}
+
+} // namespace rt
+} // namespace supmon

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Procedural test scenes.
+ *
+ *  - moderateScene(): 25 primitives, "a scene of moderate complexity
+ *    (the scene contained 25 primitive objects)" used for all of the
+ *    paper's utilization measurements (Figures 7-10);
+ *  - fractalPyramid(): "a more complex scene comprising more than 250
+ *    primitives (a fractal pyramid)" - a Sierpinski tetrahedron -
+ *    with which the servants reached over 99 % utilization;
+ *  - sphereGrid(): parameterized scene family for the complexity
+ *    sweep ablation.
+ */
+
+#ifndef RAYTRACER_SCENES_HH
+#define RAYTRACER_SCENES_HH
+
+#include "raytracer/camera.hh"
+#include "raytracer/scene.hh"
+
+namespace supmon
+{
+namespace rt
+{
+
+/** The 25-primitive moderate scene. */
+Scene moderateScene();
+
+/** Camera framing the moderate scene. */
+Camera::Setup moderateCamera();
+
+/**
+ * The fractal pyramid: a Sierpinski tetrahedron of @p level
+ * subdivisions (4^level small tetrahedra, 4 triangles each) over a
+ * ground plane. level 3 yields 257 primitives (> 250, as in the
+ * paper).
+ */
+Scene fractalPyramid(unsigned level = 3);
+
+/** Camera framing the fractal pyramid. */
+Camera::Setup pyramidCamera();
+
+/** An n x n grid of spheres over a ground plane (n*n + 1 prims). */
+Scene sphereGrid(unsigned n);
+
+/** Camera framing the sphere grid. */
+Camera::Setup sphereGridCamera(unsigned n);
+
+} // namespace rt
+} // namespace supmon
+
+#endif // RAYTRACER_SCENES_HH

@@ -1,0 +1,159 @@
+/**
+ * @file
+ * 3-vector math for the ray tracing library.
+ */
+
+#ifndef RAYTRACER_VEC3_HH
+#define RAYTRACER_VEC3_HH
+
+#include <cmath>
+
+namespace supmon
+{
+namespace rt
+{
+
+struct Vec3
+{
+    double x = 0.0;
+    double y = 0.0;
+    double z = 0.0;
+
+    constexpr Vec3() = default;
+
+    constexpr Vec3(double xx, double yy, double zz) : x(xx), y(yy), z(zz)
+    {
+    }
+
+    constexpr Vec3
+    operator+(const Vec3 &o) const
+    {
+        return {x + o.x, y + o.y, z + o.z};
+    }
+
+    constexpr Vec3
+    operator-(const Vec3 &o) const
+    {
+        return {x - o.x, y - o.y, z - o.z};
+    }
+
+    constexpr Vec3
+    operator-() const
+    {
+        return {-x, -y, -z};
+    }
+
+    constexpr Vec3
+    operator*(double s) const
+    {
+        return {x * s, y * s, z * s};
+    }
+
+    constexpr Vec3
+    operator/(double s) const
+    {
+        return {x / s, y / s, z / s};
+    }
+
+    /** Component-wise product (used for colour modulation). */
+    constexpr Vec3
+    operator*(const Vec3 &o) const
+    {
+        return {x * o.x, y * o.y, z * o.z};
+    }
+
+    Vec3 &
+    operator+=(const Vec3 &o)
+    {
+        x += o.x;
+        y += o.y;
+        z += o.z;
+        return *this;
+    }
+
+    Vec3 &
+    operator*=(double s)
+    {
+        x *= s;
+        y *= s;
+        z *= s;
+        return *this;
+    }
+
+    constexpr double
+    dot(const Vec3 &o) const
+    {
+        return x * o.x + y * o.y + z * o.z;
+    }
+
+    constexpr Vec3
+    cross(const Vec3 &o) const
+    {
+        return {y * o.z - z * o.y, z * o.x - x * o.z,
+                x * o.y - y * o.x};
+    }
+
+    double
+    length() const
+    {
+        return std::sqrt(dot(*this));
+    }
+
+    constexpr double
+    lengthSquared() const
+    {
+        return dot(*this);
+    }
+
+    Vec3
+    normalized() const
+    {
+        const double len = length();
+        return len > 0.0 ? *this / len : Vec3{0, 0, 0};
+    }
+};
+
+constexpr Vec3
+operator*(double s, const Vec3 &v)
+{
+    return v * s;
+}
+
+/** Mirror @p v about the (unit) normal @p n. */
+inline Vec3
+reflect(const Vec3 &v, const Vec3 &n)
+{
+    return v - 2.0 * v.dot(n) * n;
+}
+
+/**
+ * Refract @p v (unit) at the surface with (unit) normal @p n.
+ * @param eta ratio of refractive indices (n_from / n_to).
+ * @param out refracted direction on success.
+ * @return false on total internal reflection.
+ */
+inline bool
+refract(const Vec3 &v, const Vec3 &n, double eta, Vec3 &out)
+{
+    const double cosi = -v.dot(n);
+    const double k = 1.0 - eta * eta * (1.0 - cosi * cosi);
+    if (k < 0.0)
+        return false;
+    out = eta * v + (eta * cosi - std::sqrt(k)) * n;
+    return true;
+}
+
+/** Clamp all components to [lo, hi]. */
+inline Vec3
+clamp(const Vec3 &v, double lo, double hi)
+{
+    auto cl = [lo, hi](double a) {
+        return a < lo ? lo : (a > hi ? hi : a);
+    };
+    return {cl(v.x), cl(v.y), cl(v.z)};
+}
+
+} // namespace rt
+} // namespace supmon
+
+#endif // RAYTRACER_VEC3_HH

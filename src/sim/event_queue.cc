@@ -1,0 +1,53 @@
+#include "event_queue.hh"
+
+#include "logging.hh"
+
+namespace supmon
+{
+namespace sim
+{
+
+EventHandle
+Simulation::scheduleAt(Tick when, EventFunc fn)
+{
+    if (when < curTick)
+        panic("scheduling event in the past (when=%llu, now=%llu)",
+              static_cast<unsigned long long>(when),
+              static_cast<unsigned long long>(curTick));
+    Item item;
+    item.when = when;
+    item.seq = seqCounter++;
+    item.fn = std::move(fn);
+    item.control = std::make_shared<EventHandle::Control>();
+    EventHandle handle;
+    handle.control = item.control;
+    queue.push(std::move(item));
+    return handle;
+}
+
+std::uint64_t
+Simulation::run(Tick limit)
+{
+    std::uint64_t count = 0;
+    stopRequested = false;
+    while (!queue.empty() && !stopRequested) {
+        // priority_queue::top() is const; the item is copied out so the
+        // callback may schedule further events while we execute it.
+        Item item = queue.top();
+        if (item.when > limit)
+            break;
+        queue.pop();
+        curTick = item.when;
+        if (item.control->cancelled)
+            continue;
+        ++executed;
+        ++count;
+        item.fn();
+    }
+    if (queue.empty() && curTick < limit && limit != maxTick)
+        curTick = limit;
+    return count;
+}
+
+} // namespace sim
+} // namespace supmon

@@ -1,0 +1,163 @@
+/**
+ * @file
+ * The discrete-event simulation core.
+ *
+ * A single Simulation instance drives everything in a run: the SUPRENUM
+ * machine model (nodes, buses, node kernels), the ZM4 monitor hardware
+ * (event detectors, recorders, tick generator) and the instrumented
+ * application processes. Events at equal ticks fire in scheduling
+ * (FIFO) order, which makes every run bit-for-bit reproducible.
+ */
+
+#ifndef SIM_EVENT_QUEUE_HH
+#define SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "types.hh"
+
+namespace supmon
+{
+namespace sim
+{
+
+/** Callback type executed when an event fires. */
+using EventFunc = std::function<void()>;
+
+/**
+ * Handle to a scheduled event, allowing cancellation. Handles are
+ * cheap, copyable and remain valid after the event has fired
+ * (cancel() then simply has no effect).
+ */
+class EventHandle
+{
+  public:
+    EventHandle() = default;
+
+    /** Prevent a pending event from firing. Idempotent. */
+    void
+    cancel()
+    {
+        if (auto ctl = control.lock())
+            ctl->cancelled = true;
+    }
+
+    /** @return true if the handle refers to a not-yet-fired event. */
+    bool
+    pending() const
+    {
+        auto ctl = control.lock();
+        return ctl && !ctl->cancelled;
+    }
+
+  private:
+    friend class Simulation;
+
+    struct Control
+    {
+        bool cancelled = false;
+    };
+
+    std::weak_ptr<Control> control;
+};
+
+/**
+ * The global event-driven simulation.
+ *
+ * Usage:
+ * @code
+ * Simulation simul;
+ * simul.scheduleAfter(microseconds(5), [] { ... });
+ * simul.run();
+ * @endcode
+ */
+class Simulation
+{
+  public:
+    Simulation() = default;
+    Simulation(const Simulation &) = delete;
+    Simulation &operator=(const Simulation &) = delete;
+
+    /** Current simulated time. */
+    Tick
+    now() const
+    {
+        return curTick;
+    }
+
+    /** Schedule @p fn to run at absolute time @p when (>= now()). */
+    EventHandle scheduleAt(Tick when, EventFunc fn);
+
+    /** Schedule @p fn to run @p delay ticks from now. */
+    EventHandle
+    scheduleAfter(Tick delay, EventFunc fn)
+    {
+        return scheduleAt(curTick + delay, std::move(fn));
+    }
+
+    /**
+     * Run until the event queue drains or @p limit is reached.
+     * @return the number of events executed.
+     */
+    std::uint64_t run(Tick limit = maxTick);
+
+    /** @return true if no runnable events remain. */
+    bool
+    empty() const
+    {
+        return queue.empty();
+    }
+
+    /** Total number of events executed so far. */
+    std::uint64_t
+    eventsExecuted() const
+    {
+        return executed;
+    }
+
+    /**
+     * Request that run() return after finishing the current event.
+     * Used by termination detectors.
+     */
+    void
+    requestStop()
+    {
+        stopRequested = true;
+    }
+
+  private:
+    struct Item
+    {
+        Tick when;
+        std::uint64_t seq;
+        EventFunc fn;
+        std::shared_ptr<EventHandle::Control> control;
+    };
+
+    struct Later
+    {
+        bool
+        operator()(const Item &a, const Item &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            return a.seq > b.seq;
+        }
+    };
+
+    std::priority_queue<Item, std::vector<Item>, Later> queue;
+    Tick curTick = 0;
+    std::uint64_t seqCounter = 0;
+    std::uint64_t executed = 0;
+    bool stopRequested = false;
+};
+
+} // namespace sim
+} // namespace supmon
+
+#endif // SIM_EVENT_QUEUE_HH

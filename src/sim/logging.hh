@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Status and error reporting helpers in the gem5 tradition.
+ *
+ * panic()  - an internal invariant was violated (a bug in this library);
+ *            aborts so that a debugger or core dump can be used.
+ * fatal()  - the simulation cannot continue because of a user error
+ *            (bad configuration, invalid arguments); exits with code 1.
+ * warn()   - something is suspicious but the run continues.
+ * inform() - normal operating message.
+ */
+
+#ifndef SIM_LOGGING_HH
+#define SIM_LOGGING_HH
+
+#include <cstdarg>
+#include <string>
+
+namespace supmon
+{
+namespace sim
+{
+
+/** printf-style formatting into a std::string. */
+std::string strprintf(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** vprintf-style formatting into a std::string. */
+std::string vstrprintf(const char *fmt, va_list args);
+
+/** Report an internal error (library bug) and abort. */
+[[noreturn]] void panic(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Report an unrecoverable user error and exit(1). */
+[[noreturn]] void fatal(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Report a suspicious condition; the run continues. */
+void warn(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Report a normal status message. */
+void inform(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/**
+ * Globally silence warn()/inform() output (used by tests and benches
+ * that exercise error paths on purpose).
+ */
+void setQuiet(bool quiet);
+
+/** @return whether warn()/inform() output is currently suppressed. */
+bool quiet();
+
+} // namespace sim
+} // namespace supmon
+
+#endif // SIM_LOGGING_HH

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation for the simulator.
+ *
+ * The whole reproduction is deterministic: a run is fully described by
+ * its configuration plus one 64-bit seed. We implement xoshiro256**
+ * (Blackman & Vigna) seeded through SplitMix64 rather than relying on
+ * std::mt19937 so that streams are reproducible across standard library
+ * implementations.
+ */
+
+#ifndef SIM_RANDOM_HH
+#define SIM_RANDOM_HH
+
+#include <cmath>
+#include <cstdint>
+
+namespace supmon
+{
+namespace sim
+{
+
+/** SplitMix64 step; used for seeding and as a cheap hash. */
+constexpr std::uint64_t
+splitmix64(std::uint64_t &state)
+{
+    state += 0x9e3779b97f4a7c15ull;
+    std::uint64_t z = state;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+/**
+ * xoshiro256** generator with convenience distributions.
+ */
+class Random
+{
+  public:
+    explicit Random(std::uint64_t seed = 0x5e42d1c0ffee1992ull)
+    {
+        reseed(seed);
+    }
+
+    /** Re-initialize the state from a 64-bit seed. */
+    void
+    reseed(std::uint64_t seed)
+    {
+        std::uint64_t sm = seed;
+        for (auto &word : state)
+            word = splitmix64(sm);
+    }
+
+    /** Next raw 64-bit value. */
+    std::uint64_t
+    next()
+    {
+        const std::uint64_t result = rotl(state[1] * 5, 7) * 9;
+        const std::uint64_t t = state[1] << 17;
+        state[2] ^= state[0];
+        state[3] ^= state[1];
+        state[1] ^= state[2];
+        state[0] ^= state[3];
+        state[2] ^= t;
+        state[3] = rotl(state[3], 45);
+        return result;
+    }
+
+    /** Uniform integer in [lo, hi] (inclusive). */
+    std::uint64_t
+    uniformInt(std::uint64_t lo, std::uint64_t hi)
+    {
+        if (hi <= lo)
+            return lo;
+        const std::uint64_t span = hi - lo + 1;
+        // Rejection sampling to avoid modulo bias.
+        const std::uint64_t limit = span * (UINT64_MAX / span);
+        std::uint64_t v;
+        do {
+            v = next();
+        } while (span != 0 && limit != 0 && v >= limit);
+        return lo + (span ? v % span : 0);
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniformReal()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /** Uniform double in [lo, hi). */
+    double
+    uniformReal(double lo, double hi)
+    {
+        return lo + (hi - lo) * uniformReal();
+    }
+
+    /** Exponentially distributed double with the given mean. */
+    double
+    exponential(double mean)
+    {
+        double u;
+        do {
+            u = uniformReal();
+        } while (u <= 0.0);
+        return -mean * std::log(u);
+    }
+
+    /** Bernoulli trial with probability p of returning true. */
+    bool
+    bernoulli(double p)
+    {
+        return uniformReal() < p;
+    }
+
+  private:
+    static constexpr std::uint64_t
+    rotl(std::uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    std::uint64_t state[4] = {};
+};
+
+} // namespace sim
+} // namespace supmon
+
+#endif // SIM_RANDOM_HH

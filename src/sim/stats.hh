@@ -1,0 +1,183 @@
+/**
+ * @file
+ * Small statistics helpers used throughout the library: streaming
+ * summary statistics (Welford) and fixed-bin histograms.
+ */
+
+#ifndef SIM_STATS_HH
+#define SIM_STATS_HH
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace supmon
+{
+namespace sim
+{
+
+/**
+ * Streaming summary statistic: count, sum, mean, variance, min, max.
+ * Uses Welford's online algorithm for numerical stability.
+ */
+class SummaryStat
+{
+  public:
+    void
+    push(double x)
+    {
+        ++n;
+        total += x;
+        const double delta = x - meanAcc;
+        meanAcc += delta / static_cast<double>(n);
+        m2 += delta * (x - meanAcc);
+        minVal = std::min(minVal, x);
+        maxVal = std::max(maxVal, x);
+    }
+
+    std::uint64_t
+    count() const
+    {
+        return n;
+    }
+
+    double
+    sum() const
+    {
+        return total;
+    }
+
+    double
+    mean() const
+    {
+        return n ? meanAcc : 0.0;
+    }
+
+    /** Population variance. */
+    double
+    variance() const
+    {
+        return n ? m2 / static_cast<double>(n) : 0.0;
+    }
+
+    double
+    stddev() const
+    {
+        return std::sqrt(variance());
+    }
+
+    double
+    min() const
+    {
+        return n ? minVal : 0.0;
+    }
+
+    double
+    max() const
+    {
+        return n ? maxVal : 0.0;
+    }
+
+    void
+    reset()
+    {
+        *this = SummaryStat();
+    }
+
+  private:
+    std::uint64_t n = 0;
+    double total = 0.0;
+    double meanAcc = 0.0;
+    double m2 = 0.0;
+    double minVal = std::numeric_limits<double>::infinity();
+    double maxVal = -std::numeric_limits<double>::infinity();
+};
+
+/**
+ * Fixed-width-bin histogram over [lo, hi); samples outside the range
+ * are counted in underflow/overflow buckets.
+ */
+class Histogram
+{
+  public:
+    Histogram(double lo, double hi, std::size_t bins)
+        : lower(lo), upper(hi), counts(bins, 0)
+    {
+        if (bins == 0 || !(hi > lo)) {
+            lower = 0.0;
+            upper = 1.0;
+            counts.assign(1, 0);
+        }
+    }
+
+    void
+    push(double x)
+    {
+        ++n;
+        if (x < lower) {
+            ++under;
+        } else if (x >= upper) {
+            ++over;
+        } else {
+            const double frac = (x - lower) / (upper - lower);
+            auto idx = static_cast<std::size_t>(
+                frac * static_cast<double>(counts.size()));
+            idx = std::min(idx, counts.size() - 1);
+            ++counts[idx];
+        }
+    }
+
+    std::size_t
+    bins() const
+    {
+        return counts.size();
+    }
+
+    std::uint64_t
+    binCount(std::size_t i) const
+    {
+        return counts.at(i);
+    }
+
+    double
+    binLower(std::size_t i) const
+    {
+        return lower +
+            (upper - lower) * static_cast<double>(i) /
+            static_cast<double>(counts.size());
+    }
+
+    std::uint64_t
+    underflow() const
+    {
+        return under;
+    }
+
+    std::uint64_t
+    overflow() const
+    {
+        return over;
+    }
+
+    std::uint64_t
+    samples() const
+    {
+        return n;
+    }
+
+  private:
+    double lower;
+    double upper;
+    std::vector<std::uint64_t> counts;
+    std::uint64_t under = 0;
+    std::uint64_t over = 0;
+    std::uint64_t n = 0;
+};
+
+} // namespace sim
+} // namespace supmon
+
+#endif // SIM_STATS_HH

@@ -1,0 +1,182 @@
+/**
+ * @file
+ * Coroutine task type used to express simulated processes.
+ *
+ * SUPRENUM light-weight processes (and a few device firmware loops)
+ * are written as C++20 coroutines of type sim::Task. A Task starts
+ * suspended; the owning scheduler resumes it explicitly. Suspension
+ * points are the kernel awaitables (compute, receive, yield, ...)
+ * defined by the machine model.
+ *
+ * Lifetime: the Task object owns the coroutine frame. The scheduler
+ * keeps Tasks alive in its process table; when a coroutine runs to
+ * completion it suspends at its final suspend point (so the frame
+ * stays valid) and invokes the completion callback installed in its
+ * promise.
+ */
+
+#ifndef SIM_TASK_HH
+#define SIM_TASK_HH
+
+#include <coroutine>
+#include <exception>
+#include <functional>
+#include <utility>
+
+namespace supmon
+{
+namespace sim
+{
+
+class Task
+{
+  public:
+    struct promise_type;
+    using Handle = std::coroutine_handle<promise_type>;
+
+    struct promise_type
+    {
+        /** Invoked exactly once when the coroutine finishes. */
+        std::function<void()> onDone;
+
+        /** Captured unhandled exception, if any. */
+        std::exception_ptr error;
+
+        /**
+         * Opaque pointer to the scheduler's control block for this
+         * process; awaitables reach their scheduler through it.
+         */
+        void *context = nullptr;
+
+        Task
+        get_return_object()
+        {
+            return Task(Handle::from_promise(*this));
+        }
+
+        std::suspend_always
+        initial_suspend() noexcept
+        {
+            return {};
+        }
+
+        struct FinalAwaiter
+        {
+            bool
+            await_ready() noexcept
+            {
+                return false;
+            }
+
+            void
+            await_suspend(Handle h) noexcept
+            {
+                auto &promise = h.promise();
+                if (promise.onDone)
+                    promise.onDone();
+            }
+
+            void
+            await_resume() noexcept
+            {
+            }
+        };
+
+        FinalAwaiter
+        final_suspend() noexcept
+        {
+            return {};
+        }
+
+        void
+        return_void()
+        {
+        }
+
+        void
+        unhandled_exception()
+        {
+            error = std::current_exception();
+        }
+    };
+
+    Task() = default;
+
+    explicit Task(Handle h) : handle(h)
+    {
+    }
+
+    Task(Task &&other) noexcept : handle(std::exchange(other.handle, {}))
+    {
+    }
+
+    Task &
+    operator=(Task &&other) noexcept
+    {
+        if (this != &other) {
+            destroy();
+            handle = std::exchange(other.handle, {});
+        }
+        return *this;
+    }
+
+    Task(const Task &) = delete;
+    Task &operator=(const Task &) = delete;
+
+    ~Task()
+    {
+        destroy();
+    }
+
+    /** @return whether this Task owns a live coroutine frame. */
+    bool
+    valid() const
+    {
+        return static_cast<bool>(handle);
+    }
+
+    /** @return whether the coroutine ran to completion. */
+    bool
+    done() const
+    {
+        return handle && handle.done();
+    }
+
+    /** Access the promise (to install onDone / context). */
+    promise_type &
+    promise() const
+    {
+        return handle.promise();
+    }
+
+    /** The raw handle, for schedulers that resume it. */
+    Handle
+    rawHandle() const
+    {
+        return handle;
+    }
+
+    /** Resume the coroutine until its next suspension point. */
+    void
+    resume()
+    {
+        handle.resume();
+    }
+
+  private:
+    void
+    destroy()
+    {
+        if (handle) {
+            handle.destroy();
+            handle = {};
+        }
+    }
+
+    Handle handle;
+};
+
+} // namespace sim
+} // namespace supmon
+
+#endif // SIM_TASK_HH

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Fundamental simulation types: simulated time and helpers.
+ *
+ * Simulated time is kept in integer nanoseconds. The ZM4 event recorder
+ * quantizes time stamps to its 100 ns clock resolution (see
+ * zm4/event_recorder.hh); the kernel itself keeps full nanosecond
+ * precision so that device models may use finer-grained delays.
+ */
+
+#ifndef SIM_TYPES_HH
+#define SIM_TYPES_HH
+
+#include <cstdint>
+#include <limits>
+
+namespace supmon
+{
+namespace sim
+{
+
+/** Simulated time in nanoseconds. */
+using Tick = std::uint64_t;
+
+/** Signed time difference in nanoseconds. */
+using TickDelta = std::int64_t;
+
+/** The largest representable point in simulated time. */
+constexpr Tick maxTick = std::numeric_limits<Tick>::max();
+
+/** @{ Unit conversion helpers, e.g. microseconds(3) == Tick(3000). */
+constexpr Tick
+nanoseconds(std::uint64_t n)
+{
+    return n;
+}
+
+constexpr Tick
+microseconds(std::uint64_t n)
+{
+    return n * 1000ull;
+}
+
+constexpr Tick
+milliseconds(std::uint64_t n)
+{
+    return n * 1000000ull;
+}
+
+constexpr Tick
+seconds(std::uint64_t n)
+{
+    return n * 1000000000ull;
+}
+/** @} */
+
+/** Convert a tick count to (fractional) seconds for reporting. */
+constexpr double
+toSeconds(Tick t)
+{
+    return static_cast<double>(t) * 1e-9;
+}
+
+/** Convert a tick count to (fractional) milliseconds for reporting. */
+constexpr double
+toMilliseconds(Tick t)
+{
+    return static_cast<double>(t) * 1e-6;
+}
+
+/** Convert a tick count to (fractional) microseconds for reporting. */
+constexpr double
+toMicroseconds(Tick t)
+{
+    return static_cast<double>(t) * 1e-3;
+}
+
+/**
+ * Compute the time to transfer @p bytes at @p bytes_per_second,
+ * rounded up to whole nanoseconds.
+ */
+constexpr Tick
+transferTime(std::uint64_t bytes, std::uint64_t bytes_per_second)
+{
+    if (bytes_per_second == 0)
+        return 0;
+    // ceil(bytes * 1e9 / rate) without overflow for realistic sizes.
+    const long double ns =
+        static_cast<long double>(bytes) * 1e9L /
+        static_cast<long double>(bytes_per_second);
+    return static_cast<Tick>(ns) + ((ns > static_cast<Tick>(ns)) ? 1 : 0);
+}
+
+} // namespace sim
+} // namespace supmon
+
+#endif // SIM_TYPES_HH

@@ -1,0 +1,177 @@
+/**
+ * @file
+ * Interconnect models: the dual cluster bus and the SUPRENUM
+ * (inter-cluster) token-ring bus.
+ *
+ * Published characteristics (paper, section 2.1):
+ *  - cluster bus: two independent parallel buses of 160 MByte/s each
+ *    (320 MByte/s aggregate) connecting the up to 16 processing nodes
+ *    of one cluster plus its special nodes;
+ *  - SUPRENUM bus: bit-serial token-ring buses arranging the clusters
+ *    in a torus, 25 MByte/s each, duplicated for bandwidth and fault
+ *    tolerance.
+ *
+ * Both are modelled as busy-until resources: a transfer is granted
+ * the earliest-free sub-bus, pays an arbitration overhead (cluster
+ * bus) or the token rotation latency (ring), and occupies the sub-bus
+ * for size/bandwidth.
+ */
+
+#ifndef SUPRENUM_BUS_HH
+#define SUPRENUM_BUS_HH
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "sim/types.hh"
+#include "suprenum/config.hh"
+
+namespace supmon
+{
+namespace suprenum
+{
+
+/** Description of one completed bus transfer (for the diagnosis
+ *  node and for tests). */
+struct BusTransfer
+{
+    NodeId src;
+    NodeId dst;
+    std::uint32_t bytes = 0;
+    sim::Tick start = 0;
+    sim::Tick end = 0;
+    bool ack = false;
+};
+
+/** Result of a bus acquisition. */
+struct BusGrant
+{
+    sim::Tick start = 0;
+    sim::Tick end = 0;
+    unsigned subBus = 0;
+};
+
+/**
+ * The dual cluster bus. Transfers are observed by the cluster's
+ * diagnosis node through the observer hook.
+ */
+class ClusterBus
+{
+  public:
+    using Observer = std::function<void(const BusTransfer &)>;
+
+    ClusterBus(std::uint64_t bytes_per_sec, unsigned bus_count,
+               sim::Tick arbitration)
+        : rate(bytes_per_sec), arb(arbitration),
+          busyUntil(bus_count ? bus_count : 1, 0)
+    {
+    }
+
+    /**
+     * Acquire a sub-bus for a transfer of @p bytes no earlier than
+     * @p earliest.
+     */
+    BusGrant
+    acquire(sim::Tick earliest, std::uint64_t bytes)
+    {
+        unsigned best = 0;
+        for (unsigned i = 1; i < busyUntil.size(); ++i) {
+            if (busyUntil[i] < busyUntil[best])
+                best = i;
+        }
+        BusGrant g;
+        g.subBus = best;
+        g.start = std::max(earliest, busyUntil[best]) + arb;
+        g.end = g.start + sim::transferTime(bytes, rate);
+        busyUntil[best] = g.end;
+        busyTotal += g.end - g.start;
+        ++transfers;
+        return g;
+    }
+
+    /** Record a completed transfer with the diagnosis observer. */
+    void
+    notify(const BusTransfer &t)
+    {
+        if (observer)
+            observer(t);
+    }
+
+    void
+    attachObserver(Observer obs)
+    {
+        observer = std::move(obs);
+    }
+
+    sim::Tick
+    totalBusyTime() const
+    {
+        return busyTotal;
+    }
+
+    std::uint64_t
+    transferCount() const
+    {
+        return transfers;
+    }
+
+  private:
+    std::uint64_t rate;
+    sim::Tick arb;
+    std::vector<sim::Tick> busyUntil;
+    Observer observer;
+    sim::Tick busyTotal = 0;
+    std::uint64_t transfers = 0;
+};
+
+/**
+ * One (duplicated) token ring of the SUPRENUM bus. The token must
+ * travel @p hops cluster positions before the transfer can start.
+ */
+class RingBus
+{
+  public:
+    RingBus(std::uint64_t bytes_per_sec, unsigned ring_count,
+            sim::Tick token_hop_latency)
+        : rate(bytes_per_sec), hopLatency(token_hop_latency),
+          busyUntil(ring_count ? ring_count : 1, 0)
+    {
+    }
+
+    BusGrant
+    acquire(sim::Tick earliest, std::uint64_t bytes, unsigned hops)
+    {
+        unsigned best = 0;
+        for (unsigned i = 1; i < busyUntil.size(); ++i) {
+            if (busyUntil[i] < busyUntil[best])
+                best = i;
+        }
+        BusGrant g;
+        g.subBus = best;
+        const sim::Tick token_wait =
+            hopLatency * static_cast<sim::Tick>(hops);
+        g.start = std::max(earliest + token_wait, busyUntil[best]);
+        g.end = g.start + sim::transferTime(bytes, rate);
+        busyUntil[best] = g.end;
+        ++transfers;
+        return g;
+    }
+
+    std::uint64_t
+    transferCount() const
+    {
+        return transfers;
+    }
+
+  private:
+    std::uint64_t rate;
+    sim::Tick hopLatency;
+    std::vector<sim::Tick> busyUntil;
+    std::uint64_t transfers = 0;
+};
+
+} // namespace suprenum
+} // namespace supmon
+
+#endif // SUPRENUM_BUS_HH

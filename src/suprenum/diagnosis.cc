@@ -1,0 +1,29 @@
+#include "diagnosis.hh"
+
+#include <sstream>
+
+#include "sim/logging.hh"
+
+namespace supmon
+{
+namespace suprenum
+{
+
+std::string
+DiagnosisNode::report() const
+{
+    std::ostringstream os;
+    os << sim::strprintf(
+        "  cluster bus: %llu transfers, %llu bytes, busy %.3f ms\n",
+        static_cast<unsigned long long>(total.transfers),
+        static_cast<unsigned long long>(total.bytes),
+        sim::toMilliseconds(total.busBusy));
+    os << sim::strprintf("  mean transfer size: %.1f bytes\n",
+                         transferSize.mean());
+    os << sim::strprintf("  distinct (src,dst) pairs: %zu\n",
+                         matrix.size());
+    return os.str();
+}
+
+} // namespace suprenum
+} // namespace supmon

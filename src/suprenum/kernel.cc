@@ -1,0 +1,500 @@
+#include "kernel.hh"
+
+#include <sstream>
+
+#include "sim/logging.hh"
+#include "suprenum/machine.hh"
+
+namespace supmon
+{
+namespace suprenum
+{
+
+const char *
+lwpStateName(LwpState s)
+{
+    switch (s) {
+      case LwpState::Created:
+        return "created";
+      case LwpState::Ready:
+        return "ready";
+      case LwpState::Running:
+        return "running";
+      case LwpState::Blocked:
+        return "blocked";
+      case LwpState::Terminated:
+        return "terminated";
+    }
+    return "?";
+}
+
+const char *
+blockReasonName(BlockReason r)
+{
+    switch (r) {
+      case BlockReason::None:
+        return "none";
+      case BlockReason::Receive:
+        return "receive";
+      case BlockReason::Rendezvous:
+        return "send-rendezvous";
+      case BlockReason::Flag:
+        return "flag";
+      case BlockReason::Sleep:
+        return "sleep";
+    }
+    return "?";
+}
+
+void
+EventFlag::signalAll()
+{
+    while (!waiters.empty()) {
+        Lwp *l = waiters.front();
+        waiters.pop_front();
+        kern.makeReady(l);
+    }
+}
+
+void
+EventFlag::signalOne()
+{
+    if (waiters.empty())
+        return;
+    Lwp *l = waiters.front();
+    waiters.pop_front();
+    kern.makeReady(l);
+}
+
+NodeKernel::NodeKernel(Machine &machine, NodeId node_id)
+    : mach(machine), id(node_id),
+      serialDev(machine.params().terminalBitsPerSec)
+{
+}
+
+sim::Simulation &
+NodeKernel::simulation()
+{
+    return mach.sim();
+}
+
+const MachineParams &
+NodeKernel::params() const
+{
+    return mach.params();
+}
+
+sim::Tick
+ProcessEnv::now() const
+{
+    return kern->simulation().now();
+}
+
+Pid
+NodeKernel::spawn(const std::string &name, ProcessFn fn, unsigned team)
+{
+    auto lwp = std::make_unique<Lwp>();
+    Lwp *l = lwp.get();
+    l->pid = Pid{id, static_cast<std::uint32_t>(lwps.size())};
+    l->name = name;
+    l->team = team;
+    l->stateSince = simulation().now();
+    lwps.push_back(std::move(lwp));
+
+    // Keep the callable alive in the control block: coroutine lambdas
+    // keep their captures in the closure object, so destroying it
+    // while the coroutine is suspended would dangle.
+    ProcessEnv env(*this, *l);
+    l->factory = [body = std::move(fn), env]() mutable {
+        return body(env);
+    };
+    l->task = l->factory();
+    if (!l->task.valid())
+        sim::panic("spawn('%s'): process body returned an invalid task",
+                   name.c_str());
+    l->task.promise().onDone = [this, l] { onTerminated(l); };
+    makeReady(l);
+    return l->pid;
+}
+
+Lwp *
+NodeKernel::find(std::uint32_t lwp_id)
+{
+    if (lwp_id >= lwps.size())
+        return nullptr;
+    return lwps[lwp_id].get();
+}
+
+const Lwp *
+NodeKernel::find(std::uint32_t lwp_id) const
+{
+    if (lwp_id >= lwps.size())
+        return nullptr;
+    return lwps[lwp_id].get();
+}
+
+bool
+NodeKernel::allocateMemory(std::uint64_t bytes, const char *what)
+{
+    memUsed += bytes;
+    if (memUsed > params().nodeMemoryBytes && !memWarned) {
+        memWarned = true;
+        sim::warn("node (%u,%u): memory overcommitted by '%s' "
+                  "(%llu of %llu bytes)",
+                  id.cluster, id.node, what,
+                  static_cast<unsigned long long>(memUsed),
+                  static_cast<unsigned long long>(
+                      params().nodeMemoryBytes));
+        return false;
+    }
+    return memUsed <= params().nodeMemoryBytes;
+}
+
+void
+NodeKernel::assertRunning(const Lwp &lwp, const char *op) const
+{
+    if (running != &lwp)
+        sim::panic("kernel op '%s' issued by process '%s' which is not "
+                   "running (state %s)",
+                   op, lwp.name.c_str(), lwpStateName(lwp.state));
+}
+
+void
+NodeKernel::accountState(Lwp *lwp, LwpState new_state)
+{
+    const sim::Tick now = simulation().now();
+    const sim::Tick dt = now - lwp->stateSince;
+    switch (lwp->state) {
+      case LwpState::Running:
+        lwp->accounting.running += dt;
+        acct.cpuBusy += dt;
+        break;
+      case LwpState::Ready:
+        lwp->accounting.ready += dt;
+        break;
+      case LwpState::Blocked:
+        lwp->accounting.blocked += dt;
+        break;
+      default:
+        break;
+    }
+    lwp->state = new_state;
+    lwp->stateSince = now;
+}
+
+sim::Tick
+NodeKernel::probeKernelEvent(std::uint16_t token, std::uint32_t param)
+{
+    if (!kernProbe)
+        return 0;
+    ++kernEvents;
+    kernProbe(token, param);
+    return kernProbeCost;
+}
+
+void
+NodeKernel::makeReady(Lwp *lwp)
+{
+    if (lwp->state == LwpState::Ready || lwp->state == LwpState::Running)
+        sim::panic("makeReady('%s'): process already %s",
+                   lwp->name.c_str(), lwpStateName(lwp->state));
+    if (lwp->state == LwpState::Terminated)
+        sim::panic("makeReady('%s'): process already terminated",
+                   lwp->name.c_str());
+    accountState(lwp, LwpState::Ready);
+    lwp->blockReason = BlockReason::None;
+    readyQueue.push_back(lwp);
+    pendingProbeCost += probeKernelEvent(evKernReady, lwp->pid.lwp);
+    maybeScheduleDispatch();
+}
+
+void
+NodeKernel::maybeScheduleDispatch()
+{
+    if (running || dispatchPending || readyQueue.empty())
+        return;
+    dispatchPending = true;
+    simulation().scheduleAfter(params().contextSwitchCost,
+                               [this] { dispatch(); });
+}
+
+void
+NodeKernel::dispatch()
+{
+    dispatchPending = false;
+    if (running)
+        sim::panic("dispatch with a running process on node (%u,%u)",
+                   id.cluster, id.node);
+    if (readyQueue.empty())
+        return;
+    Lwp *l = readyQueue.front();
+    readyQueue.pop_front();
+    accountState(l, LwpState::Running);
+    ++l->accounting.dispatches;
+    ++acct.dispatches;
+    ++acct.contextSwitches;
+    running = l;
+    const sim::Tick probe_cost =
+        pendingProbeCost + probeKernelEvent(evKernDispatch, l->pid.lwp);
+    pendingProbeCost = 0;
+    if (probe_cost > 0) {
+        // Software instrumentation of the kernel: the event output
+        // delays the dispatched process.
+        simulation().scheduleAfter(probe_cost,
+                                   [l] { l->task.resume(); });
+    } else {
+        l->task.resume();
+    }
+}
+
+void
+NodeKernel::blockRunning(Lwp *lwp, BlockReason reason)
+{
+    assertRunning(*lwp, "block");
+    accountState(lwp, LwpState::Blocked);
+    lwp->blockReason = reason;
+    running = nullptr;
+    pendingProbeCost += probeKernelEvent(
+        evKernBlock, (lwp->pid.lwp << 8) |
+                         static_cast<std::uint32_t>(reason));
+    maybeScheduleDispatch();
+}
+
+void
+NodeKernel::yieldRunning(Lwp *lwp)
+{
+    assertRunning(*lwp, "yield");
+    accountState(lwp, LwpState::Ready);
+    running = nullptr;
+    readyQueue.push_back(lwp);
+    pendingProbeCost += probeKernelEvent(evKernYield, lwp->pid.lwp);
+    maybeScheduleDispatch();
+}
+
+void
+NodeKernel::resumeRunning(Lwp *lwp)
+{
+    if (running != lwp)
+        sim::panic("resumeRunning('%s'): process lost the CPU",
+                   lwp->name.c_str());
+    lwp->task.resume();
+}
+
+void
+NodeKernel::beginSend(Lwp *lwp, Message msg)
+{
+    assertRunning(*lwp, "send");
+    msg.src = lwp->pid;
+    msg.sentAt = simulation().now();
+    ++lwp->accounting.messagesSent;
+    pendingProbeCost += probeKernelEvent(evKernSend, lwp->pid.lwp);
+    // The CPU initiates the communication (send syscall + CU setup);
+    // then the process blocks until the rendezvous completes while the
+    // communication unit handles the entire data transfer.
+    simulation().scheduleAfter(
+        params().sendSyscallCost,
+        [this, lwp, m = std::move(msg)]() mutable {
+            blockRunning(lwp, BlockReason::Rendezvous);
+            mach.routeMessage(std::move(m), false);
+        });
+}
+
+bool
+NodeKernel::hasMatch(const Lwp &lwp, const MessageFilter &filter) const
+{
+    for (const auto &m : lwp.inbox) {
+        if (!filter || filter(m))
+            return true;
+    }
+    return false;
+}
+
+Message
+NodeKernel::acceptMatch(Lwp *lwp, const MessageFilter &filter)
+{
+    for (auto it = lwp->inbox.begin(); it != lwp->inbox.end(); ++it) {
+        if (!filter || filter(*it)) {
+            Message m = std::move(*it);
+            lwp->inbox.erase(it);
+            ++lwp->accounting.messagesReceived;
+            lwp->waitFilter = nullptr;
+            // Acceptance completes the sender's rendezvous.
+            if (m.src != nobody)
+                mach.sendRendezvousAck(m);
+            return m;
+        }
+    }
+    sim::panic("acceptMatch('%s'): no matching message in the inbox",
+               lwp->name.c_str());
+}
+
+void
+NodeKernel::deliver(Message msg)
+{
+    Lwp *dst = find(msg.dst.lwp);
+    if (!dst)
+        sim::panic("message for unknown process %u on node (%u,%u)",
+                   msg.dst.lwp, id.cluster, id.node);
+    if (dst->state == LwpState::Terminated) {
+        sim::warn("message dropped: destination process '%s' terminated",
+                  dst->name.c_str());
+        // Still complete the sender's rendezvous so it does not hang.
+        if (msg.src != nobody)
+            mach.sendRendezvousAck(msg);
+        return;
+    }
+    msg.deliveredAt = simulation().now();
+    ++acct.messagesDelivered;
+    pendingProbeCost += probeKernelEvent(evKernDeliver, dst->pid.lwp);
+    dst->inbox.push_back(std::move(msg));
+    if (dst->state == LwpState::Blocked &&
+        dst->blockReason == BlockReason::Receive &&
+        (!dst->waitFilter || dst->waitFilter(dst->inbox.back()))) {
+        makeReady(dst);
+    }
+}
+
+void
+NodeKernel::ackArrived(std::uint32_t lwp_id)
+{
+    Lwp *l = find(lwp_id);
+    if (!l)
+        sim::panic("rendezvous ack for unknown process %u", lwp_id);
+    if (l->state != LwpState::Blocked ||
+        l->blockReason != BlockReason::Rendezvous) {
+        sim::panic("rendezvous ack for process '%s' which is %s/%s",
+                   l->name.c_str(), lwpStateName(l->state),
+                   blockReasonName(l->blockReason));
+    }
+    makeReady(l);
+}
+
+void
+NodeKernel::emitDisplaySequence(Lwp *lwp,
+                                std::vector<std::uint8_t> patterns,
+                                sim::Tick total_cost)
+{
+    assertRunning(*lwp, "emitDisplay");
+    const auto n = patterns.size();
+    if (n == 0) {
+        // Nothing to drive; still costs the call overhead.
+        simulation().scheduleAfter(total_cost,
+                                   [this, lwp] { resumeRunning(lwp); });
+        return;
+    }
+    const sim::Tick spacing = total_cost / (n + 1);
+    for (std::size_t i = 0; i < n; ++i) {
+        const std::uint8_t pattern = patterns[i];
+        simulation().scheduleAfter(
+            spacing * (i + 1), [this, pattern] {
+                displayDev.write(pattern, simulation().now(), false);
+            });
+    }
+    simulation().scheduleAfter(total_cost,
+                               [this, lwp] { resumeRunning(lwp); });
+}
+
+void
+NodeKernel::emitSerial(Lwp *lwp, std::uint64_t data, unsigned bits)
+{
+    assertRunning(*lwp, "emitSerial");
+    const sim::Tick cost = params().terminalContextSwitch +
+                           serialDev.transmissionTime(bits);
+    simulation().scheduleAfter(cost, [this, lwp, data, bits] {
+        serialDev.complete(data, bits, simulation().now());
+        resumeRunning(lwp);
+    });
+}
+
+sim::Tick
+NodeKernel::localTime() const
+{
+    const long double drifted =
+        static_cast<long double>(mach.sim().now()) *
+        (1.0L + nodeClockDriftPpm * 1e-6L);
+    long double local =
+        drifted + static_cast<long double>(nodeClockOffset);
+    if (local < 0.0L)
+        local = 0.0L;
+    return static_cast<sim::Tick>(local);
+}
+
+void
+NodeKernel::emitSoftwareLog(Lwp *lwp, std::uint16_t token,
+                            std::uint32_t param)
+{
+    assertRunning(*lwp, "emitSoftwareLog");
+    // The rudimentary method of the paper's introduction: append a
+    // record to a log file. The write is buffered file I/O on the
+    // node - a heavyweight operation compared to hybrid_mon - and
+    // the time stamp comes from the unsynchronized node clock.
+    softLog.push_back(SoftwareLogRecord{localTime(), token, param});
+    simulation().scheduleAfter(params().logWriteCost,
+                               [this, lwp] { resumeRunning(lwp); });
+}
+
+void
+NodeKernel::sleepRunning(Lwp *lwp, sim::Tick duration)
+{
+    assertRunning(*lwp, "sleep");
+    blockRunning(lwp, BlockReason::Sleep);
+    simulation().scheduleAfter(duration, [this, lwp] {
+        if (lwp->state == LwpState::Blocked &&
+            lwp->blockReason == BlockReason::Sleep)
+            makeReady(lwp);
+    });
+}
+
+void
+NodeKernel::waitOnFlag(Lwp *lwp, EventFlag &flag)
+{
+    assertRunning(*lwp, "wait");
+    if (&flag.kern != this)
+        sim::panic("process '%s' waiting on a flag of another node "
+                   "(flags are team-shared memory)", lwp->name.c_str());
+    flag.waiters.push_back(lwp);
+    blockRunning(lwp, BlockReason::Flag);
+}
+
+void
+NodeKernel::onTerminated(Lwp *lwp)
+{
+    if (lwp->task.promise().error) {
+        try {
+            std::rethrow_exception(lwp->task.promise().error);
+        } catch (const std::exception &e) {
+            sim::panic("process '%s' terminated with exception: %s",
+                       lwp->name.c_str(), e.what());
+        } catch (...) {
+            sim::panic("process '%s' terminated with unknown exception",
+                       lwp->name.c_str());
+        }
+    }
+    accountState(lwp, LwpState::Terminated);
+    pendingProbeCost += probeKernelEvent(evKernExit, lwp->pid.lwp);
+    if (running == lwp) {
+        running = nullptr;
+        maybeScheduleDispatch();
+    }
+    mach.notifyTerminated(*lwp);
+}
+
+std::string
+NodeKernel::stateDump() const
+{
+    std::ostringstream os;
+    for (const auto &l : lwps) {
+        os << sim::strprintf(
+            "  node(%2u,%2u) lwp %2u '%s': %s", id.cluster, id.node,
+            l->pid.lwp, l->name.c_str(), lwpStateName(l->state));
+        if (l->state == LwpState::Blocked)
+            os << " (" << blockReasonName(l->blockReason) << ")";
+        if (!l->inbox.empty())
+            os << sim::strprintf(", %zu queued msg(s)", l->inbox.size());
+        os << "\n";
+    }
+    return os.str();
+}
+
+} // namespace suprenum
+} // namespace supmon

@@ -1,0 +1,31 @@
+#include "kernel_events.hh"
+
+namespace supmon
+{
+namespace suprenum
+{
+
+const char *
+kernelTokenName(std::uint16_t token)
+{
+    switch (token) {
+      case evKernDispatch:
+        return "Dispatch";
+      case evKernBlock:
+        return "Block";
+      case evKernReady:
+        return "Ready";
+      case evKernDeliver:
+        return "Deliver";
+      case evKernSend:
+        return "Send";
+      case evKernYield:
+        return "Yield";
+      case evKernExit:
+        return "Exit";
+    }
+    return "?";
+}
+
+} // namespace suprenum
+} // namespace supmon

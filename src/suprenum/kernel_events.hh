@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Operating-system instrumentation events.
+ *
+ * The paper's conclusion names OS instrumentation as the next goal:
+ * "Instrumenting SUPRENUM's operating system to find more detailed
+ * information about the behaviour of the node scheduling algorithm
+ * and internode communication is one of our goals."
+ *
+ * This extension implements it: a node kernel can be given a probe
+ * that is invoked on every scheduling and communication action. The
+ * probe may be ideal (zero cost - like a hardware monitor wired into
+ * the kernel) or may charge a per-event CPU cost (software
+ * instrumentation of the kernel, with the intrusion that implies).
+ *
+ * Token layout: high byte 7 marks kernel-class events, keeping them
+ * disjoint from application tokens.
+ */
+
+#ifndef SUPRENUM_KERNEL_EVENTS_HH
+#define SUPRENUM_KERNEL_EVENTS_HH
+
+#include <cstdint>
+#include <functional>
+
+#include "sim/types.hh"
+
+namespace supmon
+{
+namespace suprenum
+{
+
+enum KernelToken : std::uint16_t
+{
+    /** A process was dispatched; param = local process id. */
+    evKernDispatch = 0x0701,
+    /** The running process blocked; param = (lwp << 8) | reason. */
+    evKernBlock = 0x0702,
+    /** A process became ready; param = local process id. */
+    evKernReady = 0x0703,
+    /** A message was delivered to this node; param = dst lwp. */
+    evKernDeliver = 0x0704,
+    /** A process initiated a send; param = local process id. */
+    evKernSend = 0x0705,
+    /** The running process yielded; param = local process id. */
+    evKernYield = 0x0706,
+    /** A process terminated; param = local process id. */
+    evKernExit = 0x0707,
+};
+
+/** Name of a kernel event token (for dictionaries and reports). */
+const char *kernelTokenName(std::uint16_t token);
+
+/** Probe signature: (token, param) at the current simulated time. */
+using KernelProbeFn =
+    std::function<void(std::uint16_t token, std::uint32_t param)>;
+
+} // namespace suprenum
+} // namespace supmon
+
+#endif // SUPRENUM_KERNEL_EVENTS_HH

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Light-weight process (LWP) control block.
+ *
+ * SUPRENUM user applications consist of processes that are scheduled
+ * per node by a plain round-robin scheduler *without* time slicing:
+ * a scheduled process runs until it blocks or relinquishes the
+ * processor deliberately (paper, section 4.3). This non-preemptive
+ * behaviour is what makes the "asynchronous" mailbox mechanism behave
+ * synchronously, the paper's central observation.
+ */
+
+#ifndef SUPRENUM_LWP_HH
+#define SUPRENUM_LWP_HH
+
+#include <deque>
+#include <functional>
+#include <string>
+
+#include "sim/task.hh"
+#include "sim/types.hh"
+#include "suprenum/message.hh"
+
+namespace supmon
+{
+namespace suprenum
+{
+
+enum class LwpState
+{
+    Created,
+    Ready,
+    Running,
+    Blocked,
+    Terminated,
+};
+
+enum class BlockReason
+{
+    None,
+    /** Waiting in receive() for a matching message. */
+    Receive,
+    /** Waiting for the rendezvous acknowledgement of a send(). */
+    Rendezvous,
+    /** Waiting on an EventFlag (team-shared condition). */
+    Flag,
+    /** Timed sleep. */
+    Sleep,
+};
+
+/** Human-readable names, used by state dumps and deadlock reports. */
+const char *lwpStateName(LwpState s);
+const char *blockReasonName(BlockReason r);
+
+/**
+ * Per-process accounting, the kind of summary information SUPRENUM's
+ * own accounting could provide. The paper argues this is *not enough*
+ * to understand behaviour - we keep it around as the comparator.
+ */
+struct LwpAccounting
+{
+    sim::Tick running = 0;
+    sim::Tick ready = 0;
+    sim::Tick blocked = 0;
+    std::uint64_t dispatches = 0;
+    std::uint64_t messagesSent = 0;
+    std::uint64_t messagesReceived = 0;
+};
+
+struct Lwp
+{
+    Pid pid;
+    std::string name;
+    /** Team id; processes of one team share memory on their node. */
+    unsigned team = 0;
+
+    /**
+     * The callable that produced the coroutine. Kept alive for the
+     * process's lifetime so that *coroutine lambdas* (whose captures
+     * live in the closure object, not in the coroutine frame) are
+     * safe to pass to spawn().
+     */
+    std::function<sim::Task()> factory;
+
+    sim::Task task;
+
+    LwpState state = LwpState::Created;
+    BlockReason blockReason = BlockReason::None;
+    /** When the current state was entered (for accounting). */
+    sim::Tick stateSince = 0;
+
+    /** Delivered but not yet accepted messages. */
+    std::deque<Message> inbox;
+    /** Filter in effect while blocked in receive(). */
+    MessageFilter waitFilter;
+
+    LwpAccounting accounting;
+};
+
+} // namespace suprenum
+} // namespace supmon
+
+#endif // SUPRENUM_LWP_HH

@@ -1,0 +1,304 @@
+#include "machine.hh"
+
+#include <sstream>
+
+#include "sim/logging.hh"
+
+namespace supmon
+{
+namespace suprenum
+{
+
+namespace
+{
+
+/** The service process running on each cluster's disk node. */
+sim::Task
+diskServiceProcess(ProcessEnv env, std::uint64_t bytes_per_sec,
+                   sim::Tick latency)
+{
+    for (;;) {
+        Message req = co_await env.receive(withTag(tagDiskWrite));
+        const auto &write = payloadAs<DiskWriteRequest>(req);
+        co_await env.compute(
+            latency + sim::transferTime(write.bytes, bytes_per_sec));
+    }
+}
+
+} // namespace
+
+Machine::Machine(sim::Simulation &simulation, MachineParams params)
+    : simul(simulation), par(params)
+{
+    if (par.numClusters == 0 || par.numClusters > 16)
+        sim::fatal("SUPRENUM supports 1..16 clusters (%u requested)",
+                   par.numClusters);
+    if (par.nodesPerCluster == 0 || par.nodesPerCluster > 16)
+        sim::fatal("a cluster has 1..16 processing nodes (%u requested)",
+                   par.nodesPerCluster);
+
+    clusters.resize(par.numClusters);
+    for (unsigned c = 0; c < par.numClusters; ++c) {
+        Cluster &cl = clusters[c];
+        cl.bus = std::make_unique<ClusterBus>(par.clusterBusBytesPerSec,
+                                              par.clusterBusCount,
+                                              par.busArbitration);
+        cl.bus->attachObserver(
+            [this, c](const BusTransfer &t) { clusters[c].diag.observe(t); });
+        for (unsigned n = 0; n < par.nodesPerCluster; ++n) {
+            cl.nodes.push_back(std::make_unique<NodeKernel>(
+                *this, NodeId{static_cast<std::uint16_t>(c),
+                              static_cast<std::uint16_t>(n)}));
+        }
+        cl.disk = std::make_unique<NodeKernel>(
+            *this, NodeId{static_cast<std::uint16_t>(c),
+                          static_cast<std::uint16_t>(par.nodesPerCluster)});
+        cl.cuBusyUntil.assign(par.nodesPerCluster + 1, 0);
+        cl.diskServicePid = cl.disk->spawn(
+            "disk-service",
+            [rate = par.diskBytesPerSec,
+             lat = par.diskLatency](ProcessEnv env) {
+                return diskServiceProcess(env, rate, lat);
+            });
+    }
+
+    const unsigned cols = columns();
+    const unsigned nrows = rows();
+    for (unsigned r = 0; r < nrows; ++r)
+        rowRings.emplace_back(par.suprenumBusBytesPerSec,
+                              par.suprenumRingCount, par.tokenHopLatency);
+    for (unsigned c = 0; c < cols; ++c)
+        colRings.emplace_back(par.suprenumBusBytesPerSec,
+                              par.suprenumRingCount, par.tokenHopLatency);
+}
+
+NodeKernel &
+Machine::node(NodeId id)
+{
+    if (id.cluster >= clusters.size())
+        sim::panic("no such cluster: %u", id.cluster);
+    Cluster &cl = clusters[id.cluster];
+    if (id.node < par.nodesPerCluster)
+        return *cl.nodes[id.node];
+    if (id.node == par.nodesPerCluster)
+        return *cl.disk;
+    sim::panic("no such node: (%u,%u)", id.cluster, id.node);
+}
+
+NodeKernel &
+Machine::nodeByIndex(unsigned flat)
+{
+    return node(nodeIdByIndex(flat));
+}
+
+NodeId
+Machine::nodeIdByIndex(unsigned flat) const
+{
+    if (flat >= par.totalProcessingNodes())
+        sim::panic("processing node index %u out of range", flat);
+    return NodeId{static_cast<std::uint16_t>(flat / par.nodesPerCluster),
+                  static_cast<std::uint16_t>(flat % par.nodesPerCluster)};
+}
+
+NodeKernel &
+Machine::diskNode(unsigned cluster)
+{
+    return *clusters.at(cluster).disk;
+}
+
+Pid
+Machine::diskService(unsigned cluster) const
+{
+    return clusters.at(cluster).diskServicePid;
+}
+
+DiagnosisNode &
+Machine::diagnosis(unsigned cluster)
+{
+    return clusters.at(cluster).diag;
+}
+
+const DiagnosisNode &
+Machine::diagnosis(unsigned cluster) const
+{
+    return clusters.at(cluster).diag;
+}
+
+Pid
+Machine::spawnOn(NodeId node_id, const std::string &name, ProcessFn fn,
+                 unsigned team)
+{
+    return node(node_id).spawn(name, std::move(fn), team);
+}
+
+void
+Machine::setOperatorTimeLimit(sim::Tick limit)
+{
+    simul.scheduleAt(limit, [this] {
+        if (exited)
+            return;
+        killedByOperator = true;
+        sim::warn("operator time limit reached: resources released "
+                  "before job completion (section 2.2)");
+        simul.requestStop();
+    });
+}
+
+bool
+Machine::runToCompletion(sim::Tick limit)
+{
+    if (!haveInitial)
+        sim::warn("runToCompletion without an initial process");
+    simul.run(limit);
+    if (killedByOperator)
+        return false;
+    if (haveInitial && !exited) {
+        sim::warn("application did not terminate (deadlock or tick "
+                  "limit); process states:\n%s", stateDump().c_str());
+        return false;
+    }
+    return true;
+}
+
+std::string
+Machine::stateDump() const
+{
+    std::ostringstream os;
+    for (const auto &cl : clusters) {
+        for (const auto &n : cl.nodes)
+            os << n->stateDump();
+        os << cl.disk->stateDump();
+    }
+    return os.str();
+}
+
+sim::Tick &
+Machine::cuOf(NodeId id)
+{
+    Cluster &cl = clusters.at(id.cluster);
+    return cl.cuBusyUntil.at(id.node);
+}
+
+sim::Tick
+Machine::transportDelay(const Message &msg, bool is_ack)
+{
+    const sim::Tick now = simul.now();
+    const std::uint64_t wire_bytes =
+        par.messageHeaderBytes + (is_ack ? par.ackBytes : msg.bytes);
+
+    if (msg.src.node == msg.dst.node)
+        return now + par.localDeliverLatency;
+
+    // The sender's communication unit handles the entire transfer;
+    // it serializes concurrent sends from one node.
+    sim::Tick t = std::max(now, cuOf(msg.src.node));
+
+    BusTransfer rec;
+    rec.src = msg.src.node;
+    rec.dst = msg.dst.node;
+    rec.bytes = static_cast<std::uint32_t>(wire_bytes);
+    rec.ack = is_ack;
+
+    if (msg.src.node.cluster == msg.dst.node.cluster) {
+        // Intra-cluster: one transfer on the (dual) cluster bus.
+        ClusterBus &bus = *clusters[msg.src.node.cluster].bus;
+        const BusGrant g = bus.acquire(t, wire_bytes);
+        cuOf(msg.src.node) = g.end;
+        rec.start = g.start;
+        rec.end = g.end;
+        bus.notify(rec);
+        return g.end + par.deliverLatency;
+    }
+
+    // Inter-cluster: src node -> communication node (cluster bus),
+    // SUPRENUM bus ring leg(s), communication node -> dst node.
+    Cluster &src_cl = clusters[msg.src.node.cluster];
+    Cluster &dst_cl = clusters[msg.dst.node.cluster];
+
+    const BusGrant g1 = src_cl.bus->acquire(t, wire_bytes);
+    cuOf(msg.src.node) = g1.end;
+    rec.start = g1.start;
+    rec.end = g1.end;
+    src_cl.bus->notify(rec);
+
+    sim::Tick cursor = std::max(g1.end, src_cl.commNodeBusy[0]) +
+                       par.commNodeForwardLatency;
+    src_cl.commNodeBusy[0] = cursor;
+
+    const unsigned src_row = rowOf(msg.src.node.cluster);
+    const unsigned src_col = colOf(msg.src.node.cluster);
+    const unsigned dst_row = rowOf(msg.dst.node.cluster);
+    const unsigned dst_col = colOf(msg.dst.node.cluster);
+
+    if (src_col != dst_col) {
+        const unsigned hops =
+            (dst_col + columns() - src_col) % columns();
+        const BusGrant gr =
+            rowRings[src_row].acquire(cursor, wire_bytes, hops);
+        cursor = gr.end;
+    }
+    if (src_row != dst_row) {
+        if (src_col != dst_col) {
+            // Store-and-forward in the intermediate cluster's
+            // communication node.
+            cursor += par.commNodeForwardLatency;
+        }
+        const unsigned hops = (dst_row + rows() - src_row) % rows();
+        const BusGrant gc =
+            colRings[dst_col].acquire(cursor, wire_bytes, hops);
+        cursor = gc.end;
+    }
+
+    cursor = std::max(cursor, dst_cl.commNodeBusy[1]) +
+             par.commNodeForwardLatency;
+    dst_cl.commNodeBusy[1] = cursor;
+
+    const BusGrant g2 = dst_cl.bus->acquire(cursor, wire_bytes);
+    BusTransfer rec2 = rec;
+    rec2.start = g2.start;
+    rec2.end = g2.end;
+    dst_cl.bus->notify(rec2);
+
+    return g2.end + par.deliverLatency;
+}
+
+void
+Machine::routeMessage(Message msg, bool is_ack)
+{
+    ++routedCount;
+    const sim::Tick arrival = transportDelay(msg, is_ack);
+    NodeKernel &dst = node(msg.dst.node);
+    if (is_ack) {
+        const std::uint32_t sender = msg.dst.lwp;
+        simul.scheduleAt(arrival,
+                         [&dst, sender] { dst.ackArrived(sender); });
+    } else {
+        simul.scheduleAt(arrival, [&dst, m = std::move(msg)]() mutable {
+            dst.deliver(std::move(m));
+        });
+    }
+}
+
+void
+Machine::sendRendezvousAck(const Message &accepted)
+{
+    Message ack;
+    ack.src = accepted.dst;
+    ack.dst = accepted.src;
+    ack.tag = accepted.tag;
+    ack.bytes = par.ackBytes;
+    ack.sentAt = simul.now();
+    routeMessage(std::move(ack), true);
+}
+
+void
+Machine::notifyTerminated(const Lwp &lwp)
+{
+    if (haveInitial && lwp.pid == initialPid && !exited) {
+        exited = true;
+        exitTick = simul.now();
+    }
+}
+
+} // namespace suprenum
+} // namespace supmon

@@ -1,0 +1,242 @@
+/**
+ * @file
+ * The whole simulated SUPRENUM machine: clusters of processing nodes
+ * connected by dual cluster buses, clusters connected in a torus by
+ * duplicated token-ring SUPRENUM buses via communication nodes, one
+ * disk node and one diagnosis node per cluster.
+ *
+ * The Machine owns every NodeKernel and provides the message routing
+ * fabric (communication units, buses, communication nodes) that the
+ * kernels use. It also tracks the application lifecycle: the program
+ * ends when its *initial process* terminates (paper, section 2.2).
+ */
+
+#ifndef SUPRENUM_MACHINE_HH
+#define SUPRENUM_MACHINE_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/event_queue.hh"
+#include "suprenum/bus.hh"
+#include "suprenum/config.hh"
+#include "suprenum/diagnosis.hh"
+#include "suprenum/kernel.hh"
+
+namespace supmon
+{
+namespace suprenum
+{
+
+/** Reserved message tag for disk node write requests. */
+constexpr int tagDiskWrite = -100;
+
+/** Payload of a disk write request. */
+struct DiskWriteRequest
+{
+    std::uint32_t bytes = 0;
+};
+
+class Machine
+{
+  public:
+    Machine(sim::Simulation &simulation, MachineParams params);
+    Machine(const Machine &) = delete;
+    Machine &operator=(const Machine &) = delete;
+
+    sim::Simulation &
+    sim()
+    {
+        return simul;
+    }
+
+    const MachineParams &
+    params() const
+    {
+        return par;
+    }
+
+    // ------------------------------------------------------------------
+    // Topology access.
+    // ------------------------------------------------------------------
+
+    /** Processing node (slot 0..nodesPerCluster-1) or the disk node
+     *  (slot == nodesPerCluster). */
+    NodeKernel &node(NodeId id);
+
+    /** Processing node by machine-wide flat index (cluster-major). */
+    NodeKernel &nodeByIndex(unsigned flat);
+
+    /** NodeId of a flat processing-node index. */
+    NodeId nodeIdByIndex(unsigned flat) const;
+
+    /** The disk node of a cluster. */
+    NodeKernel &diskNode(unsigned cluster);
+
+    /** Pid of the disk service process of a cluster. */
+    Pid diskService(unsigned cluster) const;
+
+    /** The (passive) diagnosis node of a cluster. */
+    DiagnosisNode &diagnosis(unsigned cluster);
+    const DiagnosisNode &diagnosis(unsigned cluster) const;
+
+    // ------------------------------------------------------------------
+    // Process management.
+    // ------------------------------------------------------------------
+
+    /** Spawn a process on the given node. */
+    Pid spawnOn(NodeId node_id, const std::string &name, ProcessFn fn,
+                unsigned team = 0);
+
+    /**
+     * Mark @p pid as the application's initial process; its
+     * termination terminates the whole application.
+     */
+    void
+    setInitialProcess(Pid pid)
+    {
+        initialPid = pid;
+        haveInitial = true;
+    }
+
+    /**
+     * Operator-imposed time limit (section 2.2): "There is a certain
+     * time limit which can be set by the operator, after which the
+     * resources assigned to a user are released, even if that user's
+     * job is not yet completed. This is done to prevent
+     * monopolization." When the limit fires before the application
+     * exits, the run is aborted and operatorKilled() reports it.
+     */
+    void setOperatorTimeLimit(sim::Tick limit);
+
+    bool
+    operatorKilled() const
+    {
+        return killedByOperator;
+    }
+
+    /** Time to download @p bytes from the front-end computer to the
+     *  partition (program code, scene descriptions, ...). */
+    sim::Tick
+    downloadTime(std::uint64_t bytes) const
+    {
+        return sim::transferTime(bytes, par.frontEndBytesPerSec);
+    }
+
+    bool
+    applicationExited() const
+    {
+        return exited;
+    }
+
+    sim::Tick
+    applicationExitTime() const
+    {
+        return exitTick;
+    }
+
+    /**
+     * Run the simulation until the application's initial process has
+     * terminated and all remaining events (message transport, monitor
+     * drain, ...) are done, or until @p limit.
+     *
+     * @return true if the application exited; false on timeout /
+     * deadlock (a state dump is emitted through warn()).
+     */
+    bool runToCompletion(sim::Tick limit = sim::maxTick);
+
+    /** Multi-line dump of every node's process states. */
+    std::string stateDump() const;
+
+    // ------------------------------------------------------------------
+    // Transport fabric (used by NodeKernel).
+    // ------------------------------------------------------------------
+
+    /**
+     * Route a message (or a rendezvous acknowledgement) from
+     * msg.src.node to msg.dst.node through communication unit,
+     * cluster bus(es) and - across clusters - communication nodes and
+     * the SUPRENUM bus. Delivery is scheduled on the destination
+     * kernel.
+     */
+    void routeMessage(Message msg, bool is_ack);
+
+    /** Issue the rendezvous acknowledgement for an accepted message. */
+    void sendRendezvousAck(const Message &accepted);
+
+    /** Kernel callback: a process terminated. */
+    void notifyTerminated(const Lwp &lwp);
+
+    /** Total messages routed (including acks). */
+    std::uint64_t
+    messagesRouted() const
+    {
+        return routedCount;
+    }
+
+  private:
+    struct Cluster
+    {
+        std::vector<std::unique_ptr<NodeKernel>> nodes;
+        std::unique_ptr<NodeKernel> disk;
+        std::unique_ptr<ClusterBus> bus;
+        DiagnosisNode diag;
+        /** Communication-unit DMA engines, one per node slot
+         *  (disk node = last entry). */
+        std::vector<sim::Tick> cuBusyUntil;
+        /** Store-and-forward availability of the two communication
+         *  nodes (outbound = 0, inbound = 1). */
+        sim::Tick commNodeBusy[2] = {0, 0};
+        Pid diskServicePid;
+    };
+
+    /** Compute arrival time of a transfer and notify buses/diag. */
+    sim::Tick transportDelay(const Message &msg, bool is_ack);
+
+    sim::Tick &cuOf(NodeId id);
+
+    unsigned
+    rowOf(unsigned cluster) const
+    {
+        return cluster / columns();
+    }
+
+    unsigned
+    colOf(unsigned cluster) const
+    {
+        return cluster % columns();
+    }
+
+    unsigned
+    columns() const
+    {
+        return par.numClusters < par.torusColumns ? par.numClusters
+                                                  : par.torusColumns;
+    }
+
+    unsigned
+    rows() const
+    {
+        const unsigned c = columns();
+        return (par.numClusters + c - 1) / c;
+    }
+
+    sim::Simulation &simul;
+    MachineParams par;
+    std::vector<Cluster> clusters;
+    std::vector<RingBus> rowRings;
+    std::vector<RingBus> colRings;
+
+    Pid initialPid = nobody;
+    bool haveInitial = false;
+    bool exited = false;
+    bool killedByOperator = false;
+    sim::Tick exitTick = 0;
+    std::uint64_t routedCount = 0;
+};
+
+} // namespace suprenum
+} // namespace supmon
+
+#endif // SUPRENUM_MACHINE_HH

@@ -1,0 +1,57 @@
+#include "mailbox.hh"
+
+#include "sim/logging.hh"
+
+namespace supmon
+{
+namespace suprenum
+{
+
+Mailbox::Mailbox(NodeKernel &kernel, const std::string &name,
+                 unsigned team)
+    : kern(kernel)
+{
+    boxPid = kern.spawn(
+        name, [this](ProcessEnv env) { return mailboxProcess(env, this); },
+        team);
+}
+
+sim::Task
+Mailbox::mailboxProcess(ProcessEnv env, Mailbox *self)
+{
+    // "According to the specifications of SUPRENUM's mailbox mechanism
+    // the mailbox process is always in a receive state." The receive
+    // completes - and thereby releases the sender - only when this
+    // process is dispatched by the round-robin scheduler.
+    for (;;) {
+        Message m = co_await env.receive();
+        self->push(std::move(m));
+    }
+}
+
+void
+Mailbox::push(Message msg)
+{
+    queue.push_back(std::move(msg));
+    ++total;
+    highWater = std::max(highWater, queue.size());
+    if (!readers.empty()) {
+        Lwp *reader = readers.front();
+        readers.pop_front();
+        ++reserved;
+        kern.makeReady(reader);
+    }
+}
+
+Message
+Mailbox::pop()
+{
+    if (queue.empty())
+        sim::panic("mailbox pop on an empty deposit queue");
+    Message m = std::move(queue.front());
+    queue.pop_front();
+    return m;
+}
+
+} // namespace suprenum
+} // namespace supmon

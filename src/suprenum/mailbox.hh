@@ -1,0 +1,158 @@
+/**
+ * @file
+ * SUPRENUM's mailbox mechanism for "asynchronous" communication.
+ *
+ * A mailbox is a light-weight process owned by the receiving process.
+ * The sender of a message does not send the message directly to the
+ * receiver but to the receiver's mailbox; the receiver reads his
+ * mailbox whenever he wishes to do so. According to the
+ * specification, the mailbox process is always in a receive state and
+ * therefore the sender of a message will never be blocked.
+ *
+ * The paper's measurements revealed the flaw in that reasoning: since
+ * the mailbox is a (light-weight) process, it must actually be
+ * *running* to receive a message, and with the node's non-preemptive
+ * round-robin scheduling it is only dispatched once the owner blocks
+ * or yields. Consequently mailbox communication behaves very much
+ * like synchronous communication (paper, section 4.3, version 1).
+ *
+ * This class reproduces the mechanism exactly: the mailbox process
+ * loops in receive(); acceptance of a message (and thereby release of
+ * the sender's rendezvous) happens when the mailbox process is
+ * dispatched. The owner reads through a team-shared queue.
+ */
+
+#ifndef SUPRENUM_MAILBOX_HH
+#define SUPRENUM_MAILBOX_HH
+
+#include <coroutine>
+#include <deque>
+#include <string>
+
+#include "suprenum/kernel.hh"
+
+namespace supmon
+{
+namespace suprenum
+{
+
+class Mailbox
+{
+  public:
+    /**
+     * Create a mailbox on @p kernel's node. Spawns the mailbox
+     * light-weight process immediately.
+     *
+     * @param kernel node the owning process lives on.
+     * @param name process name of the mailbox LWP.
+     * @param team team of the owner (mailbox shares its memory).
+     */
+    Mailbox(NodeKernel &kernel, const std::string &name,
+            unsigned team = 0);
+
+    Mailbox(const Mailbox &) = delete;
+    Mailbox &operator=(const Mailbox &) = delete;
+
+    /** Address remote senders must send to. */
+    Pid
+    pid() const
+    {
+        return boxPid;
+    }
+
+    /** Number of messages deposited and not yet read by the owner. */
+    std::size_t
+    depth() const
+    {
+        return queue.size();
+    }
+
+    bool
+    empty() const
+    {
+        return queue.empty();
+    }
+
+    /** High-water mark of the deposit queue. */
+    std::size_t
+    maxDepth() const
+    {
+        return highWater;
+    }
+
+    /** Messages that went through the mailbox in total. */
+    std::uint64_t
+    messageCount() const
+    {
+        return total;
+    }
+
+    /**
+     * Owner-side blocking read: completes once a message is available
+     * in the (team-shared) deposit queue. Multiple readers are served
+     * in FIFO order.
+     */
+    struct ReadAwaiter
+    {
+        Mailbox *box;
+        Lwp *lwp;
+        bool suspended = false;
+
+        bool
+        await_ready() const
+        {
+            box->kern.assertRunning(*lwp, "mailbox read");
+            // Messages already earmarked for woken readers must not be
+            // stolen by a reader that arrives later.
+            return box->queue.size() > box->reserved &&
+                   box->readers.empty();
+        }
+
+        void
+        await_suspend(std::coroutine_handle<>)
+        {
+            suspended = true;
+            box->readers.push_back(lwp);
+            box->kern.blockRunning(lwp, BlockReason::Flag);
+        }
+
+        Message
+        await_resume()
+        {
+            if (suspended)
+                --box->reserved;
+            return box->pop();
+        }
+    };
+
+    /** Awaitable for the owning process: read the next message. */
+    ReadAwaiter
+    read(ProcessEnv &env)
+    {
+        return ReadAwaiter{this, &env.self()};
+    }
+
+  private:
+    /** Body of the mailbox light-weight process. */
+    static sim::Task mailboxProcess(ProcessEnv env, Mailbox *self);
+
+    /** Deposit a message (called by the mailbox process). */
+    void push(Message msg);
+
+    /** Take the next deposited message (called by a reader). */
+    Message pop();
+
+    NodeKernel &kern;
+    Pid boxPid;
+    std::deque<Message> queue;
+    std::deque<Lwp *> readers;
+    /** Queue entries earmarked for already-woken readers. */
+    std::size_t reserved = 0;
+    std::size_t highWater = 0;
+    std::uint64_t total = 0;
+};
+
+} // namespace suprenum
+} // namespace supmon
+
+#endif // SUPRENUM_MAILBOX_HH

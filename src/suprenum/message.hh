@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Inter-process messages of the SUPRENUM programming model.
+ *
+ * Processes communicate exclusively by messages (section 2.2 of the
+ * paper). The payload is carried as a std::any copy; its simulated
+ * wire size is given explicitly in bytes so that transfer times are
+ * independent of host representation.
+ */
+
+#ifndef SUPRENUM_MESSAGE_HH
+#define SUPRENUM_MESSAGE_HH
+
+#include <any>
+#include <cstdint>
+#include <functional>
+
+#include "sim/types.hh"
+#include "suprenum/config.hh"
+
+namespace supmon
+{
+namespace suprenum
+{
+
+struct Message
+{
+    Pid src = nobody;
+    Pid dst = nobody;
+    /** Application-level tag used for selective receive. */
+    int tag = 0;
+    /** Simulated payload size in bytes (excluding protocol header). */
+    std::uint32_t bytes = 0;
+    /** The payload itself (host-side data carried along). */
+    std::any payload;
+    /** Time at which the sender issued the send. */
+    sim::Tick sentAt = 0;
+    /** Time at which the message was delivered to the target node. */
+    sim::Tick deliveredAt = 0;
+};
+
+/** Predicate used by selective receive. */
+using MessageFilter = std::function<bool(const Message &)>;
+
+/** A filter accepting any message. */
+inline MessageFilter
+anyMessage()
+{
+    return [](const Message &) { return true; };
+}
+
+/** A filter accepting only messages with the given tag. */
+inline MessageFilter
+withTag(int tag)
+{
+    return [tag](const Message &m) { return m.tag == tag; };
+}
+
+/** Extract a typed payload from a message; panics on type mismatch. */
+template <typename T>
+const T &
+payloadAs(const Message &m)
+{
+    const T *p = std::any_cast<T>(&m.payload);
+    if (!p)
+        throw std::bad_any_cast();
+    return *p;
+}
+
+} // namespace suprenum
+} // namespace supmon
+
+#endif // SUPRENUM_MESSAGE_HH

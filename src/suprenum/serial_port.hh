@@ -1,0 +1,86 @@
+/**
+ * @file
+ * The V.24 serial terminal interface of a SUPRENUM processing node.
+ *
+ * Intended for service personnel; data transfer is slow (less than
+ * 20 KBit/s). The paper evaluates it as a candidate measurement
+ * interface and rejects it: outputting 48 bits of event data takes
+ * more than 2.4 ms, not counting context switching. We model it so
+ * the interface comparison experiment (bench_interface_comparison)
+ * can regenerate that number.
+ */
+
+#ifndef SUPRENUM_SERIAL_PORT_HH
+#define SUPRENUM_SERIAL_PORT_HH
+
+#include <cstdint>
+#include <functional>
+
+#include "sim/types.hh"
+
+namespace supmon
+{
+namespace suprenum
+{
+
+class SerialPort
+{
+  public:
+    /** Callback invoked when a unit of data finished transmission. */
+    using Observer =
+        std::function<void(std::uint64_t data, unsigned bits,
+                           sim::Tick when)>;
+
+    explicit SerialPort(std::uint64_t bits_per_second = 19200)
+        : rate(bits_per_second)
+    {
+    }
+
+    /** Time to clock out @p bits serially (start/stop bits included:
+     *  each 8 data bits cost 10 bit times, as usual for V.24). */
+    sim::Tick
+    transmissionTime(unsigned bits) const
+    {
+        const std::uint64_t line_bits =
+            (static_cast<std::uint64_t>(bits) + 7) / 8 * 10;
+        return sim::transferTime(line_bits, rate);
+    }
+
+    /** Record that @p bits of @p data finished transmission at
+     *  @p when. */
+    void
+    complete(std::uint64_t data, unsigned bits, sim::Tick when)
+    {
+        ++transmissions;
+        if (observer)
+            observer(data, bits, when);
+    }
+
+    void
+    attachObserver(Observer obs)
+    {
+        observer = std::move(obs);
+    }
+
+    std::uint64_t
+    transmissionCount() const
+    {
+        return transmissions;
+    }
+
+    std::uint64_t
+    bitsPerSecond() const
+    {
+        return rate;
+    }
+
+  private:
+    std::uint64_t rate;
+    Observer observer;
+    std::uint64_t transmissions = 0;
+};
+
+} // namespace suprenum
+} // namespace supmon
+
+#endif // SUPRENUM_SERIAL_PORT_HH

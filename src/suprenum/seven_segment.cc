@@ -1,0 +1,32 @@
+#include "seven_segment.hh"
+
+namespace supmon
+{
+namespace suprenum
+{
+
+std::uint8_t
+sevenSegmentPatternOf(std::uint8_t glyph)
+{
+    for (std::uint8_t i = 0; i < 16; ++i) {
+        if (sevenSegmentFont[i] == glyph)
+            return i;
+    }
+    return 0xff;
+}
+
+void
+SevenSegmentDisplay::write(std::uint8_t pattern, sim::Tick when,
+                           bool firmware)
+{
+    if (firmware && monitoringReserved) {
+        ++suppressed;
+        return;
+    }
+    curGlyph = sevenSegmentFont[pattern & 0x0f];
+    if (observer)
+        observer(curGlyph, when);
+}
+
+} // namespace suprenum
+} // namespace supmon

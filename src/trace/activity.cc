@@ -1,0 +1,162 @@
+#include "activity.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace supmon
+{
+namespace trace
+{
+
+ActivityMap
+ActivityMap::build(const std::vector<TraceEvent> &events,
+                   const EventDictionary &dict, sim::Tick trace_end)
+{
+    ActivityMap map;
+    if (events.empty())
+        return map;
+
+    map.beginTick = events.front().timestamp;
+    sim::Tick last = events.back().timestamp;
+    map.endTick = trace_end ? std::max(trace_end, last) : last;
+
+    struct OpenState
+    {
+        std::string state;
+        sim::Tick since = 0;
+        bool open = false;
+    };
+    std::map<unsigned, OpenState> open;
+
+    for (const auto &ev : events) {
+        const EventDef *def = dict.find(ev.token);
+        if (!def) {
+            ++map.unknown;
+            continue;
+        }
+        if (def->kind == EventKind::Point) {
+            map.allMarkers.push_back(
+                PointMarker{ev.stream, def->name, ev.timestamp,
+                            ev.param});
+            continue;
+        }
+        OpenState &cur = open[ev.stream];
+        if (cur.open && ev.timestamp > cur.since) {
+            map.allIntervals.push_back(StateInterval{
+                ev.stream, cur.state, cur.since, ev.timestamp});
+        }
+        cur.state = def->state;
+        cur.since = ev.timestamp;
+        cur.open = true;
+    }
+
+    for (auto &kv : open) {
+        if (kv.second.open && map.endTick > kv.second.since) {
+            map.allIntervals.push_back(
+                StateInterval{kv.first, kv.second.state, kv.second.since,
+                              map.endTick});
+        }
+    }
+
+    // Interval list is ordered per stream by construction; order the
+    // combined list by (begin, stream) for deterministic output.
+    std::stable_sort(map.allIntervals.begin(), map.allIntervals.end(),
+                     [](const StateInterval &a, const StateInterval &b) {
+                         if (a.begin != b.begin)
+                             return a.begin < b.begin;
+                         return a.stream < b.stream;
+                     });
+
+    for (const auto &iv : map.allIntervals) {
+        if (std::find(map.streamIds.begin(), map.streamIds.end(),
+                      iv.stream) == map.streamIds.end())
+            map.streamIds.push_back(iv.stream);
+    }
+    for (const auto &mk : map.allMarkers) {
+        if (std::find(map.streamIds.begin(), map.streamIds.end(),
+                      mk.stream) == map.streamIds.end())
+            map.streamIds.push_back(mk.stream);
+    }
+    std::sort(map.streamIds.begin(), map.streamIds.end());
+    return map;
+}
+
+std::vector<StateInterval>
+ActivityMap::intervalsOf(unsigned stream) const
+{
+    std::vector<StateInterval> out;
+    for (const auto &iv : allIntervals) {
+        if (iv.stream == stream)
+            out.push_back(iv);
+    }
+    return out;
+}
+
+double
+ActivityMap::utilization(unsigned stream, const std::string &state,
+                         sim::Tick t0, sim::Tick t1) const
+{
+    if (t1 <= t0)
+        return 0.0;
+    sim::Tick in_state = 0;
+    for (const auto &iv : allIntervals) {
+        if (iv.stream != stream || iv.state != state)
+            continue;
+        const sim::Tick lo = std::max(iv.begin, t0);
+        const sim::Tick hi = std::min(iv.end, t1);
+        if (hi > lo)
+            in_state += hi - lo;
+    }
+    return static_cast<double>(in_state) /
+           static_cast<double>(t1 - t0);
+}
+
+double
+ActivityMap::meanUtilization(const std::vector<unsigned> &streams,
+                             const std::string &state, sim::Tick t0,
+                             sim::Tick t1) const
+{
+    if (streams.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (unsigned s : streams)
+        sum += utilization(s, state, t0, t1);
+    return sum / static_cast<double>(streams.size());
+}
+
+sim::Histogram
+ActivityMap::durationHistogram(unsigned stream,
+                               const std::string &state,
+                               std::size_t bins) const
+{
+    double max_duration = 0.0;
+    for (const auto &iv : allIntervals) {
+        if (iv.stream == stream && iv.state == state) {
+            max_duration = std::max(
+                max_duration, static_cast<double>(iv.duration()));
+        }
+    }
+    sim::Histogram hist(0.0, max_duration > 0.0 ? max_duration * 1.0001
+                                                : 1.0,
+                        bins);
+    for (const auto &iv : allIntervals) {
+        if (iv.stream == stream && iv.state == state)
+            hist.push(static_cast<double>(iv.duration()));
+    }
+    return hist;
+}
+
+std::map<std::pair<unsigned, std::string>, sim::SummaryStat>
+ActivityMap::durationStats() const
+{
+    std::map<std::pair<unsigned, std::string>, sim::SummaryStat> stats;
+    for (const auto &iv : allIntervals) {
+        stats[{iv.stream, iv.state}].push(
+            static_cast<double>(iv.duration()));
+    }
+    return stats;
+}
+
+} // namespace trace
+} // namespace supmon

@@ -1,0 +1,100 @@
+#include "gantt.hh"
+
+#include <algorithm>
+#include <sstream>
+
+#include "sim/logging.hh"
+
+namespace supmon
+{
+namespace trace
+{
+
+std::string
+GanttChart::render(sim::Tick t0, sim::Tick t1,
+                   const Options &opts) const
+{
+    std::ostringstream os;
+    if (t1 <= t0 || opts.width == 0)
+        return os.str();
+
+    const unsigned width = opts.width;
+    const double span = static_cast<double>(t1 - t0);
+    const double bin = span / width;
+
+    std::vector<unsigned> streams =
+        opts.streams.empty() ? activity.streams() : opts.streams;
+
+    // States in dictionary definition order give the row layout.
+    const std::vector<std::string> states =
+        dictionary.statesInOrder();
+
+    constexpr unsigned label_width = 22;
+
+    for (unsigned stream : streams) {
+        os << dictionary.streamName(stream) << "\n";
+        const auto ivs = activity.intervalsOf(stream);
+        for (const auto &state : states) {
+            // Coverage per bin in [0, 1].
+            std::vector<double> cover(width, 0.0);
+            bool any = false;
+            for (const auto &iv : ivs) {
+                if (iv.state != state || iv.end <= t0 || iv.begin >= t1)
+                    continue;
+                any = true;
+                const double lo =
+                    static_cast<double>(std::max(iv.begin, t0) - t0);
+                const double hi =
+                    static_cast<double>(std::min(iv.end, t1) - t0);
+                const auto first = static_cast<unsigned>(lo / bin);
+                const auto last = std::min(
+                    width - 1, static_cast<unsigned>(hi / bin));
+                for (unsigned b = first; b <= last; ++b) {
+                    const double bin_lo = b * bin;
+                    const double bin_hi = bin_lo + bin;
+                    const double overlap = std::min(hi, bin_hi) -
+                                           std::max(lo, bin_lo);
+                    if (overlap > 0)
+                        cover[b] += overlap / bin;
+                }
+            }
+            if (!any)
+                continue;
+            std::string label = state;
+            if (label.size() > label_width)
+                label.resize(label_width);
+            os << "  " << label
+               << std::string(label_width - label.size(), ' ') << " |";
+            for (unsigned b = 0; b < width; ++b) {
+                if (cover[b] >= 0.5)
+                    os << opts.fill;
+                else if (cover[b] > 0.02)
+                    os << opts.partial;
+                else
+                    os << ' ';
+            }
+            os << "|\n";
+        }
+        if (opts.showMarkers) {
+            for (const auto &mk : activity.markers()) {
+                if (mk.stream != stream || mk.at < t0 || mk.at >= t1)
+                    continue;
+                os << sim::strprintf("    * %-20s at %.6f s\n",
+                                     mk.name.c_str(),
+                                     sim::toSeconds(mk.at));
+            }
+        }
+    }
+
+    // Time axis.
+    os << "  " << std::string(label_width, ' ') << " +"
+       << std::string(width, '-') << "+\n";
+    os << sim::strprintf("  %*s  %.4f s%*s%.4f s\n", label_width, "TIME",
+                         sim::toSeconds(t0),
+                         static_cast<int>(width) - 16, "",
+                         sim::toSeconds(t1));
+    return os.str();
+}
+
+} // namespace trace
+} // namespace supmon

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * ASCII Gantt charts (time-state diagrams) in the style of the
+ * paper's Figures 7-9: per stream, one row per activity state, bars
+ * where the stream is in that state, over a common time axis.
+ */
+
+#ifndef TRACE_GANTT_HH
+#define TRACE_GANTT_HH
+
+#include <string>
+#include <vector>
+
+#include "trace/activity.hh"
+#include "trace/dictionary.hh"
+
+namespace supmon
+{
+namespace trace
+{
+
+class GanttChart
+{
+  public:
+    GanttChart(const ActivityMap &map, const EventDictionary &dict)
+        : activity(map), dictionary(dict)
+    {
+    }
+
+    struct Options
+    {
+        /** Chart columns (time bins). */
+        unsigned width = 96;
+        /** Character used for a filled bin. */
+        char fill = '#';
+        /** Character used for a partially covered bin. */
+        char partial = '+';
+        /** Restrict to these streams (empty = all). */
+        std::vector<unsigned> streams;
+        /** Show point markers beneath each stream block. */
+        bool showMarkers = false;
+    };
+
+    /** Render the window [t0, t1). */
+    std::string render(sim::Tick t0, sim::Tick t1,
+                       const Options &opts) const;
+
+    /** Render the window [t0, t1) with default options. */
+    std::string
+    render(sim::Tick t0, sim::Tick t1) const
+    {
+        return render(t0, t1, Options());
+    }
+
+    /** Render the whole trace. */
+    std::string
+    renderAll(const Options &opts) const
+    {
+        return render(activity.traceBegin(), activity.traceEnd(), opts);
+    }
+
+    /** Render the whole trace with default options. */
+    std::string
+    renderAll() const
+    {
+        return renderAll(Options());
+    }
+
+  private:
+    const ActivityMap &activity;
+    const EventDictionary &dictionary;
+};
+
+} // namespace trace
+} // namespace supmon
+
+#endif // TRACE_GANTT_HH

@@ -1,0 +1,96 @@
+#include "harness.hh"
+
+#include "sim/logging.hh"
+
+namespace supmon
+{
+namespace trace
+{
+
+MonitoringHarness::MonitoringHarness(suprenum::Machine &machine,
+                                     unsigned monitored_nodes,
+                                     zm4::RecorderParams recorder_params)
+{
+    if (monitored_nodes == 0)
+        sim::fatal("a monitoring harness needs at least one node");
+    if (monitored_nodes > machine.params().totalProcessingNodes())
+        sim::fatal("cannot monitor %u nodes of a %u-node machine",
+                   monitored_nodes,
+                   machine.params().totalProcessingNodes());
+
+    const unsigned num_recorders =
+        (monitored_nodes + channelsPerRecorder - 1) /
+        channelsPerRecorder;
+    const unsigned num_agents = (num_recorders + 3) / 4;
+
+    for (unsigned a = 0; a < num_agents; ++a) {
+        agents.push_back(std::make_unique<zm4::MonitorAgent>(
+            "ma" + std::to_string(a)));
+        cec.connectAgent(*agents.back());
+    }
+    for (unsigned r = 0; r < num_recorders; ++r) {
+        recorders.push_back(std::make_unique<zm4::EventRecorder>(
+            machine.sim(), static_cast<std::uint16_t>(r),
+            recorder_params));
+        recorders.back()->attachAgent(*agents[r / 4]);
+        mtg.connect(*recorders.back());
+    }
+    for (unsigned n = 0; n < monitored_nodes; ++n) {
+        auto iface = std::make_unique<hybrid::SuprenumInterface>();
+        zm4::EventRecorder *rec =
+            recorders[n / channelsPerRecorder].get();
+        const unsigned channel = n % channelsPerRecorder;
+        iface->attach(machine.nodeByIndex(n).display(),
+                      [rec, channel](std::uint64_t data, sim::Tick) {
+                          rec->record(channel, data);
+                      });
+        interfaces.push_back(std::move(iface));
+    }
+}
+
+void
+MonitoringHarness::configureSkew(unsigned recorder_index,
+                                 sim::TickDelta offset_ns,
+                                 double drift_ppm)
+{
+    recorders.at(recorder_index)
+        ->configureClock(offset_ns, drift_ppm);
+}
+
+std::vector<TraceEvent>
+MonitoringHarness::harvest(
+    const std::function<unsigned(const zm4::RawRecord &)> &stream_of)
+    const
+{
+    return fromRawRecords(cec.collectAndMerge(), stream_of);
+}
+
+std::uint64_t
+MonitoringHarness::eventsRecorded() const
+{
+    std::uint64_t n = 0;
+    for (const auto &rec : recorders)
+        n += rec->recordedCount();
+    return n;
+}
+
+std::uint64_t
+MonitoringHarness::eventsLost() const
+{
+    std::uint64_t n = 0;
+    for (const auto &rec : recorders)
+        n += rec->lostToOverflow() + rec->lostToInputRate();
+    return n;
+}
+
+std::uint64_t
+MonitoringHarness::protocolErrors() const
+{
+    std::uint64_t n = 0;
+    for (const auto &iface : interfaces)
+        n += iface->detector().protocolErrors();
+    return n;
+}
+
+} // namespace trace
+} // namespace supmon

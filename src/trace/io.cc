@@ -1,0 +1,104 @@
+#include "io.hh"
+
+#include <cstdio>
+#include <cstring>
+#include <memory>
+
+namespace supmon
+{
+namespace trace
+{
+
+namespace
+{
+
+/** On-disk record layout (packed, little endian host assumed). */
+struct DiskRecord
+{
+    std::uint64_t timestamp;
+    std::uint32_t param;
+    std::uint32_t stream;
+    std::uint16_t token;
+    std::uint8_t flags;
+    std::uint8_t pad = 0;
+};
+
+struct FileCloser
+{
+    void
+    operator()(std::FILE *f) const
+    {
+        if (f)
+            std::fclose(f);
+    }
+};
+
+using File = std::unique_ptr<std::FILE, FileCloser>;
+
+} // namespace
+
+bool
+saveTrace(const std::string &path,
+          const std::vector<TraceEvent> &events)
+{
+    File f(std::fopen(path.c_str(), "wb"));
+    if (!f)
+        return false;
+    if (std::fwrite(traceFileMagic, 1, 4, f.get()) != 4)
+        return false;
+    const std::uint32_t version = traceFileVersion;
+    if (std::fwrite(&version, sizeof(version), 1, f.get()) != 1)
+        return false;
+    const std::uint64_t count = events.size();
+    if (std::fwrite(&count, sizeof(count), 1, f.get()) != 1)
+        return false;
+    for (const auto &ev : events) {
+        DiskRecord rec;
+        rec.timestamp = ev.timestamp;
+        rec.param = ev.param;
+        rec.stream = ev.stream;
+        rec.token = ev.token;
+        rec.flags = ev.flags;
+        if (std::fwrite(&rec, sizeof(rec), 1, f.get()) != 1)
+            return false;
+    }
+    return true;
+}
+
+std::optional<std::vector<TraceEvent>>
+loadTrace(const std::string &path)
+{
+    File f(std::fopen(path.c_str(), "rb"));
+    if (!f)
+        return std::nullopt;
+    char magic[4];
+    if (std::fread(magic, 1, 4, f.get()) != 4 ||
+        std::memcmp(magic, traceFileMagic, 4) != 0)
+        return std::nullopt;
+    std::uint32_t version = 0;
+    if (std::fread(&version, sizeof(version), 1, f.get()) != 1 ||
+        version != traceFileVersion)
+        return std::nullopt;
+    std::uint64_t count = 0;
+    if (std::fread(&count, sizeof(count), 1, f.get()) != 1)
+        return std::nullopt;
+
+    std::vector<TraceEvent> events;
+    events.reserve(static_cast<std::size_t>(count));
+    for (std::uint64_t i = 0; i < count; ++i) {
+        DiskRecord rec;
+        if (std::fread(&rec, sizeof(rec), 1, f.get()) != 1)
+            return std::nullopt; // truncated
+        TraceEvent ev;
+        ev.timestamp = rec.timestamp;
+        ev.param = rec.param;
+        ev.stream = rec.stream;
+        ev.token = rec.token;
+        ev.flags = rec.flags;
+        events.push_back(ev);
+    }
+    return events;
+}
+
+} // namespace trace
+} // namespace supmon

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Trace file I/O.
+ *
+ * In the real tool chain the event traces live on the monitor agents'
+ * disks and are shipped to the CEC for archival and offline analysis
+ * with SIMPLE. This module provides the equivalent: a compact binary
+ * trace format (with magic and version for forward compatibility) so
+ * measured traces can be stored and re-evaluated without re-running
+ * the measurement.
+ */
+
+#ifndef TRACE_IO_HH
+#define TRACE_IO_HH
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "trace/event.hh"
+
+namespace supmon
+{
+namespace trace
+{
+
+/** Magic bytes at the start of a trace file. */
+constexpr char traceFileMagic[4] = {'S', 'M', 'T', 'R'};
+
+/** Current trace file format version. */
+constexpr std::uint32_t traceFileVersion = 1;
+
+/**
+ * Write @p events to @p path in the binary trace format.
+ * @return false on I/O failure.
+ */
+bool saveTrace(const std::string &path,
+               const std::vector<TraceEvent> &events);
+
+/**
+ * Read a trace written by saveTrace().
+ * @return std::nullopt if the file is missing, truncated, or has the
+ *         wrong magic/version.
+ */
+std::optional<std::vector<TraceEvent>> loadTrace(
+    const std::string &path);
+
+} // namespace trace
+} // namespace supmon
+
+#endif // TRACE_IO_HH

@@ -1,0 +1,90 @@
+#include "cec.hh"
+
+#include <algorithm>
+#include <queue>
+
+#include "sim/logging.hh"
+
+namespace supmon
+{
+namespace zm4
+{
+
+namespace
+{
+
+/** Merge ordering: timestamp, then recorder, then capture sequence. */
+bool
+recordBefore(const RawRecord &a, const RawRecord &b)
+{
+    if (a.timestamp != b.timestamp)
+        return a.timestamp < b.timestamp;
+    if (a.recorderId != b.recorderId)
+        return a.recorderId < b.recorderId;
+    return a.seq < b.seq;
+}
+
+} // namespace
+
+std::vector<RawRecord>
+ControlEvaluationComputer::merge(
+    const std::vector<std::vector<RawRecord>> &locals)
+{
+    struct Cursor
+    {
+        const std::vector<RawRecord> *trace;
+        std::size_t pos;
+    };
+
+    struct CursorLater
+    {
+        bool
+        operator()(const Cursor &a, const Cursor &b) const
+        {
+            return recordBefore((*b.trace)[b.pos], (*a.trace)[a.pos]);
+        }
+    };
+
+    std::size_t total = 0;
+    std::priority_queue<Cursor, std::vector<Cursor>, CursorLater> heap;
+    for (const auto &local : locals) {
+        // Local traces must themselves be time-ordered; the recorder
+        // guarantees this because its clock is monotonic.
+        if (!std::is_sorted(local.begin(), local.end(), recordBefore))
+            sim::warn("CEC: a local trace is not time-ordered; the "
+                      "merge will still sort correctly per record");
+        total += local.size();
+        if (!local.empty())
+            heap.push(Cursor{&local, 0});
+    }
+
+    std::vector<RawRecord> global;
+    global.reserve(total);
+    while (!heap.empty()) {
+        Cursor c = heap.top();
+        heap.pop();
+        global.push_back((*c.trace)[c.pos]);
+        if (++c.pos < c.trace->size())
+            heap.push(c);
+    }
+
+    // Guard against unsorted inputs: enforce global order.
+    if (!std::is_sorted(global.begin(), global.end(), recordBefore))
+        std::stable_sort(global.begin(), global.end(), recordBefore);
+
+    return global;
+}
+
+std::vector<RawRecord>
+ControlEvaluationComputer::collectAndMerge() const
+{
+    std::vector<std::vector<RawRecord>> locals;
+    for (const auto *agent : agents) {
+        for (std::uint16_t rid : agent->recorderIds())
+            locals.push_back(agent->localTrace(rid));
+    }
+    return merge(locals);
+}
+
+} // namespace zm4
+} // namespace supmon

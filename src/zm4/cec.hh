@@ -1,0 +1,65 @@
+/**
+ * @file
+ * The control and evaluation computer (CEC).
+ *
+ * "When a measurement has been carried out, the event traces recorded
+ * by the event recorders and stored on the disks of the monitor
+ * agents are transmitted via the data channel to the control and
+ * evaluation computer. There the local traces can be merged to one
+ * global trace, since events can be sorted according to their
+ * globally valid time stamps." (paper, section 3.1)
+ *
+ * The CEC performs a k-way merge of the (per-recorder, time-ordered)
+ * local traces. Ties are broken by recorder id and capture sequence
+ * so the merge is deterministic.
+ */
+
+#ifndef ZM4_CEC_HH
+#define ZM4_CEC_HH
+
+#include <vector>
+
+#include "zm4/monitor_agent.hh"
+
+namespace supmon
+{
+namespace zm4
+{
+
+class ControlEvaluationComputer
+{
+  public:
+    /** Connect a monitor agent through the data channel (Ethernet). */
+    void
+    connectAgent(const MonitorAgent &agent)
+    {
+        agents.push_back(&agent);
+    }
+
+    /**
+     * Transfer all local traces and merge them into one global trace
+     * ordered by time stamp.
+     */
+    std::vector<RawRecord> collectAndMerge() const;
+
+    /**
+     * Merge already-collected local traces (each must be
+     * time-ordered). Exposed for tests and offline use.
+     */
+    static std::vector<RawRecord>
+    merge(const std::vector<std::vector<RawRecord>> &locals);
+
+    std::size_t
+    agentCount() const
+    {
+        return agents.size();
+    }
+
+  private:
+    std::vector<const MonitorAgent *> agents;
+};
+
+} // namespace zm4
+} // namespace supmon
+
+#endif // ZM4_CEC_HH

@@ -1,0 +1,104 @@
+#include "event_recorder.hh"
+
+#include "sim/logging.hh"
+#include "zm4/monitor_agent.hh"
+
+namespace supmon
+{
+namespace zm4
+{
+
+EventRecorder::EventRecorder(sim::Simulation &simulation,
+                             std::uint16_t id, RecorderParams params)
+    : simul(simulation), recorderId(id), par(params)
+{
+    if (par.fifoCapacity == 0)
+        sim::fatal("event recorder FIFO capacity must be positive");
+}
+
+void
+EventRecorder::attachAgent(MonitorAgent &a)
+{
+    a.attachRecorder(*this);
+    agent = &a;
+}
+
+sim::Tick
+EventRecorder::timestampOf(sim::Tick now) const
+{
+    // Local clock: drift scales the elapsed time, offset shifts the
+    // epoch; the result is quantized to the 100 ns resolution.
+    const long double drifted =
+        static_cast<long double>(now) * (1.0L + clockDriftPpm * 1e-6L);
+    long double local = drifted + static_cast<long double>(clockOffset);
+    if (local < 0.0L)
+        local = 0.0L;
+    const auto ticks = static_cast<sim::Tick>(local);
+    return ticks - ticks % par.clockResolution;
+}
+
+void
+EventRecorder::record(unsigned channel, std::uint64_t data48)
+{
+    const sim::Tick now = simul.now();
+
+    // Input bandwidth limit: one 96-bit entry per 1/inputEventsPerSec
+    // (120 MB/s = 100 ns per entry). Requests arriving faster - e.g.
+    // simultaneous requests on different channels - are absorbed by a
+    // small input latch (Req/Gnt handshake) of latchDepth entries;
+    // beyond that the input overruns and the event is lost.
+    const sim::Tick min_gap = sim::transferTime(1, par.inputEventsPerSec);
+    constexpr unsigned latch_depth = 8;
+    if (!anyInput || now >= lastInputAt + min_gap) {
+        anyInput = true;
+        lastInputAt = now;
+    } else if (lastInputAt + min_gap - now <= latch_depth * min_gap) {
+        // Latched: serialized behind the previous entries.
+        lastInputAt += min_gap;
+    } else {
+        ++lostInput;
+        gapPending = true;
+        return;
+    }
+
+    if (fifo.size() >= par.fifoCapacity) {
+        ++lostOverflow;
+        gapPending = true;
+        return;
+    }
+
+    RawRecord rec;
+    rec.data48 = data48;
+    rec.timestamp = timestampOf(now);
+    rec.channel = static_cast<std::uint8_t>(channel % par.channels);
+    rec.flags = gapPending ? flagOverflowGap : 0;
+    rec.recorderId = recorderId;
+    rec.seq = seqCounter++;
+    gapPending = false;
+
+    fifo.push_back(rec);
+    fifoHighWater = std::max(fifoHighWater, fifo.size());
+    ++recorded;
+    scheduleDrain();
+}
+
+void
+EventRecorder::scheduleDrain()
+{
+    if (drainPending || fifo.empty() || !agent)
+        return;
+    drainPending = true;
+    const sim::Tick done = agent->reserveDiskSlot(simul.now());
+    simul.scheduleAt(done, [this] {
+        drainPending = false;
+        if (fifo.empty())
+            sim::panic("event recorder %u: drain with empty FIFO",
+                       recorderId);
+        agent->store(fifo.front());
+        fifo.pop_front();
+        scheduleDrain();
+    });
+}
+
+} // namespace zm4
+} // namespace supmon

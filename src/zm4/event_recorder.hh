@@ -1,0 +1,187 @@
+/**
+ * @file
+ * The ZM4 event recorder (paper, section 3.1).
+ *
+ * The event recorder is a plug-in board for a monitor agent (a
+ * standard PC/AT). One recorder can record up to four independent
+ * event streams. Upon a request signal it stores the event data
+ * together with a time stamp and a flag field into a FIFO buffer of
+ * 32K x 96 bits; the FIFO contents are written onto the disk of the
+ * monitor agent concurrently.
+ *
+ * Published characteristics modelled here:
+ *  - clock resolution 100 ns;
+ *  - about 10000 events/s sustained from FIFO to MA disk (limited by
+ *    the MA's disk transfer rate - the limit therefore lives in
+ *    MonitorAgent and is shared between its recorders);
+ *  - 120 MByte/s FIFO input bandwidth, allowing peak rates of 10
+ *    million events per second during bursts;
+ *  - events are lost (and flagged) when the FIFO overflows or the
+ *    input bandwidth is exceeded.
+ *
+ * The local clock may be offset and may drift; connecting the
+ * measure tick generator (MeasureTickGenerator) synchronizes all
+ * recorder clocks so that time stamps are globally valid.
+ */
+
+#ifndef ZM4_EVENT_RECORDER_HH
+#define ZM4_EVENT_RECORDER_HH
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "sim/event_queue.hh"
+#include "sim/types.hh"
+
+namespace supmon
+{
+namespace zm4
+{
+
+class MonitorAgent;
+
+/** Flag bits stored with each record. */
+constexpr std::uint8_t flagOverflowGap = 0x01;
+
+/** One 96-bit FIFO entry: 48 bits of data, time stamp, flag field. */
+struct RawRecord
+{
+    std::uint64_t data48 = 0;
+    /** Local-clock time stamp, quantized to the clock resolution. */
+    sim::Tick timestamp = 0;
+    std::uint8_t channel = 0;
+    std::uint8_t flags = 0;
+    /** Recorder that produced the record. */
+    std::uint16_t recorderId = 0;
+    /** Capture sequence number within the recorder. */
+    std::uint64_t seq = 0;
+};
+
+struct RecorderParams
+{
+    /** FIFO buffer of size 32K x 96 bits. */
+    std::size_t fifoCapacity = 32768;
+    /** Clock resolution: 100 ns. */
+    sim::Tick clockResolution = 100;
+    /** Input bandwidth 120 MByte/s = one 96-bit entry per 100 ns. */
+    std::uint64_t inputEventsPerSec = 10000000;
+    /** Independent event streams per recorder. */
+    unsigned channels = 4;
+};
+
+class EventRecorder
+{
+  public:
+    EventRecorder(sim::Simulation &simulation, std::uint16_t id,
+                  RecorderParams params = {});
+    EventRecorder(const EventRecorder &) = delete;
+    EventRecorder &operator=(const EventRecorder &) = delete;
+
+    std::uint16_t
+    id() const
+    {
+        return recorderId;
+    }
+
+    const RecorderParams &
+    params() const
+    {
+        return par;
+    }
+
+    /**
+     * The request signal: capture a 48-bit event on @p channel now.
+     * Timestamping uses the local clock; the entry goes into the FIFO
+     * unless the input bandwidth or the FIFO capacity is exceeded.
+     */
+    void record(unsigned channel, std::uint64_t data48);
+
+    /** Connect this recorder's drain path to a monitor agent. */
+    void attachAgent(MonitorAgent &agent);
+
+    /** @{ local clock configuration (overridden by the MTG) */
+    void
+    configureClock(sim::TickDelta offset_ns, double drift_ppm)
+    {
+        clockOffset = offset_ns;
+        clockDriftPpm = drift_ppm;
+    }
+
+    /** Local-clock reading for simulated time @p now. */
+    sim::Tick timestampOf(sim::Tick now) const;
+
+    sim::TickDelta
+    clockOffsetNs() const
+    {
+        return clockOffset;
+    }
+
+    double
+    driftPpm() const
+    {
+        return clockDriftPpm;
+    }
+    /** @} */
+
+    /** @{ statistics */
+    std::uint64_t
+    recordedCount() const
+    {
+        return recorded;
+    }
+
+    std::uint64_t
+    lostToOverflow() const
+    {
+        return lostOverflow;
+    }
+
+    std::uint64_t
+    lostToInputRate() const
+    {
+        return lostInput;
+    }
+
+    std::size_t
+    fifoDepth() const
+    {
+        return fifo.size();
+    }
+
+    std::size_t
+    maxFifoDepth() const
+    {
+        return fifoHighWater;
+    }
+    /** @} */
+
+  private:
+    void scheduleDrain();
+
+    sim::Simulation &simul;
+    std::uint16_t recorderId;
+    RecorderParams par;
+
+    std::deque<RawRecord> fifo;
+    std::size_t fifoHighWater = 0;
+    MonitorAgent *agent = nullptr;
+    bool drainPending = false;
+
+    sim::TickDelta clockOffset = 0;
+    double clockDriftPpm = 0.0;
+
+    sim::Tick lastInputAt = 0;
+    bool anyInput = false;
+    bool gapPending = false;
+
+    std::uint64_t recorded = 0;
+    std::uint64_t lostOverflow = 0;
+    std::uint64_t lostInput = 0;
+    std::uint64_t seqCounter = 0;
+};
+
+} // namespace zm4
+} // namespace supmon
+
+#endif // ZM4_EVENT_RECORDER_HH

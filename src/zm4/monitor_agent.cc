@@ -1,0 +1,32 @@
+#include "monitor_agent.hh"
+
+#include "sim/logging.hh"
+
+namespace supmon
+{
+namespace zm4
+{
+
+void
+MonitorAgent::attachRecorder(EventRecorder &recorder)
+{
+    (void)recorder;
+    if (attached >= 4) {
+        sim::fatal("monitor agent '%s': up to four DPUs can be plugged "
+                   "into one monitor agent", name.c_str());
+    }
+    ++attached;
+}
+
+std::vector<std::uint16_t>
+MonitorAgent::recorderIds() const
+{
+    std::vector<std::uint16_t> ids;
+    ids.reserve(traces.size());
+    for (const auto &kv : traces)
+        ids.push_back(kv.first);
+    return ids;
+}
+
+} // namespace zm4
+} // namespace supmon

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * The measure tick generator (MTG) - the master part of the ZM4's
+ * global clock.
+ *
+ * "The local clocks of the event recorders can be started
+ * simultaneously by a signal on the tick channel. A manchester-coded
+ * signal which is transmitted continuously via the tick channel
+ * prevents skewing of the local clocks. Thus the local clocks can
+ * provide globally valid timing information." (paper, section 3.1)
+ *
+ * In the model, connecting a recorder to the MTG and starting the
+ * measurement forces its clock offset and drift to zero - local time
+ * stamps then *are* global time. The interesting case for the
+ * bench_global_clock experiment is the unsynchronized configuration,
+ * where offsets/drifts mis-order events across recorders.
+ */
+
+#ifndef ZM4_MTG_HH
+#define ZM4_MTG_HH
+
+#include <vector>
+
+#include "zm4/event_recorder.hh"
+
+namespace supmon
+{
+namespace zm4
+{
+
+class MeasureTickGenerator
+{
+  public:
+    /** Connect a recorder to the tick channel. */
+    void
+    connect(EventRecorder &recorder)
+    {
+        recorders.push_back(&recorder);
+    }
+
+    /**
+     * Start all connected local clocks simultaneously and keep them
+     * skew-free through the continuous manchester-coded signal.
+     */
+    void
+    startMeasurement()
+    {
+        for (auto *r : recorders)
+            r->configureClock(0, 0.0);
+        started = true;
+    }
+
+    bool
+    measurementStarted() const
+    {
+        return started;
+    }
+
+    std::size_t
+    connectedRecorders() const
+    {
+        return recorders.size();
+    }
+
+  private:
+    std::vector<EventRecorder *> recorders;
+    bool started = false;
+};
+
+} // namespace zm4
+} // namespace supmon
+
+#endif // ZM4_MTG_HH

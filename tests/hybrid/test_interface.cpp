@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Tests of the SUPRENUM/ZM4 interface (Figure 3): probes on the
+ * seven segment display, glyph recognition, request signal.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "hybrid/event_code.hh"
+#include "hybrid/interface.hh"
+
+using namespace supmon;
+using hybrid::SuprenumInterface;
+using hybrid::encodePatternSequence;
+using hybrid::unpack48;
+using suprenum::SevenSegmentDisplay;
+using suprenum::sevenSegmentFont;
+
+TEST(Interface, AttachReservesDisplayForMonitoring)
+{
+    SevenSegmentDisplay disp;
+    SuprenumInterface iface;
+    iface.attach(disp, [](std::uint64_t, sim::Tick) {});
+    EXPECT_TRUE(disp.reservedForMonitoring());
+}
+
+TEST(Interface, ReconstructsEventFromDisplayWrites)
+{
+    SevenSegmentDisplay disp;
+    SuprenumInterface iface;
+    std::vector<std::uint64_t> events;
+    std::vector<sim::Tick> times;
+    iface.attach(disp, [&](std::uint64_t data, sim::Tick when) {
+        events.push_back(data);
+        times.push_back(when);
+    });
+    const auto seq = encodePatternSequence(0x0102, 0x030405);
+    sim::Tick t = 1000;
+    for (std::uint8_t p : seq)
+        disp.write(p, t += 3000);
+    ASSERT_EQ(events.size(), 1u);
+    const auto d = unpack48(events[0]);
+    EXPECT_EQ(d.token, 0x0102);
+    EXPECT_EQ(d.param, 0x030405u);
+    // The request fires at the last pattern's write time.
+    EXPECT_EQ(times[0], t);
+}
+
+TEST(Interface, FirmwareNoiseCannotCorruptWhileReserved)
+{
+    SevenSegmentDisplay disp;
+    SuprenumInterface iface;
+    int events = 0;
+    iface.attach(disp, [&](std::uint64_t, sim::Tick) { ++events; });
+    // Firmware tries to write its status mid-event; suppressed.
+    const auto seq = encodePatternSequence(1, 2);
+    for (std::size_t i = 0; i < seq.size(); ++i) {
+        disp.write(seq[i], static_cast<sim::Tick>(i));
+        disp.write(0x5, static_cast<sim::Tick>(i), true);
+    }
+    EXPECT_EQ(events, 1);
+    EXPECT_EQ(iface.detector().protocolErrors(), 0u);
+    EXPECT_GT(disp.suppressedFirmwareWrites(), 0u);
+}
+
+TEST(Interface, UnreservedFirmwareNoiseIsDetectedAsViolation)
+{
+    // Without the reservation the atomicity condition would break:
+    // the detector sees the corruption and counts protocol errors
+    // instead of producing a bogus event.
+    SevenSegmentDisplay disp;
+    SuprenumInterface iface;
+    int events = 0;
+    iface.attach(disp, [&](std::uint64_t, sim::Tick) { ++events; });
+    disp.reserveForMonitoring(false); // violate the condition
+    const auto seq = encodePatternSequence(1, 2);
+    for (std::size_t i = 0; i < seq.size(); ++i) {
+        disp.write(seq[i], static_cast<sim::Tick>(i));
+        if (i == 7)
+            disp.write(0x9, static_cast<sim::Tick>(i), true);
+    }
+    EXPECT_EQ(events, 0);
+    EXPECT_GT(iface.detector().protocolErrors(), 0u);
+}
+
+TEST(Interface, UnknownGlyphsAreCounted)
+{
+    SuprenumInterface iface;
+    iface.observe(0x00, 0); // not a valid 7-segment glyph
+    EXPECT_EQ(iface.unknownGlyphCount(), 1u);
+}
+
+TEST(Interface, ObserveAcceptsRawGlyphStream)
+{
+    SevenSegmentDisplay disp;
+    SuprenumInterface iface;
+    std::vector<std::uint64_t> events;
+    iface.attach(disp,
+                 [&](std::uint64_t d, sim::Tick) { events.push_back(d); });
+    const auto seq = encodePatternSequence(0xcafe, 0xf00df00d);
+    for (std::uint8_t p : seq)
+        iface.observe(sevenSegmentFont[p], 0);
+    ASSERT_EQ(events.size(), 1u);
+    EXPECT_EQ(unpack48(events[0]).token, 0xcafe);
+}

@@ -1,0 +1,234 @@
+/**
+ * @file
+ * Whole-toolchain integration tests: instrumented program ->
+ * seven-segment interface -> ZM4 -> CEC merge -> SIMPLE-style
+ * evaluation, plus cross-checks between monitor-derived and
+ * kernel-derived ground truth.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "hybrid/instrument.hh"
+#include "hybrid/interface.hh"
+#include "sim/logging.hh"
+#include "suprenum/machine.hh"
+#include "suprenum/mailbox.hh"
+#include "trace/gantt.hh"
+#include "trace/report.hh"
+#include "zm4/cec.hh"
+#include "zm4/mtg.hh"
+
+using namespace supmon;
+using hybrid::Instrumentor;
+using hybrid::MonitorMode;
+using suprenum::Machine;
+using suprenum::MachineParams;
+using suprenum::Pid;
+using suprenum::ProcessEnv;
+
+namespace
+{
+
+enum : std::uint16_t
+{
+    evPhaseA = 0x0101,
+    evPhaseB = 0x0102,
+};
+
+/** Full measurement stack around a machine. */
+struct MonitorStack
+{
+    zm4::MonitorAgent agent{"ma0"};
+    std::vector<std::unique_ptr<zm4::EventRecorder>> recorders;
+    std::vector<std::unique_ptr<hybrid::SuprenumInterface>> interfaces;
+    zm4::MeasureTickGenerator mtg;
+
+    MonitorStack(sim::Simulation &simul, Machine &machine,
+                 unsigned nodes)
+    {
+        for (unsigned n = 0; n < nodes; ++n) {
+            if (n % 4 == 0) {
+                recorders.push_back(
+                    std::make_unique<zm4::EventRecorder>(
+                        simul, static_cast<std::uint16_t>(n / 4)));
+                recorders.back()->attachAgent(agent);
+                mtg.connect(*recorders.back());
+            }
+            auto iface = std::make_unique<hybrid::SuprenumInterface>();
+            zm4::EventRecorder *rec = recorders[n / 4].get();
+            const unsigned channel = n % 4;
+            iface->attach(machine.nodeByIndex(n).display(),
+                          [rec, channel](std::uint64_t data,
+                                         sim::Tick) {
+                              rec->record(channel, data);
+                          });
+            interfaces.push_back(std::move(iface));
+        }
+        mtg.startMeasurement();
+    }
+
+    std::vector<trace::TraceEvent>
+    harvest() const
+    {
+        zm4::ControlEvaluationComputer cec;
+        cec.connectAgent(agent);
+        return trace::fromRawRecords(cec.collectAndMerge());
+    }
+};
+
+class EndToEnd : public ::testing::Test
+{
+  protected:
+    EndToEnd()
+    {
+        sim::setQuiet(true);
+        params.numClusters = 1;
+        params.nodesPerCluster = 4;
+        machine = std::make_unique<Machine>(simul, params);
+        stack = std::make_unique<MonitorStack>(simul, *machine, 4);
+    }
+
+    ~EndToEnd() override
+    {
+        sim::setQuiet(false);
+    }
+
+    sim::Simulation simul;
+    MachineParams params;
+    std::unique_ptr<Machine> machine;
+    std::unique_ptr<MonitorStack> stack;
+};
+
+} // namespace
+
+TEST_F(EndToEnd, MeasuredDurationsMatchProgrammedComputeTimes)
+{
+    // A process alternating 7 ms / 3 ms phases, 10 rounds.
+    const Pid init = machine->nodeByIndex(0).spawn(
+        "phases", [&](ProcessEnv env) -> sim::Task {
+            Instrumentor mon(env, MonitorMode::Hybrid);
+            for (int i = 0; i < 10; ++i) {
+                co_await mon(evPhaseA, static_cast<std::uint32_t>(i));
+                co_await env.compute(sim::milliseconds(7));
+                co_await mon(evPhaseB, static_cast<std::uint32_t>(i));
+                co_await env.compute(sim::milliseconds(3));
+            }
+        });
+    machine->setInitialProcess(init);
+    ASSERT_TRUE(machine->runToCompletion(sim::seconds(10)));
+
+    const auto events = stack->harvest();
+    ASSERT_EQ(events.size(), 20u);
+
+    trace::EventDictionary dict;
+    dict.defineBegin(evPhaseA, "A Begin", "A");
+    dict.defineBegin(evPhaseB, "B Begin", "B");
+    const auto map = trace::ActivityMap::build(events, dict);
+    const auto stats = map.durationStats();
+
+    // Phase A intervals: 7 ms compute + one hybrid_mon call (100 us)
+    // that starts phase B; allow the 100 ns quantization.
+    const auto &a = stats.at({0, "A"});
+    EXPECT_EQ(a.count(), 10u);
+    EXPECT_NEAR(a.mean(), 7.1e6, 2e3);
+    const auto &b = stats.at({0, "B"});
+    EXPECT_EQ(b.count(), 9u); // last B runs to trace end
+    EXPECT_NEAR(b.mean(), 3.1e6, 2e3);
+}
+
+TEST_F(EndToEnd, CrossNodeEventOrderIsCausal)
+{
+    // Ping-pong over mailboxes: the merged trace must alternate
+    // strictly between the two nodes' send events.
+    suprenum::Mailbox box_a(machine->nodeByIndex(0), "box-a");
+    suprenum::Mailbox box_b(machine->nodeByIndex(1), "box-b");
+    constexpr int rounds = 15;
+
+    machine->nodeByIndex(1).spawn(
+        "pong", [&](ProcessEnv env) -> sim::Task {
+            Instrumentor mon(env, MonitorMode::Hybrid);
+            for (int i = 0; i < rounds; ++i) {
+                co_await box_b.read(env);
+                co_await mon(evPhaseB, static_cast<std::uint32_t>(i));
+                co_await env.send(box_a.pid(), 64, 1, i);
+            }
+        });
+    const Pid init = machine->nodeByIndex(0).spawn(
+        "ping", [&](ProcessEnv env) -> sim::Task {
+            Instrumentor mon(env, MonitorMode::Hybrid);
+            for (int i = 0; i < rounds; ++i) {
+                co_await mon(evPhaseA, static_cast<std::uint32_t>(i));
+                co_await env.send(box_b.pid(), 64, 1, i);
+                co_await box_a.read(env);
+            }
+        });
+    machine->setInitialProcess(init);
+    ASSERT_TRUE(machine->runToCompletion(sim::seconds(30)));
+
+    const auto events = stack->harvest();
+    ASSERT_EQ(events.size(), 2u * rounds);
+    // Expect A(0) B(0) A(1) B(1) ... in global time stamp order.
+    for (int i = 0; i < rounds; ++i) {
+        const auto &a = events[static_cast<std::size_t>(2 * i)];
+        const auto &b = events[static_cast<std::size_t>(2 * i + 1)];
+        EXPECT_EQ(a.token, evPhaseA);
+        EXPECT_EQ(a.param, static_cast<std::uint32_t>(i));
+        EXPECT_EQ(b.token, evPhaseB);
+        EXPECT_EQ(b.param, static_cast<std::uint32_t>(i));
+        EXPECT_LT(a.timestamp, b.timestamp);
+    }
+}
+
+TEST_F(EndToEnd, EveryHybridMonBecomesExactlyOneRecord)
+{
+    constexpr int count = 50;
+    const Pid init = machine->nodeByIndex(2).spawn(
+        "emitter", [&](ProcessEnv env) -> sim::Task {
+            Instrumentor mon(env, MonitorMode::Hybrid);
+            for (int i = 0; i < count; ++i) {
+                co_await mon(evPhaseA, static_cast<std::uint32_t>(i));
+                co_await env.compute(sim::milliseconds(1));
+            }
+        });
+    machine->setInitialProcess(init);
+    ASSERT_TRUE(machine->runToCompletion(sim::seconds(10)));
+    const auto events = stack->harvest();
+    ASSERT_EQ(events.size(), static_cast<std::size_t>(count));
+    for (int i = 0; i < count; ++i) {
+        EXPECT_EQ(events[static_cast<std::size_t>(i)].param,
+                  static_cast<std::uint32_t>(i));
+        // Node 2 = recorder 0, channel 2.
+        EXPECT_EQ(events[static_cast<std::size_t>(i)].stream, 2u);
+    }
+}
+
+TEST_F(EndToEnd, KernelAccountingAgreesWithTrace)
+{
+    // The monitor-derived busy time must match the kernel's own
+    // accounting of the process's Running time.
+    const Pid init = machine->nodeByIndex(0).spawn(
+        "worker", [&](ProcessEnv env) -> sim::Task {
+            Instrumentor mon(env, MonitorMode::Hybrid);
+            co_await mon(evPhaseA, 0);
+            co_await env.compute(sim::milliseconds(25));
+            co_await mon(evPhaseB, 0);
+            co_await env.sleep(sim::milliseconds(10));
+        });
+    machine->setInitialProcess(init);
+    ASSERT_TRUE(machine->runToCompletion(sim::seconds(10)));
+
+    const auto events = stack->harvest();
+    ASSERT_EQ(events.size(), 2u);
+    const sim::Tick traced_a =
+        events[1].timestamp - events[0].timestamp;
+    // 25 ms compute + 100 us hybrid_mon, quantized.
+    EXPECT_NEAR(static_cast<double>(traced_a), 25.1e6, 2e3);
+
+    const auto *lwp = machine->nodeByIndex(0).find(init.lwp);
+    ASSERT_NE(lwp, nullptr);
+    // Kernel accounting: both hybrid_mon calls + compute are Running.
+    EXPECT_EQ(lwp->accounting.running,
+              sim::milliseconds(25) + 2 * params.hybridMonCost);
+}

@@ -1,0 +1,196 @@
+/**
+ * @file
+ * Tests of the communication agent pool: on-demand creation, message
+ * forwarding, reuse, and the emergent pool size.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "partracer/agent.hh"
+#include "sim/logging.hh"
+#include "suprenum/machine.hh"
+
+using namespace supmon;
+using par::AgentPool;
+using suprenum::Machine;
+using suprenum::MachineParams;
+using suprenum::Message;
+using suprenum::Pid;
+using suprenum::ProcessEnv;
+
+namespace
+{
+
+class AgentTest : public ::testing::Test
+{
+  protected:
+    AgentTest()
+    {
+        sim::setQuiet(true);
+        params.numClusters = 1;
+        params.nodesPerCluster = 8;
+        machine = std::make_unique<Machine>(simul, params);
+        pool = std::make_unique<AgentPool>(machine->nodeByIndex(0),
+                                           "test",
+                                           hybrid::MonitorMode::Off);
+    }
+
+    ~AgentTest() override
+    {
+        sim::setQuiet(false);
+    }
+
+    /** Spawn a sink process that receives @p n messages with a fixed
+     *  service time each. */
+    Pid
+    sink(unsigned node, int n, sim::Tick service)
+    {
+        return machine->nodeByIndex(node).spawn(
+            "sink" + std::to_string(node),
+            [this, n, service](ProcessEnv env) -> sim::Task {
+                for (int i = 0; i < n; ++i) {
+                    co_await env.receive();
+                    ++received;
+                    if (service)
+                        co_await env.compute(service);
+                }
+            });
+    }
+
+    sim::Simulation simul;
+    MachineParams params;
+    std::unique_ptr<Machine> machine;
+    std::unique_ptr<AgentPool> pool;
+    int received = 0;
+};
+
+} // namespace
+
+TEST_F(AgentTest, FirstSubmitCreatesAnAgent)
+{
+    const Pid dst = sink(1, 1, 0);
+    machine->nodeByIndex(0).spawn(
+        "owner", [&](ProcessEnv env) -> sim::Task {
+            pool->submit(dst, 64, 1, 0);
+            co_await env.yield();
+        });
+    simul.run();
+    EXPECT_EQ(pool->poolSize(), 1u);
+    EXPECT_EQ(pool->forwardedCount(), 1u);
+    EXPECT_EQ(received, 1);
+}
+
+TEST_F(AgentTest, SequentialSubmitsReuseTheSameAgent)
+{
+    const Pid dst = sink(1, 5, 0);
+    machine->nodeByIndex(0).spawn(
+        "owner", [&](ProcessEnv env) -> sim::Task {
+            for (int i = 0; i < 5; ++i) {
+                pool->submit(dst, 64, 1, i);
+                co_await env.yield();
+                // Wait for the forward to finish before the next one.
+                co_await env.sleep(sim::milliseconds(30));
+            }
+        });
+    simul.run();
+    EXPECT_EQ(pool->poolSize(), 1u);
+    EXPECT_EQ(pool->forwardedCount(), 5u);
+    EXPECT_EQ(received, 5);
+}
+
+TEST_F(AgentTest, BurstGrowsThePool)
+{
+    // Five messages to five *slow* receivers submitted back to back:
+    // every agent is engaged, so the pool must grow to ~5.
+    std::vector<Pid> sinks;
+    for (unsigned s = 0; s < 5; ++s)
+        sinks.push_back(sink(s + 1, 1, sim::milliseconds(100)));
+    // Keep each receiver busy so acceptance is deferred.
+    for (unsigned s = 0; s < 5; ++s) {
+        machine->nodeByIndex(s + 1).spawn(
+            "hog", [&](ProcessEnv env) -> sim::Task {
+                co_await env.compute(sim::milliseconds(50));
+            });
+    }
+    machine->nodeByIndex(0).spawn(
+        "owner", [&](ProcessEnv env) -> sim::Task {
+            for (const Pid &dst : sinks) {
+                pool->submit(dst, 64, 1, 0);
+                co_await env.yield();
+            }
+        });
+    simul.run();
+    EXPECT_GE(pool->poolSize(), 3u);
+    EXPECT_LE(pool->poolSize(), 5u);
+    EXPECT_EQ(pool->forwardedCount(), 5u);
+    EXPECT_EQ(received, 5);
+}
+
+TEST_F(AgentTest, OwnerIsNotBlockedByBusyReceiver)
+{
+    // The whole point of the agents: the owner hands the message off
+    // and continues immediately even though the receiver is busy.
+    const Pid dst = sink(1, 1, 0);
+    machine->nodeByIndex(1).spawn("hog",
+                                  [&](ProcessEnv env) -> sim::Task {
+                                      co_await env.compute(
+                                          sim::milliseconds(80));
+                                  });
+    sim::Tick owner_continued = 0;
+    machine->nodeByIndex(0).spawn(
+        "owner", [&](ProcessEnv env) -> sim::Task {
+            pool->submit(dst, 64, 1, 0);
+            co_await env.yield();
+            owner_continued = env.now();
+        });
+    simul.run();
+    EXPECT_LT(owner_continued, sim::milliseconds(10));
+    EXPECT_EQ(received, 1);
+}
+
+TEST_F(AgentTest, PendingQueueDrainsInOrder)
+{
+    std::vector<int> order;
+    const Pid dst = machine->nodeByIndex(1).spawn(
+        "sink", [&](ProcessEnv env) -> sim::Task {
+            for (int i = 0; i < 4; ++i) {
+                Message m = co_await env.receive();
+                order.push_back(suprenum::payloadAs<int>(m));
+            }
+        });
+    machine->nodeByIndex(0).spawn(
+        "owner", [&](ProcessEnv env) -> sim::Task {
+            for (int i = 0; i < 4; ++i)
+                pool->submit(dst, 64, 1, i);
+            co_await env.yield();
+        });
+    simul.run();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+    EXPECT_EQ(pool->pendingCount(), 0u);
+}
+
+TEST_F(AgentTest, SpuriousWakeupsAreCountedNotFatal)
+{
+    // Submit two messages while one agent sleeps: the freed agent can
+    // drain the queue before a newly woken one sees it.
+    const Pid dst = sink(1, 6, 0);
+    machine->nodeByIndex(0).spawn(
+        "owner", [&](ProcessEnv env) -> sim::Task {
+            // Round 1 creates one agent and lets it sleep again.
+            pool->submit(dst, 64, 1, 0);
+            co_await env.yield();
+            co_await env.sleep(sim::milliseconds(30));
+            // Round 2: submit several quickly.
+            for (int i = 1; i < 6; ++i)
+                pool->submit(dst, 64, 1, i);
+            co_await env.yield();
+        });
+    simul.run();
+    EXPECT_EQ(received, 6);
+    EXPECT_EQ(pool->forwardedCount(), 6u);
+    // Spurious wakeups may or may not occur; the counter is sane.
+    EXPECT_LE(pool->spuriousWakeups(), 64u);
+}

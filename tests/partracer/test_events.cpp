@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Tests of the ray tracer's event tokens, stream demultiplexing and
+ * dictionary.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "hybrid/event_code.hh"
+#include "partracer/events.hh"
+#include "partracer/config.hh"
+#include "partracer/protocol.hh"
+
+using namespace supmon;
+using namespace supmon::par;
+
+TEST(Tokens, ClassEncodedInHighByte)
+{
+    EXPECT_EQ(tokenClassOf(evDistributeJobsBegin), TokenClass::Master);
+    EXPECT_EQ(tokenClassOf(evWritePixelsEnd), TokenClass::Master);
+    EXPECT_EQ(tokenClassOf(evWorkBegin), TokenClass::Servant);
+    EXPECT_EQ(tokenClassOf(evSendResultsBegin), TokenClass::Servant);
+    EXPECT_EQ(tokenClassOf(evAgentForward), TokenClass::Agent);
+    EXPECT_EQ(tokenClassOf(0x0901), TokenClass::Unknown);
+}
+
+TEST(Streams, MasterServantAgentSeparated)
+{
+    EXPECT_EQ(streamOf(0, TokenClass::Master), 0u);
+    EXPECT_EQ(streamOf(0, TokenClass::Servant), 1u);
+    EXPECT_EQ(streamOf(0, TokenClass::Agent, 0), 2u);
+    EXPECT_EQ(streamOf(0, TokenClass::Agent, 3), 5u);
+    EXPECT_EQ(streamOf(1, TokenClass::Servant), streamsPerNode + 1);
+}
+
+TEST(Streams, AgentIndexSaturates)
+{
+    EXPECT_EQ(streamOf(0, TokenClass::Agent, 99),
+              streamOf(0, TokenClass::Agent, 5));
+}
+
+TEST(Streams, LogicalStreamFromRawRecord)
+{
+    zm4::RawRecord rec;
+    rec.recorderId = 1;
+    rec.channel = 2; // node 6
+    rec.data48 = hybrid::pack48(evWorkBegin, 0);
+    EXPECT_EQ(logicalStreamOf(rec), 6 * streamsPerNode + 1);
+
+    rec.data48 = hybrid::pack48(evAgentSleep, 2u << 24);
+    EXPECT_EQ(logicalStreamOf(rec), 6 * streamsPerNode + 2 + 2);
+
+    rec.data48 = hybrid::pack48(evDistributeJobsBegin, 0);
+    EXPECT_EQ(logicalStreamOf(rec), 6 * streamsPerNode + 0);
+}
+
+TEST(Dictionary, ContainsThePaperStateNames)
+{
+    const auto dict = rayTracerDictionary();
+    const char *states[] = {"DISTRIBUTE JOBS", "SEND JOBS",
+                            "WAIT FOR RESULTS", "RECEIVE RESULTS",
+                            "WRITE PIXELS", "WAIT FOR JOB", "WORK",
+                            "SEND RESULTS", "WAKE UP",
+                            "FORWARD MESSAGE", "FREED", "SLEEP"};
+    const auto in_order = dict.statesInOrder();
+    for (const char *state : states) {
+        EXPECT_NE(std::find(in_order.begin(), in_order.end(), state),
+                  in_order.end())
+            << "missing state " << state;
+    }
+    // The master rows come before the servant rows as in Figure 7.
+    EXPECT_LT(std::find(in_order.begin(), in_order.end(),
+                        "DISTRIBUTE JOBS"),
+              std::find(in_order.begin(), in_order.end(), "WORK"));
+}
+
+TEST(Dictionary, EndEventsArePointMarkers)
+{
+    const auto dict = rayTracerDictionary();
+    EXPECT_EQ(dict.find(evSendJobsEnd)->kind, trace::EventKind::Point);
+    EXPECT_EQ(dict.find(evWritePixelsEnd)->kind,
+              trace::EventKind::Point);
+    EXPECT_EQ(dict.find(evWorkBegin)->kind, trace::EventKind::Begin);
+}
+
+TEST(Protocol, WireSizes)
+{
+    JobMsg job;
+    job.count = 100;
+    EXPECT_EQ(job.wireBytes(), 24u);
+    ResultMsg res;
+    res.colors.resize(100);
+    EXPECT_EQ(res.wireBytes(), 16u + 600u);
+}
+
+TEST(Config, VersionDefaultsMatchThePaper)
+{
+    RunConfig cfg;
+    cfg.version = Version::V1Mailbox;
+    cfg.applyVersionDefaults();
+    EXPECT_EQ(cfg.bundleSize, 1u);
+    EXPECT_EQ(cfg.windowSize, 3u);
+    EXPECT_FALSE(cfg.forwardAgents());
+    EXPECT_FALSE(cfg.reverseAgents());
+    EXPECT_FALSE(cfg.instrumentSendResults);
+
+    cfg.version = Version::V2AgentsForward;
+    cfg.applyVersionDefaults();
+    EXPECT_TRUE(cfg.forwardAgents());
+    EXPECT_FALSE(cfg.reverseAgents());
+    EXPECT_EQ(cfg.bundleSize, 1u);
+
+    cfg.version = Version::V3AgentsBoth;
+    cfg.applyVersionDefaults();
+    EXPECT_TRUE(cfg.reverseAgents());
+    EXPECT_EQ(cfg.bundleSize, 50u);
+
+    cfg.version = Version::V4Tuned;
+    cfg.applyVersionDefaults();
+    EXPECT_EQ(cfg.bundleSize, 100u);
+    // The queue fix: room for every window of every servant.
+    EXPECT_GE(cfg.pixelQueueLimit,
+              static_cast<std::size_t>(cfg.bundleSize) *
+                  cfg.windowSize * cfg.numServants);
+}
+
+TEST(Config, VersionNames)
+{
+    EXPECT_NE(std::string(versionName(Version::V1Mailbox)).find("V1"),
+              std::string::npos);
+    EXPECT_NE(std::string(versionName(Version::V4Tuned)).find("V4"),
+              std::string::npos);
+}

@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Tests of the ray partitioning schemes (paper, section 4.1): the
+ * static baselines produce complete, identical images, and the
+ * paper's qualitative ordering holds - contiguous static suffers from
+ * load imbalance, interleaving mitigates it, dynamic wins.
+ */
+
+#include <gtest/gtest.h>
+
+#include "partracer/runner.hh"
+#include "sim/logging.hh"
+
+using namespace supmon;
+using namespace supmon::par;
+
+namespace
+{
+
+class PartitioningTest : public ::testing::Test
+{
+  protected:
+    PartitioningTest()
+    {
+        sim::setQuiet(true);
+    }
+
+    ~PartitioningTest() override
+    {
+        sim::setQuiet(false);
+    }
+
+    static RunConfig
+    config(Assignment a, unsigned servants = 6, unsigned edge = 36)
+    {
+        RunConfig cfg;
+        cfg.version = Version::V4Tuned;
+        cfg.numServants = servants;
+        cfg.imageWidth = cfg.imageHeight = edge;
+        cfg.applyVersionDefaults();
+        cfg.assignment = a;
+        return cfg;
+    }
+};
+
+} // namespace
+
+TEST_F(PartitioningTest, StaticContiguousRendersCompleteImage)
+{
+    const auto res = runRayTracer(config(Assignment::StaticContiguous));
+    EXPECT_TRUE(res.completed);
+    EXPECT_EQ(res.missingPixels, 0u);
+    EXPECT_EQ(res.duplicatedPixels, 0u);
+    EXPECT_EQ(res.jobsSent, 6u); // one job per servant
+}
+
+TEST_F(PartitioningTest, StaticInterleavedRendersCompleteImage)
+{
+    const auto res = runRayTracer(config(Assignment::StaticInterleaved));
+    EXPECT_TRUE(res.completed);
+    EXPECT_EQ(res.missingPixels, 0u);
+    EXPECT_EQ(res.duplicatedPixels, 0u);
+    EXPECT_EQ(res.jobsSent, 6u);
+}
+
+TEST_F(PartitioningTest, AllSchemesProduceTheSameImage)
+{
+    const auto dynamic = runRayTracer(config(Assignment::Dynamic));
+    const auto contiguous =
+        runRayTracer(config(Assignment::StaticContiguous));
+    const auto interleaved =
+        runRayTracer(config(Assignment::StaticInterleaved));
+    ASSERT_EQ(dynamic.image->pixelCount(),
+              contiguous.image->pixelCount());
+    for (std::size_t i = 0; i < dynamic.image->pixelCount(); ++i) {
+        EXPECT_DOUBLE_EQ(dynamic.image->atLinear(i).x,
+                         contiguous.image->atLinear(i).x);
+        EXPECT_DOUBLE_EQ(dynamic.image->atLinear(i).y,
+                         interleaved.image->atLinear(i).y);
+    }
+}
+
+TEST_F(PartitioningTest, PaperOrderingHolds)
+{
+    // Section 4.1: static contiguous suffers from the high variance
+    // of per-ray times; interleaving partly solves it; the dynamic
+    // scheme is why the paper's design exists. Completion time is the
+    // discriminating metric.
+    const auto dynamic =
+        runRayTracer(config(Assignment::Dynamic, 8, 48));
+    const auto contiguous =
+        runRayTracer(config(Assignment::StaticContiguous, 8, 48));
+    const auto interleaved =
+        runRayTracer(config(Assignment::StaticInterleaved, 8, 48));
+    EXPECT_GT(contiguous.applicationTime, interleaved.applicationTime);
+    EXPECT_GT(contiguous.applicationTime, dynamic.applicationTime);
+    // Interleaved static and dynamic are close at this small scale
+    // (the paper says interleaving solves the imbalance "at least
+    // partly"); dynamic must not lose by more than a small margin
+    // here, and wins outright at the bench scale (see
+    // bench_ablation_partitioning).
+    EXPECT_LT(static_cast<double>(dynamic.applicationTime),
+              1.15 * static_cast<double>(interleaved.applicationTime));
+}
+
+TEST_F(PartitioningTest, UneventImageSizeSplitsCleanly)
+{
+    // 37x37 = 1369 pixels over 6 servants does not divide evenly.
+    auto cfg = config(Assignment::StaticContiguous);
+    cfg.imageWidth = cfg.imageHeight = 37;
+    const auto res = runRayTracer(cfg);
+    EXPECT_TRUE(res.completed);
+    EXPECT_EQ(res.missingPixels, 0u);
+    EXPECT_EQ(res.duplicatedPixels, 0u);
+
+    auto cfg2 = config(Assignment::StaticInterleaved);
+    cfg2.imageWidth = cfg2.imageHeight = 37;
+    const auto res2 = runRayTracer(cfg2);
+    EXPECT_EQ(res2.missingPixels, 0u);
+    EXPECT_EQ(res2.duplicatedPixels, 0u);
+}
+
+TEST_F(PartitioningTest, MoreServantsThanPixelsWorks)
+{
+    auto cfg = config(Assignment::StaticContiguous, 10);
+    cfg.imageWidth = 3;
+    cfg.imageHeight = 2; // 6 pixels, 10 servants
+    const auto res = runRayTracer(cfg);
+    EXPECT_TRUE(res.completed);
+    EXPECT_EQ(res.missingPixels, 0u);
+}
+
+TEST_F(PartitioningTest, AssignmentNamesAreStable)
+{
+    EXPECT_STREQ(assignmentName(Assignment::Dynamic), "dynamic");
+    EXPECT_STREQ(assignmentName(Assignment::StaticContiguous),
+                 "static-contiguous");
+    EXPECT_STREQ(assignmentName(Assignment::StaticInterleaved),
+                 "static-interleaved");
+}

@@ -1,0 +1,301 @@
+/**
+ * @file
+ * Integration tests of the end-to-end ray tracer runner: completion,
+ * image completeness, trace sanity, determinism, and monitoring
+ * statistics. Small configurations keep each test fast.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "partracer/runner.hh"
+#include "sim/logging.hh"
+#include "trace/gantt.hh"
+
+using namespace supmon;
+using namespace supmon::par;
+
+namespace
+{
+
+class RunnerTest : public ::testing::Test
+{
+  protected:
+    RunnerTest()
+    {
+        sim::setQuiet(true);
+    }
+
+    ~RunnerTest() override
+    {
+        sim::setQuiet(false);
+    }
+
+    RunConfig
+    smallConfig(Version v, unsigned servants = 4, unsigned edge = 24)
+    {
+        RunConfig cfg;
+        cfg.version = v;
+        cfg.numServants = servants;
+        cfg.imageWidth = edge;
+        cfg.imageHeight = edge;
+        cfg.applyVersionDefaults();
+        return cfg;
+    }
+};
+
+} // namespace
+
+namespace
+{
+
+/**
+ * Median number of concurrently engaged (forwarding) agents, sampled
+ * at every Forward event on the master node: the paper-comparable
+ * "size" of the communication agent pool in typical operation.
+ */
+std::size_t
+medianEngagedAgents(const par::RunResult &res)
+{
+    struct Busy
+    {
+        supmon::sim::Tick from;
+        supmon::sim::Tick to;
+    };
+    std::map<unsigned, supmon::sim::Tick> open;
+    std::vector<Busy> busy;
+    for (const auto &ev : res.events) {
+        if (ev.stream >= par::streamsPerNode)
+            continue; // master-node agents only
+        const unsigned agent = ev.param >> 24;
+        if (ev.token == par::evAgentForward) {
+            open[agent] = ev.timestamp;
+        } else if (ev.token == par::evAgentFreed) {
+            auto it = open.find(agent);
+            if (it != open.end()) {
+                busy.push_back({it->second, ev.timestamp});
+                open.erase(it);
+            }
+        }
+    }
+    if (busy.empty())
+        return 0;
+    std::vector<std::size_t> counts;
+    for (const auto &b : busy) {
+        std::size_t n = 0;
+        for (const auto &o : busy) {
+            if (o.from <= b.from && b.from < o.to)
+                ++n;
+        }
+        counts.push_back(n);
+    }
+    std::sort(counts.begin(), counts.end());
+    return counts[counts.size() / 2];
+}
+
+} // namespace
+
+TEST_F(RunnerTest, V1CompletesAndRendersEveryPixelExactlyOnce)
+{
+    const auto res = runRayTracer(smallConfig(Version::V1Mailbox));
+    EXPECT_TRUE(res.completed);
+    EXPECT_EQ(res.missingPixels, 0u);
+    EXPECT_EQ(res.duplicatedPixels, 0u);
+    EXPECT_EQ(res.jobsSent, 24u * 24u); // bundle 1
+    EXPECT_EQ(res.resultsReceived, res.jobsSent);
+    EXPECT_GT(res.image->meanLuminance(), 0.01);
+}
+
+TEST_F(RunnerTest, TraceIsTimeOrderedAndLossless)
+{
+    const auto res = runRayTracer(smallConfig(Version::V1Mailbox));
+    EXPECT_FALSE(res.events.empty());
+    EXPECT_TRUE(trace::isTimeOrdered(res.events));
+    EXPECT_EQ(res.eventsLost, 0u);
+    EXPECT_EQ(res.protocolErrors, 0u);
+    EXPECT_EQ(res.eventsRecorded, res.events.size());
+}
+
+TEST_F(RunnerTest, UtilizationMeasuredTracksGroundTruth)
+{
+    const auto res = runRayTracer(smallConfig(Version::V2AgentsForward));
+    ASSERT_GT(res.servantUtilizationMeasured, 0.0);
+    ASSERT_GT(res.servantUtilizationActual, 0.0);
+    // The measured number may only deviate through trace granularity
+    // and the instrumentation placement; it must stay close.
+    EXPECT_NEAR(res.servantUtilizationMeasured,
+                res.servantUtilizationActual, 0.10);
+}
+
+TEST_F(RunnerTest, DeterministicAcrossRuns)
+{
+    const auto a = runRayTracer(smallConfig(Version::V3AgentsBoth));
+    const auto b = runRayTracer(smallConfig(Version::V3AgentsBoth));
+    ASSERT_EQ(a.events.size(), b.events.size());
+    for (std::size_t i = 0; i < a.events.size(); ++i) {
+        EXPECT_EQ(a.events[i].timestamp, b.events[i].timestamp);
+        EXPECT_EQ(a.events[i].token, b.events[i].token);
+        EXPECT_EQ(a.events[i].stream, b.events[i].stream);
+    }
+    EXPECT_EQ(a.applicationTime, b.applicationTime);
+    EXPECT_DOUBLE_EQ(a.servantUtilizationMeasured,
+                     b.servantUtilizationMeasured);
+}
+
+TEST_F(RunnerTest, MonitoringOffStillCompletes)
+{
+    auto cfg = smallConfig(Version::V2AgentsForward);
+    cfg.monitorMode = hybrid::MonitorMode::Off;
+    const auto res = runRayTracer(cfg);
+    EXPECT_TRUE(res.completed);
+    EXPECT_TRUE(res.events.empty());
+    EXPECT_LT(res.servantUtilizationMeasured, 0.0); // not available
+    EXPECT_GT(res.servantUtilizationActual, 0.0);
+    EXPECT_EQ(res.missingPixels, 0u);
+}
+
+TEST_F(RunnerTest, HybridIntrusionIsSmall)
+{
+    auto cfg = smallConfig(Version::V2AgentsForward);
+    cfg.monitorMode = hybrid::MonitorMode::Off;
+    const auto off = runRayTracer(cfg);
+    cfg.monitorMode = hybrid::MonitorMode::Hybrid;
+    const auto hybrid_run = runRayTracer(cfg);
+    // Monitoring perturbs the run ("constitutes an extra workload"),
+    // but the hybrid interface keeps the slowdown small.
+    const double slowdown =
+        static_cast<double>(hybrid_run.applicationTime) /
+        static_cast<double>(off.applicationTime);
+    EXPECT_GE(slowdown, 0.97);
+    EXPECT_LT(slowdown, 1.15);
+}
+
+TEST_F(RunnerTest, TerminalIntrusionIsLarge)
+{
+    auto cfg = smallConfig(Version::V2AgentsForward);
+    cfg.monitorMode = hybrid::MonitorMode::Hybrid;
+    const auto hybrid_run = runRayTracer(cfg);
+    cfg.monitorMode = hybrid::MonitorMode::Terminal;
+    const auto terminal_run = runRayTracer(cfg);
+    // The rejected terminal interface slows the program down much
+    // more than the hybrid interface.
+    EXPECT_GT(terminal_run.applicationTime,
+              hybrid_run.applicationTime);
+}
+
+TEST_F(RunnerTest, PixelQueueNeverExceedsTheConstant)
+{
+    auto cfg = smallConfig(Version::V3AgentsBoth, 4, 32);
+    const auto res = runRayTracer(cfg);
+    EXPECT_LE(res.pixelQueueHighWater, cfg.pixelQueueLimit);
+}
+
+TEST_F(RunnerTest, WindowFlowControlBoundsOutstandingJobs)
+{
+    // With W credits per servant, at most W jobs can ever be
+    // outstanding per servant; the total job count is unaffected.
+    auto cfg = smallConfig(Version::V2AgentsForward, 3, 16);
+    cfg.windowSize = 2;
+    const auto res = runRayTracer(cfg);
+    EXPECT_TRUE(res.completed);
+    EXPECT_EQ(res.jobsSent, 16u * 16u);
+}
+
+TEST_F(RunnerTest, AgentPoolStaysSmall)
+{
+    // Paper: "the number of agents created remains quite small" (5
+    // for the 16-processor measurement). During the steady phase the
+    // pool stays in single digits; stragglers in the drain phase can
+    // strand a few more agents (window flow control lets up to
+    // `window` forwards pile up per busy servant).
+    auto cfg = smallConfig(Version::V2AgentsForward, 8, 32);
+    const auto res = runRayTracer(cfg);
+    EXPECT_GE(res.masterAgentPoolSize, 1u);
+    EXPECT_LE(res.masterAgentPoolSize,
+              static_cast<std::size_t>(cfg.numServants) *
+                  cfg.windowSize);
+
+    // Typically only a handful of agents are engaged at once.
+    const std::size_t typical = medianEngagedAgents(res);
+    EXPECT_GE(typical, 1u);
+    EXPECT_LE(typical, 8u);
+}
+
+TEST_F(RunnerTest, ReverseAgentsExistOnlyInV3Plus)
+{
+    const auto v2 = runRayTracer(smallConfig(Version::V2AgentsForward));
+    EXPECT_TRUE(v2.servantAgentPoolSizes.empty());
+    const auto v3 = runRayTracer(smallConfig(Version::V3AgentsBoth));
+    ASSERT_EQ(v3.servantAgentPoolSizes.size(), 4u);
+    for (auto n : v3.servantAgentPoolSizes)
+        EXPECT_GE(n, 1u);
+}
+
+TEST_F(RunnerTest, OversamplingScalesRayCount)
+{
+    auto cfg = smallConfig(Version::V4Tuned, 4, 16);
+    cfg.oversampling = 3;
+    const auto res = runRayTracer(cfg);
+    EXPECT_TRUE(res.completed);
+    EXPECT_EQ(res.missingPixels, 0u);
+    // Mean per-pixel cost roughly triples the single-sample cost.
+    EXPECT_GT(res.rayCostMs.mean(), 20.0);
+}
+
+TEST_F(RunnerTest, GanttChartOfTheRunRenders)
+{
+    const auto res = runRayTracer(smallConfig(Version::V2AgentsForward));
+    const auto activity = res.activity();
+    trace::GanttChart chart(activity, res.dictionary);
+    trace::GanttChart::Options opts;
+    opts.streams = {res.masterStream, res.servantStreams[0]};
+    const std::string out =
+        chart.render(res.phaseBegin,
+                     std::min(res.phaseEnd,
+                              res.phaseBegin + sim::milliseconds(200)),
+                     opts);
+    EXPECT_NE(out.find("MASTER"), std::string::npos);
+    EXPECT_NE(out.find("SEND JOBS"), std::string::npos);
+    EXPECT_NE(out.find("WORK"), std::string::npos);
+}
+
+TEST_F(RunnerTest, SeedChangesOversampledImageButNotCompleteness)
+{
+    auto cfg = smallConfig(Version::V4Tuned, 4, 16);
+    cfg.oversampling = 2;
+    cfg.seed = 1;
+    const auto a = runRayTracer(cfg);
+    cfg.seed = 2;
+    const auto b = runRayTracer(cfg);
+    EXPECT_EQ(a.missingPixels, 0u);
+    EXPECT_EQ(b.missingPixels, 0u);
+    // Different jitter -> different image content somewhere.
+    bool differs = false;
+    for (std::size_t i = 0; i < a.image->pixelCount() && !differs; ++i)
+        differs = a.image->atLinear(i).x != b.image->atLinear(i).x;
+    EXPECT_TRUE(differs);
+}
+
+TEST_F(RunnerTest, SingleServantWorksLikeFigure7Setup)
+{
+    // Two processors (master + 1 servant): the servant should be busy
+    // most of the time, as the paper observes for Figure 7.
+    auto cfg = smallConfig(Version::V1Mailbox, 1, 16);
+    const auto res = runRayTracer(cfg);
+    EXPECT_TRUE(res.completed);
+    EXPECT_GT(res.servantUtilizationMeasured, 0.5);
+}
+
+TEST_F(RunnerTest, MultiClusterPartitionWorks)
+{
+    // 20 servants need two clusters; the master talks across the
+    // SUPRENUM bus to the second cluster's servants.
+    auto cfg = smallConfig(Version::V4Tuned, 20, 32);
+    const auto res = runRayTracer(cfg);
+    EXPECT_TRUE(res.completed);
+    EXPECT_EQ(res.missingPixels, 0u);
+    EXPECT_EQ(res.servantStreams.size(), 20u);
+}

@@ -1,0 +1,269 @@
+/**
+ * @file
+ * The reproduction's headline property: the paper's tuning story.
+ * Version by version, servant utilization improves (Figure 10), the
+ * complex scene saturates the servants, and the Figure 7 mailbox
+ * synchronization is visible in the trace.
+ *
+ * These tests run the full 16-processor configuration on a reduced
+ * image, which preserves the utilization ordering.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "partracer/runner.hh"
+#include "sim/logging.hh"
+
+using namespace supmon;
+using namespace supmon::par;
+
+namespace
+{
+
+class VersionsTest : public ::testing::Test
+{
+  protected:
+    VersionsTest()
+    {
+        sim::setQuiet(true);
+    }
+
+    ~VersionsTest() override
+    {
+        sim::setQuiet(false);
+    }
+
+    static RunConfig
+    paperConfig(Version v, unsigned edge = 64)
+    {
+        RunConfig cfg;
+        cfg.version = v;
+        cfg.numServants = 15; // 16 processors
+        cfg.imageWidth = edge;
+        cfg.imageHeight = edge;
+        cfg.applyVersionDefaults();
+        return cfg;
+    }
+
+    static double
+    utilization(Version v, unsigned edge = 64)
+    {
+        static std::map<std::pair<int, unsigned>, double> cache;
+        const auto key = std::make_pair(static_cast<int>(v), edge);
+        auto it = cache.find(key);
+        if (it != cache.end())
+            return it->second;
+        const auto res = runRayTracer(paperConfig(v, edge));
+        EXPECT_TRUE(res.completed);
+        cache[key] = res.servantUtilizationMeasured;
+        return res.servantUtilizationMeasured;
+    }
+};
+
+} // namespace
+
+namespace
+{
+
+/**
+ * Median number of concurrently engaged (forwarding) agents, sampled
+ * at every Forward event on the master node: the paper-comparable
+ * "size" of the communication agent pool in typical operation.
+ */
+std::size_t
+medianEngagedAgents(const par::RunResult &res)
+{
+    struct Busy
+    {
+        supmon::sim::Tick from;
+        supmon::sim::Tick to;
+    };
+    std::map<unsigned, supmon::sim::Tick> open;
+    std::vector<Busy> busy;
+    for (const auto &ev : res.events) {
+        if (ev.stream >= par::streamsPerNode)
+            continue; // master-node agents only
+        const unsigned agent = ev.param >> 24;
+        if (ev.token == par::evAgentForward) {
+            open[agent] = ev.timestamp;
+        } else if (ev.token == par::evAgentFreed) {
+            auto it = open.find(agent);
+            if (it != open.end()) {
+                busy.push_back({it->second, ev.timestamp});
+                open.erase(it);
+            }
+        }
+    }
+    if (busy.empty())
+        return 0;
+    std::vector<std::size_t> counts;
+    for (const auto &b : busy) {
+        std::size_t n = 0;
+        for (const auto &o : busy) {
+            if (o.from <= b.from && b.from < o.to)
+                ++n;
+        }
+        counts.push_back(n);
+    }
+    std::sort(counts.begin(), counts.end());
+    return counts[counts.size() / 2];
+}
+
+} // namespace
+
+TEST_F(VersionsTest, Figure10_UtilizationImprovesVersionByVersion)
+{
+    const double v1 = utilization(Version::V1Mailbox);
+    const double v2 = utilization(Version::V2AgentsForward);
+    const double v3 = utilization(Version::V3AgentsBoth, 96);
+    const double v4 = utilization(Version::V4Tuned, 96);
+    EXPECT_LT(v1, v2);
+    EXPECT_LT(v2, v3);
+    EXPECT_LT(v3, v4);
+    // Overall improvement is large (paper: 15 % -> 60 %, i.e. 4x).
+    EXPECT_GT(v4 / v1, 2.5);
+}
+
+TEST_F(VersionsTest, Figure8_MailboxVersionLeavesServantsMostlyIdle)
+{
+    const double v1 = utilization(Version::V1Mailbox);
+    EXPECT_GT(v1, 0.05);
+    EXPECT_LT(v1, 0.30); // paper: about 15 %
+}
+
+TEST_F(VersionsTest, Figure9_AgentsRoughlyDoubleUtilization)
+{
+    const double v1 = utilization(Version::V1Mailbox);
+    const double v2 = utilization(Version::V2AgentsForward);
+    // Paper: "improved the servant processor utilization by almost
+    // 100 %" (15 % -> 29 %). Accept a broad band around 2x.
+    EXPECT_GT(v2 / v1, 1.3);
+    EXPECT_LT(v2 / v1, 3.0);
+}
+
+TEST_F(VersionsTest, Version4ReachesTheSixtyPercentBand)
+{
+    const double v4 = utilization(Version::V4Tuned, 96);
+    EXPECT_GT(v4, 0.45);
+    EXPECT_LT(v4, 0.75); // paper: 60 %
+}
+
+TEST_F(VersionsTest, QueueFixAloneImprovesV3)
+{
+    // Ablation inside the story: V3 machinery with the V4 queue
+    // constant outperforms plain V3 (the bug really is the queue).
+    auto cfg = paperConfig(Version::V3AgentsBoth, 96);
+    const auto buggy = runRayTracer(cfg);
+    cfg.pixelQueueLimit = static_cast<std::size_t>(cfg.bundleSize) *
+                              cfg.windowSize * cfg.numServants +
+                          cfg.bundleSize;
+    const auto fixed = runRayTracer(cfg);
+    EXPECT_GT(fixed.servantUtilizationMeasured,
+              buggy.servantUtilizationMeasured * 1.1);
+}
+
+TEST_F(VersionsTest, ComplexSceneSaturatesServants)
+{
+    // "Rendering a more complex scene comprising more than 250
+    // primitives (a fractal pyramid) we found that the servant
+    // processors reached a utilization of over 99 %."
+    auto cfg = paperConfig(Version::V4Tuned, 96);
+    cfg.scene = SceneKind::FractalPyramid;
+    cfg.sceneParam = 3;
+    const auto res = runRayTracer(cfg);
+    EXPECT_TRUE(res.completed);
+    // At 96x96 only 93 bundles exist, so ramp-up/drain effects cap
+    // utilization near 85 %; larger images approach the paper's 99 %
+    // (see bench_complex_scene).
+    EXPECT_GT(res.servantUtilizationMeasured, 0.80);
+    EXPECT_GT(res.rayCostMs.mean(), 50.0); // rays are ~10x costlier
+}
+
+TEST_F(VersionsTest, Figure7_MailboxSynchronization)
+{
+    // Two processors, V1: the master's Send Jobs -> Wait for Results
+    // transition can only occur synchronized with the servant's
+    // Work -> Wait for Job transition. We verify that most Wait for
+    // Results events coincide (within a couple of milliseconds) with
+    // a servant Work-end.
+    RunConfig cfg = paperConfig(Version::V1Mailbox, 24);
+    cfg.numServants = 1;
+    const auto res = runRayTracer(cfg);
+    ASSERT_TRUE(res.completed);
+
+    std::vector<sim::Tick> wait_begins;
+    std::vector<sim::Tick> work_ends;
+    const unsigned servant_stream = res.servantStreams[0];
+    sim::Tick last_work_begin = 0;
+    bool in_work = false;
+    for (const auto &ev : res.events) {
+        if (ev.stream == res.masterStream &&
+            ev.token == evWaitForResultsBegin)
+            wait_begins.push_back(ev.timestamp);
+        if (ev.stream == servant_stream) {
+            if (ev.token == evWorkBegin) {
+                in_work = true;
+                last_work_begin = ev.timestamp;
+            } else if (in_work && ev.token == evWaitForJobBegin) {
+                in_work = false;
+                (void)last_work_begin;
+                work_ends.push_back(ev.timestamp);
+            }
+        }
+    }
+    ASSERT_GT(wait_begins.size(), 20u);
+    ASSERT_GT(work_ends.size(), 20u);
+
+    // For each master transition (skipping the start-up window),
+    // find the nearest servant Work-end.
+    unsigned synchronized = 0;
+    unsigned considered = 0;
+    for (std::size_t i = wait_begins.size() / 4;
+         i < wait_begins.size() * 3 / 4; ++i) {
+        const sim::Tick t = wait_begins[i];
+        sim::Tick best = sim::maxTick;
+        for (const sim::Tick w : work_ends) {
+            const sim::Tick d = w > t ? w - t : t - w;
+            best = std::min(best, d);
+        }
+        ++considered;
+        // The transition pair is separated by a constant protocol
+        // latency (send-results syscall + delivery + mailbox dispatch
+        // + acknowledgement), about 5.6 ms with default parameters -
+        // far below the ~17 ms ray duration. Synchronized means the
+        // distance is bounded by that protocol latency, not by work.
+        if (best < sim::milliseconds(8))
+            ++synchronized;
+    }
+    ASSERT_GT(considered, 0u);
+    // The overwhelming majority of transitions are synchronized.
+    EXPECT_GT(static_cast<double>(synchronized) / considered, 0.7);
+}
+
+TEST_F(VersionsTest, MasterPoolSizeMatchesPaperScale)
+{
+    const auto res =
+        runRayTracer(paperConfig(Version::V2AgentsForward, 48));
+    // Paper: "A pool of 5 communication agents was created." The
+    // typical concurrent engagement lands in that band; bursts on
+    // expensive image regions can strand more agents (bounded by
+    // servants x window).
+    const std::size_t typical = medianEngagedAgents(res);
+    EXPECT_GE(typical, 2u);
+    EXPECT_LE(typical, 9u);
+    EXPECT_LE(res.masterAgentPoolSize, 15u * 3u);
+}
+
+TEST_F(VersionsTest, BundlingReducesMessageCount)
+{
+    const auto v2 =
+        runRayTracer(paperConfig(Version::V2AgentsForward, 48));
+    const auto v3 = runRayTracer(paperConfig(Version::V3AgentsBoth, 48));
+    // 48x48 pixels: V2 sends 2304 jobs, V3 sends ceil-ish /50.
+    EXPECT_EQ(v2.jobsSent, 2304u);
+    EXPECT_LT(v3.jobsSent, 2304u / 40);
+}

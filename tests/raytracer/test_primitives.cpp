@@ -1,0 +1,291 @@
+/**
+ * @file
+ * Tests of the geometric primitives: analytic hit cases plus the
+ * property that every hit lies inside the primitive's bounding box.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "raytracer/primitive.hh"
+#include "sim/random.hh"
+
+using namespace supmon;
+using rt::Aabb;
+using rt::Box;
+using rt::HitRecord;
+using rt::Material;
+using rt::Plane;
+using rt::Ray;
+using rt::Sphere;
+using rt::Triangle;
+using rt::Vec3;
+
+namespace
+{
+constexpr double inf = std::numeric_limits<double>::infinity();
+
+Ray
+ray(const Vec3 &o, const Vec3 &d)
+{
+    return Ray{o, d.normalized()};
+}
+} // namespace
+
+TEST(Sphere, FrontalHit)
+{
+    Sphere s({0, 0, -5}, 1.0, Material{});
+    HitRecord rec;
+    ASSERT_TRUE(s.intersect(ray({0, 0, 0}, {0, 0, -1}), 1e-9, inf, rec));
+    EXPECT_NEAR(rec.t, 4.0, 1e-12);
+    EXPECT_NEAR(rec.point.z, -4.0, 1e-12);
+    EXPECT_NEAR(rec.normal.z, 1.0, 1e-12); // against the ray
+    EXPECT_EQ(rec.material, &s.surface());
+}
+
+TEST(Sphere, Miss)
+{
+    Sphere s({0, 0, -5}, 1.0, Material{});
+    HitRecord rec;
+    EXPECT_FALSE(
+        s.intersect(ray({0, 3, 0}, {0, 0, -1}), 1e-9, inf, rec));
+    EXPECT_FALSE(
+        s.intersect(ray({0, 0, 0}, {0, 0, 1}), 1e-9, inf, rec));
+}
+
+TEST(Sphere, RayFromInsideHitsBackWall)
+{
+    Sphere s({0, 0, 0}, 2.0, Material{});
+    HitRecord rec;
+    ASSERT_TRUE(s.intersect(ray({0, 0, 0}, {1, 0, 0}), 1e-9, inf, rec));
+    EXPECT_NEAR(rec.t, 2.0, 1e-12);
+    // Normal flipped to face the ray origin.
+    EXPECT_NEAR(rec.normal.x, -1.0, 1e-12);
+}
+
+TEST(Sphere, RespectsTmax)
+{
+    Sphere s({0, 0, -5}, 1.0, Material{});
+    HitRecord rec;
+    EXPECT_FALSE(
+        s.intersect(ray({0, 0, 0}, {0, 0, -1}), 1e-9, 3.0, rec));
+    EXPECT_TRUE(
+        s.intersect(ray({0, 0, 0}, {0, 0, -1}), 1e-9, 4.5, rec));
+}
+
+TEST(Sphere, TangentGrazeCounts)
+{
+    Sphere s({0, 1, -5}, 1.0, Material{});
+    HitRecord rec;
+    // Ray passing exactly through the tangent point.
+    EXPECT_TRUE(
+        s.intersect(ray({0, 0, 0}, {0, 0, -1}), 1e-9, inf, rec));
+}
+
+TEST(Plane, HitAndNormalOrientation)
+{
+    Plane p({0, 0, 0}, {0, 1, 0}, Material{});
+    HitRecord rec;
+    ASSERT_TRUE(
+        p.intersect(ray({0, 2, 0}, {0, -1, 0}), 1e-9, inf, rec));
+    EXPECT_NEAR(rec.t, 2.0, 1e-12);
+    EXPECT_NEAR(rec.normal.y, 1.0, 1e-12);
+    // From below the normal flips.
+    ASSERT_TRUE(
+        p.intersect(ray({0, -2, 0}, {0, 1, 0}), 1e-9, inf, rec));
+    EXPECT_NEAR(rec.normal.y, -1.0, 1e-12);
+}
+
+TEST(Plane, ParallelRayMisses)
+{
+    Plane p({0, 0, 0}, {0, 1, 0}, Material{});
+    HitRecord rec;
+    EXPECT_FALSE(
+        p.intersect(ray({0, 1, 0}, {1, 0, 0}), 1e-9, inf, rec));
+}
+
+TEST(Plane, IsUnbounded)
+{
+    Plane p({0, 0, 0}, {0, 1, 0}, Material{});
+    EXPECT_TRUE(p.unbounded());
+    EXPECT_FALSE(p.boundingBox().valid());
+}
+
+TEST(Triangle, InsideHit)
+{
+    Triangle t({0, 0, 0}, {2, 0, 0}, {0, 2, 0}, Material{});
+    HitRecord rec;
+    ASSERT_TRUE(
+        t.intersect(ray({0.5, 0.5, 1}, {0, 0, -1}), 1e-9, inf, rec));
+    EXPECT_NEAR(rec.t, 1.0, 1e-12);
+    EXPECT_NEAR(std::fabs(rec.normal.z), 1.0, 1e-12);
+}
+
+TEST(Triangle, OutsideMiss)
+{
+    Triangle t({0, 0, 0}, {2, 0, 0}, {0, 2, 0}, Material{});
+    HitRecord rec;
+    EXPECT_FALSE(
+        t.intersect(ray({1.5, 1.5, 1}, {0, 0, -1}), 1e-9, inf, rec));
+    EXPECT_FALSE(
+        t.intersect(ray({-0.5, 0.5, 1}, {0, 0, -1}), 1e-9, inf, rec));
+}
+
+TEST(Triangle, ParallelRayMisses)
+{
+    Triangle t({0, 0, 0}, {2, 0, 0}, {0, 2, 0}, Material{});
+    HitRecord rec;
+    EXPECT_FALSE(
+        t.intersect(ray({0, 0, 1}, {1, 0, 0}), 1e-9, inf, rec));
+}
+
+TEST(Box, EntryFaceNormal)
+{
+    Box b({-1, -1, -1}, {1, 1, 1}, Material{});
+    HitRecord rec;
+    ASSERT_TRUE(
+        b.intersect(ray({-3, 0, 0}, {1, 0, 0}), 1e-9, inf, rec));
+    EXPECT_NEAR(rec.t, 2.0, 1e-12);
+    EXPECT_NEAR(rec.normal.x, -1.0, 1e-12);
+
+    ASSERT_TRUE(b.intersect(ray({0, 4, 0}, {0, -1, 0}), 1e-9, inf, rec));
+    EXPECT_NEAR(rec.t, 3.0, 1e-12);
+    EXPECT_NEAR(rec.normal.y, 1.0, 1e-12);
+}
+
+TEST(Box, RayFromInsideHitsExit)
+{
+    Box b({-1, -1, -1}, {1, 1, 1}, Material{});
+    HitRecord rec;
+    ASSERT_TRUE(b.intersect(ray({0, 0, 0}, {0, 0, 1}), 1e-9, inf, rec));
+    EXPECT_NEAR(rec.t, 1.0, 1e-12);
+    // Normal faces against the ray.
+    EXPECT_LT(rec.normal.dot({0, 0, 1}), 0.0);
+}
+
+TEST(Box, Miss)
+{
+    Box b({-1, -1, -1}, {1, 1, 1}, Material{});
+    HitRecord rec;
+    EXPECT_FALSE(
+        b.intersect(ray({-3, 3, 0}, {1, 0, 0}), 1e-9, inf, rec));
+}
+
+TEST(Aabb, SlabTest)
+{
+    Aabb box;
+    box.extend({-1, -1, -1});
+    box.extend({1, 1, 1});
+    EXPECT_TRUE(box.intersects(ray({-5, 0, 0}, {1, 0, 0}), 0, inf));
+    EXPECT_FALSE(box.intersects(ray({-5, 2, 0}, {1, 0, 0}), 0, inf));
+    EXPECT_FALSE(box.intersects(ray({-5, 0, 0}, {-1, 0, 0}), 0, inf));
+    // tmax cuts the hit off.
+    EXPECT_FALSE(box.intersects(ray({-5, 0, 0}, {1, 0, 0}), 0, 3.0));
+}
+
+TEST(Aabb, ExtendAndCenter)
+{
+    Aabb box;
+    EXPECT_FALSE(box.valid());
+    box.extend({1, 2, 3});
+    EXPECT_TRUE(box.valid());
+    box.extend({-1, 0, 1});
+    const Vec3 c = box.center();
+    EXPECT_DOUBLE_EQ(c.x, 0.0);
+    EXPECT_DOUBLE_EQ(c.y, 1.0);
+    EXPECT_DOUBLE_EQ(c.z, 2.0);
+}
+
+// ----------------------------------------------------------------------
+// Property: if a primitive reports a hit, the hit point lies inside
+// its bounding box (within epsilon), and t respects the interval.
+// ----------------------------------------------------------------------
+
+class PrimitiveProperty : public ::testing::TestWithParam<std::uint64_t>
+{
+  protected:
+    sim::Random rng{GetParam()};
+
+    Vec3
+    randomPoint(double span)
+    {
+        return {rng.uniformReal(-span, span),
+                rng.uniformReal(-span, span),
+                rng.uniformReal(-span, span)};
+    }
+};
+
+TEST_P(PrimitiveProperty, HitsLieInsideBoundingBox)
+{
+    Sphere sphere(randomPoint(2), 0.5 + rng.uniformReal(), Material{});
+    Triangle tri(randomPoint(2), randomPoint(2), randomPoint(2),
+                 Material{});
+    Box box(randomPoint(1) - Vec3{1, 1, 1},
+            randomPoint(1) + Vec3{2, 2, 2}, Material{});
+    const rt::Primitive *prims[3] = {&sphere, &tri, &box};
+    for (int i = 0; i < 2000; ++i) {
+        const Vec3 dir = randomPoint(1);
+        if (dir.length() < 0.1)
+            continue;
+        const Ray r = ray(randomPoint(5), dir);
+        for (const auto *prim : prims) {
+            HitRecord rec;
+            if (!prim->intersect(r, 1e-9, inf, rec))
+                continue;
+            EXPECT_GT(rec.t, 0.0);
+            const Aabb bb = prim->boundingBox();
+            const double eps = 1e-6;
+            EXPECT_GE(rec.point.x, bb.lo.x - eps);
+            EXPECT_LE(rec.point.x, bb.hi.x + eps);
+            EXPECT_GE(rec.point.y, bb.lo.y - eps);
+            EXPECT_LE(rec.point.y, bb.hi.y + eps);
+            EXPECT_GE(rec.point.z, bb.lo.z - eps);
+            EXPECT_LE(rec.point.z, bb.hi.z + eps);
+            // Normal is unit length and faces the ray.
+            EXPECT_NEAR(rec.normal.length(), 1.0, 1e-9);
+            EXPECT_LE(rec.normal.dot(r.dir), 1e-9);
+        }
+    }
+}
+
+TEST_P(PrimitiveProperty, BoundingBoxIntersectsWheneverPrimitiveDoes)
+{
+    Sphere sphere(randomPoint(2), 0.5 + rng.uniformReal(), Material{});
+    for (int i = 0; i < 2000; ++i) {
+        const Vec3 dir = randomPoint(1);
+        if (dir.length() < 0.1)
+            continue;
+        const Ray r = ray(randomPoint(5), dir);
+        HitRecord rec;
+        if (sphere.intersect(r, 1e-9, inf, rec)) {
+            EXPECT_TRUE(
+                sphere.boundingBox().intersects(r, 1e-9, inf));
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PrimitiveProperty,
+                         ::testing::Values(5ull, 17ull, 23ull, 99ull));
+
+TEST(FrontFace, SpherePlaneTriangleBoxReportIt)
+{
+    HitRecord rec;
+    Sphere s({0, 0, 0}, 1.0, Material{});
+    ASSERT_TRUE(s.intersect(ray({0, 0, 3}, {0, 0, -1}), 1e-9, inf, rec));
+    EXPECT_TRUE(rec.frontFace);
+    ASSERT_TRUE(s.intersect(ray({0, 0, 0}, {0, 0, -1}), 1e-9, inf, rec));
+    EXPECT_FALSE(rec.frontFace); // from inside: back face
+
+    Plane p({0, 0, 0}, {0, 1, 0}, Material{});
+    ASSERT_TRUE(p.intersect(ray({0, 2, 0}, {0, -1, 0}), 1e-9, inf, rec));
+    EXPECT_TRUE(rec.frontFace);
+    ASSERT_TRUE(p.intersect(ray({0, -2, 0}, {0, 1, 0}), 1e-9, inf, rec));
+    EXPECT_FALSE(rec.frontFace);
+
+    Box b({-1, -1, -1}, {1, 1, 1}, Material{});
+    ASSERT_TRUE(b.intersect(ray({0, 0, 3}, {0, 0, -1}), 1e-9, inf, rec));
+    EXPECT_TRUE(rec.frontFace);
+    ASSERT_TRUE(b.intersect(ray({0, 0, 0}, {0, 0, -1}), 1e-9, inf, rec));
+    EXPECT_FALSE(rec.frontFace);
+}

@@ -1,0 +1,269 @@
+/**
+ * @file
+ * Tests of the Whitted renderer: background, shadows, reflection,
+ * recursion limit, oversampling and determinism.
+ */
+
+#include <gtest/gtest.h>
+
+#include "raytracer/render.hh"
+#include "raytracer/scenes.hh"
+
+using namespace supmon;
+using rt::Camera;
+using rt::Image;
+using rt::Material;
+using rt::PointLight;
+using rt::Ray;
+using rt::Renderer;
+using rt::Scene;
+using rt::Sphere;
+using rt::TraceCounters;
+using rt::Vec3;
+
+namespace
+{
+
+Camera
+simpleCamera(unsigned w = 16, unsigned h = 16)
+{
+    Camera::Setup setup;
+    setup.eye = {0, 0, 5};
+    setup.lookAt = {0, 0, 0};
+    return Camera(setup, w, h);
+}
+
+double
+brightness(const Vec3 &c)
+{
+    return (c.x + c.y + c.z) / 3.0;
+}
+
+} // namespace
+
+TEST(Render, MissedRaysGetBackgroundColour)
+{
+    Scene scene;
+    scene.background = {0.25, 0.5, 0.75};
+    const Camera cam = simpleCamera();
+    const Renderer renderer(scene, cam, Renderer::Options{});
+    TraceCounters c;
+    const Vec3 col =
+        renderer.traceRay(Ray{{0, 0, 0}, {0, 0, -1}}, 2, c);
+    EXPECT_DOUBLE_EQ(col.x, 0.25);
+    EXPECT_DOUBLE_EQ(col.y, 0.5);
+    EXPECT_DOUBLE_EQ(col.z, 0.75);
+    EXPECT_EQ(c.raysTraced, 1u);
+    EXPECT_EQ(c.shadingEvals, 0u);
+}
+
+TEST(Render, LitSphereIsBrighterThanAmbient)
+{
+    Scene scene;
+    scene.addLight(PointLight{{0, 5, 5}, {1, 1, 1}, 1.0});
+    scene.add(std::make_unique<Sphere>(Vec3{0, 0, 0}, 1.0,
+                                       rt::matte({0.8, 0.2, 0.2})));
+    const Camera cam = simpleCamera();
+    const Renderer renderer(scene, cam, Renderer::Options{});
+    TraceCounters c;
+    const Vec3 lit =
+        renderer.traceRay(Ray{{0, 0, 5}, {0, 0, -1}}, 2, c);
+    Material mat = rt::matte({0.8, 0.2, 0.2});
+    const double ambient_only = mat.ambient * mat.color.x;
+    EXPECT_GT(lit.x, ambient_only);
+    EXPECT_GT(c.shadingEvals, 0u);
+}
+
+TEST(Render, ShadowedPointIsDarker)
+{
+    Scene scene;
+    scene.addLight(PointLight{{0, 5, 0}, {1, 1, 1}, 1.0});
+    // Ground sphere and an occluder directly above it.
+    scene.add(std::make_unique<Sphere>(Vec3{0, 0, 0}, 1.0,
+                                       rt::matte({0.7, 0.7, 0.7})));
+    const Camera cam = simpleCamera();
+    const Renderer renderer(scene, cam, Renderer::Options{});
+    TraceCounters c;
+    const Vec3 unshadowed =
+        renderer.traceRay(Ray{{0, 3, 0}, {0, -1, 0}}, 0, c);
+
+    Scene shadowed_scene;
+    shadowed_scene.addLight(PointLight{{0, 5, 0}, {1, 1, 1}, 1.0});
+    shadowed_scene.add(std::make_unique<Sphere>(
+        Vec3{0, 0, 0}, 1.0, rt::matte({0.7, 0.7, 0.7})));
+    shadowed_scene.add(std::make_unique<Sphere>(
+        Vec3{0, 3.5, 0}, 0.8, rt::matte({0.1, 0.1, 0.1})));
+    const Renderer shadowed_renderer(shadowed_scene, cam,
+                                     Renderer::Options{});
+    // Same ray, but the light is now blocked (the eye ray from below
+    // the occluder still reaches the lower sphere's top).
+    const Vec3 shadowed = shadowed_renderer.traceRay(
+        Ray{{0.0, 2.2, 0.9}, Vec3{0, -1.2, -0.9}.normalized()}, 0, c);
+    EXPECT_LT(brightness(shadowed), brightness(unshadowed));
+}
+
+TEST(Render, ReflectiveSphereSeesSecondObject)
+{
+    // A mirror sphere next to a bright red sphere: with recursion the
+    // mirror picks up red light; without recursion it cannot.
+    Scene scene;
+    scene.addLight(PointLight{{0, 5, 5}, {1, 1, 1}, 1.0});
+    scene.add(std::make_unique<Sphere>(Vec3{0, 0, 0}, 1.0,
+                                       rt::shiny({1, 1, 1}, 0.9)));
+    scene.add(std::make_unique<Sphere>(Vec3{2.5, 0, 0}, 1.0,
+                                       rt::matte({1.0, 0.0, 0.0})));
+    const Camera cam = simpleCamera();
+    const Renderer renderer(scene, cam, Renderer::Options{});
+    TraceCounters c;
+    // Ray hitting the mirror at an angle that reflects towards +x.
+    const Ray ray{{0.8, 0.0, 5.0}, Vec3{0.0, 0.0, -1.0}};
+    const Vec3 with_recursion = renderer.traceRay(ray, 3, c);
+    const Vec3 without = renderer.traceRay(ray, 0, c);
+    EXPECT_GT(with_recursion.x - with_recursion.y,
+              without.x - without.y);
+}
+
+TEST(Render, RecursionIsBounded)
+{
+    // Two facing mirrors: must terminate by depth, not hang.
+    Scene scene;
+    scene.addLight(PointLight{{0, 5, 0}, {1, 1, 1}, 1.0});
+    scene.add(std::make_unique<Sphere>(Vec3{0, 0, -2}, 1.0,
+                                       rt::shiny({1, 1, 1}, 1.0)));
+    scene.add(std::make_unique<Sphere>(Vec3{0, 0, 2}, 1.0,
+                                       rt::shiny({1, 1, 1}, 1.0)));
+    const Camera cam = simpleCamera();
+    const Renderer renderer(scene, cam, Renderer::Options{});
+    TraceCounters c;
+    renderer.traceRay(Ray{{0, 0, 0}, {0, 0, -1}}, 8, c);
+    EXPECT_LE(c.raysTraced, 16u);
+}
+
+TEST(Render, GlassSphereTransmitsLight)
+{
+    Scene scene;
+    scene.background = {0.0, 1.0, 0.0}; // green behind the glass
+    scene.add(std::make_unique<Sphere>(Vec3{0, 0, 0}, 1.0,
+                                       rt::glass()));
+    const Camera cam = simpleCamera();
+    const Renderer renderer(scene, cam, Renderer::Options{});
+    TraceCounters c;
+    const Vec3 through =
+        renderer.traceRay(Ray{{0, 0, 5}, {0, 0, -1}}, 4, c);
+    // Some of the green background shows through the glass.
+    EXPECT_GT(through.y, 0.2);
+}
+
+TEST(Render, PixelIndexingMatchesScanOrder)
+{
+    // Left half red sphere; pixel colours must differ left vs right.
+    Scene scene;
+    scene.addLight(PointLight{{0, 5, 5}, {1, 1, 1}, 1.0});
+    scene.add(std::make_unique<Sphere>(Vec3{-1.2, 0, 0}, 1.0,
+                                       rt::matte({1.0, 0.1, 0.1})));
+    const Camera cam = simpleCamera(32, 32);
+    const Renderer renderer(scene, cam, Renderer::Options{});
+    sim::Random rng(1);
+    TraceCounters c;
+    // Row 16: pixel 8 (left) should be on the sphere, pixel 24 not.
+    const Vec3 left = renderer.tracePixel(16 * 32 + 8, rng, c);
+    const Vec3 right = renderer.tracePixel(16 * 32 + 24, rng, c);
+    EXPECT_GT(left.x, right.x);
+}
+
+TEST(Render, FullImageIsDeterministic)
+{
+    const Scene scene = rt::moderateScene();
+    const Camera cam(rt::moderateCamera(), 24, 24);
+    const Renderer renderer(scene, cam, Renderer::Options{});
+    Image img1(24, 24);
+    Image img2(24, 24);
+    const TraceCounters c1 = renderer.renderImage(img1, 42);
+    const TraceCounters c2 = renderer.renderImage(img2, 42);
+    EXPECT_EQ(c1.primitiveTests, c2.primitiveTests);
+    EXPECT_EQ(c1.raysTraced, c2.raysTraced);
+    for (unsigned y = 0; y < 24; ++y) {
+        for (unsigned x = 0; x < 24; ++x) {
+            EXPECT_DOUBLE_EQ(img1.at(x, y).x, img2.at(x, y).x);
+            EXPECT_DOUBLE_EQ(img1.at(x, y).z, img2.at(x, y).z);
+        }
+    }
+    EXPECT_EQ(img1.missingPixels(), 0u);
+}
+
+TEST(Render, OversamplingMultipliesWork)
+{
+    const Scene scene = rt::moderateScene();
+    const Camera cam(rt::moderateCamera(), 8, 8);
+    Renderer::Options opts;
+    const Renderer single(scene, cam, opts);
+    opts.oversampling = 4;
+    const Renderer multi(scene, cam, opts);
+    sim::Random rng(1);
+    TraceCounters c1;
+    TraceCounters c4;
+    single.tracePixel(0, rng, c1);
+    multi.tracePixel(0, rng, c4);
+    EXPECT_GE(c4.raysTraced, 4 * c1.raysTraced);
+}
+
+TEST(Render, BvhRendererMatchesBruteForce)
+{
+    const Scene scene = rt::fractalPyramid(2);
+    const Camera cam(rt::pyramidCamera(), 16, 16);
+    Renderer::Options opts;
+    const Renderer brute(scene, cam, opts);
+    opts.useBvh = true;
+    const Renderer accel(scene, cam, opts);
+    Image img1(16, 16);
+    Image img2(16, 16);
+    brute.renderImage(img1, 7);
+    accel.renderImage(img2, 7);
+    for (unsigned y = 0; y < 16; ++y) {
+        for (unsigned x = 0; x < 16; ++x) {
+            EXPECT_NEAR(img1.at(x, y).x, img2.at(x, y).x, 1e-9);
+            EXPECT_NEAR(img1.at(x, y).y, img2.at(x, y).y, 1e-9);
+        }
+    }
+}
+
+TEST(Render, SceneRenderIsNonTrivial)
+{
+    const Scene scene = rt::moderateScene();
+    const Camera cam(rt::moderateCamera(), 24, 24);
+    const Renderer renderer(scene, cam, Renderer::Options{});
+    Image img(24, 24);
+    renderer.renderImage(img);
+    // Some light got through: the image is neither black nor blown.
+    EXPECT_GT(img.meanLuminance(), 0.02);
+    EXPECT_LT(img.meanLuminance(), 0.98);
+}
+
+TEST(Render, OversamplingReducesAliasingNoise)
+{
+    // The paper's oversampling scheme exists "to reduce aliasing
+    // problems": more samples per pixel bring the image closer to a
+    // heavily oversampled reference.
+    const rt::Scene scene = rt::moderateScene();
+    const Camera cam(rt::moderateCamera(), 20, 20);
+    auto render_with = [&](unsigned samples, std::uint64_t seed) {
+        Renderer::Options opts;
+        opts.oversampling = samples;
+        const Renderer renderer(scene, cam, opts);
+        auto img = std::make_unique<Image>(20, 20);
+        renderer.renderImage(*img, seed);
+        return img;
+    };
+    const auto reference = render_with(32, 999);
+    auto error_of = [&](const Image &img) {
+        double err = 0.0;
+        for (std::size_t i = 0; i < img.pixelCount(); ++i) {
+            const Vec3 d = img.atLinear(i) - reference->atLinear(i);
+            err += std::fabs(d.x) + std::fabs(d.y) + std::fabs(d.z);
+        }
+        return err;
+    };
+    const double err1 = error_of(*render_with(1, 1));
+    const double err8 = error_of(*render_with(8, 1));
+    EXPECT_LT(err8, err1);
+}

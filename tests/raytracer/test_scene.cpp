@@ -1,0 +1,187 @@
+/**
+ * @file
+ * Tests of the scene container, the procedural scenes of the paper,
+ * the work counters and the cost model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "raytracer/cost.hh"
+#include "raytracer/scenes.hh"
+
+using namespace supmon;
+using rt::HitRecord;
+using rt::Material;
+using rt::Ray;
+using rt::Scene;
+using rt::Sphere;
+using rt::TraceCounters;
+using rt::Vec3;
+
+namespace
+{
+constexpr double inf = std::numeric_limits<double>::infinity();
+}
+
+TEST(Scene, ClosestHitWins)
+{
+    Scene scene;
+    scene.add(std::make_unique<Sphere>(Vec3{0, 0, -10}, 1.0,
+                                       rt::matte({1, 0, 0})));
+    scene.add(std::make_unique<Sphere>(Vec3{0, 0, -5}, 1.0,
+                                       rt::matte({0, 1, 0})));
+    TraceCounters counters;
+    HitRecord rec;
+    ASSERT_TRUE(scene.intersect(Ray{{0, 0, 0}, {0, 0, -1}}, 1e-9, inf,
+                                rec, counters));
+    EXPECT_NEAR(rec.t, 4.0, 1e-12);
+    EXPECT_EQ(rec.primitiveId, 1u);
+    EXPECT_EQ(counters.primitiveTests, 2u);
+}
+
+TEST(Scene, OccludedAnyHit)
+{
+    Scene scene;
+    scene.add(std::make_unique<Sphere>(Vec3{0, 0, -5}, 1.0,
+                                       rt::matte({1, 1, 1})));
+    TraceCounters counters;
+    EXPECT_TRUE(scene.occluded(Ray{{0, 0, 0}, {0, 0, -1}}, 1e-4, inf,
+                               counters));
+    EXPECT_FALSE(scene.occluded(Ray{{0, 0, 0}, {0, 0, -1}}, 1e-4, 3.0,
+                                counters));
+    EXPECT_FALSE(scene.occluded(Ray{{0, 0, 0}, {0, 1, 0}}, 1e-4, inf,
+                                counters));
+}
+
+TEST(Scene, CountersAccumulate)
+{
+    Scene scene;
+    for (int i = 0; i < 10; ++i) {
+        scene.add(std::make_unique<Sphere>(
+            Vec3{static_cast<double>(i) * 3, 0, -5}, 1.0,
+            rt::matte({1, 1, 1})));
+    }
+    TraceCounters counters;
+    HitRecord rec;
+    scene.intersect(Ray{{0, 0, 0}, {0, 0, -1}}, 1e-9, inf, rec,
+                    counters);
+    EXPECT_EQ(counters.primitiveTests, 10u);
+    scene.occluded(Ray{{0, 0, 0}, {0, 1, 0}}, 1e-9, inf, counters);
+    EXPECT_EQ(counters.primitiveTests, 20u);
+}
+
+TEST(Scene, CountersAddUp)
+{
+    TraceCounters a;
+    a.primitiveTests = 5;
+    a.raysTraced = 1;
+    TraceCounters b;
+    b.primitiveTests = 3;
+    b.shadingEvals = 2;
+    a += b;
+    EXPECT_EQ(a.primitiveTests, 8u);
+    EXPECT_EQ(a.shadingEvals, 2u);
+    EXPECT_EQ(a.raysTraced, 1u);
+}
+
+// ----------------------------------------------------------------------
+// The paper's scenes.
+// ----------------------------------------------------------------------
+
+TEST(Scenes, ModerateSceneHasExactly25Primitives)
+{
+    const Scene scene = rt::moderateScene();
+    EXPECT_EQ(scene.primitiveCount(), 25u);
+    EXPECT_EQ(scene.lights().size(), 2u);
+}
+
+TEST(Scenes, FractalPyramidExceeds250Primitives)
+{
+    const Scene scene = rt::fractalPyramid(3);
+    // 4^3 tetrahedra x 4 triangles + ground plane = 257.
+    EXPECT_EQ(scene.primitiveCount(), 257u);
+    EXPECT_GT(scene.primitiveCount(), 250u);
+}
+
+TEST(Scenes, FractalPyramidScalesWithLevel)
+{
+    EXPECT_EQ(rt::fractalPyramid(0).primitiveCount(), 5u);
+    EXPECT_EQ(rt::fractalPyramid(1).primitiveCount(), 17u);
+    EXPECT_EQ(rt::fractalPyramid(2).primitiveCount(), 65u);
+}
+
+TEST(Scenes, SphereGridHasNSquaredPlusGround)
+{
+    EXPECT_EQ(rt::sphereGrid(4).primitiveCount(), 17u);
+    EXPECT_EQ(rt::sphereGrid(10).primitiveCount(), 101u);
+}
+
+TEST(Scenes, DescriptionFitsNodeMemory)
+{
+    // The replicated scene description must fit into a node's 8 MB.
+    EXPECT_LT(rt::moderateScene().descriptionBytes(), 8ull << 20);
+    EXPECT_LT(rt::fractalPyramid(3).descriptionBytes(), 8ull << 20);
+    // And it grows with the primitive count.
+    EXPECT_GT(rt::fractalPyramid(3).descriptionBytes(),
+              rt::moderateScene().descriptionBytes());
+}
+
+// ----------------------------------------------------------------------
+// Cost model.
+// ----------------------------------------------------------------------
+
+TEST(CostModel, LinearInCounters)
+{
+    rt::CostModel model;
+    TraceCounters c;
+    EXPECT_EQ(model.costOf(c), 0u);
+    c.primitiveTests = 10;
+    const sim::Tick ten_tests = model.costOf(c);
+    EXPECT_EQ(ten_tests, 10 * model.perPrimitiveTest);
+    c.raysTraced = 2;
+    c.shadingEvals = 3;
+    EXPECT_EQ(model.costOf(c), ten_tests + 2 * model.perRayOverhead +
+                                   3 * model.perShadingEval);
+}
+
+TEST(CostModel, VectorSpeedupDividesGeometryOnly)
+{
+    rt::CostModel scalar;
+    rt::CostModel vector = scalar;
+    vector.vectorSpeedup = 4.0;
+    TraceCounters c;
+    c.primitiveTests = 100;
+    c.shadingEvals = 10;
+    const sim::Tick geometry = 100 * scalar.perPrimitiveTest;
+    const sim::Tick shading = 10 * scalar.perShadingEval;
+    EXPECT_EQ(scalar.costOf(c), geometry + shading);
+    EXPECT_EQ(vector.costOf(c),
+              static_cast<sim::Tick>(geometry / 4.0 + shading));
+}
+
+TEST(CostModel, SubUnitySpeedupIsClamped)
+{
+    rt::CostModel model;
+    model.vectorSpeedup = 0.5; // nonsense: treated as 1.0
+    TraceCounters c;
+    c.primitiveTests = 10;
+    EXPECT_EQ(model.costOf(c), 10 * model.perPrimitiveTest);
+}
+
+TEST(CostModel, ModerateSceneRayCostIsCalibrated)
+{
+    // DESIGN.md section 5: the mean per-ray cost of the moderate
+    // scene must be "on the order of 10 ms" so that activities are
+    // two orders of magnitude above the hybrid_mon cost (100 us).
+    const Scene scene = rt::moderateScene();
+    TraceCounters counters;
+    HitRecord rec;
+    rt::CostModel model;
+    // One primary ray through the scene center region.
+    scene.intersect(Ray{{0, 1.5, 6}, Vec3{0, -0.1, -1}.normalized()},
+                    1e-9, inf, rec, counters);
+    counters.raysTraced = 1;
+    const sim::Tick one_pass = model.costOf(counters);
+    EXPECT_GT(one_pass, sim::milliseconds(1));
+    EXPECT_LT(one_pass, sim::milliseconds(100));
+}

@@ -1,0 +1,179 @@
+/**
+ * @file
+ * Tests of the vector math, including the optical laws (reflection,
+ * Snell refraction, total internal reflection) as property sweeps.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "raytracer/vec3.hh"
+#include "sim/random.hh"
+
+using namespace supmon;
+using rt::Vec3;
+
+TEST(Vec3, BasicArithmetic)
+{
+    const Vec3 a{1, 2, 3};
+    const Vec3 b{4, 5, 6};
+    const Vec3 sum = a + b;
+    EXPECT_DOUBLE_EQ(sum.x, 5);
+    EXPECT_DOUBLE_EQ(sum.y, 7);
+    EXPECT_DOUBLE_EQ(sum.z, 9);
+    const Vec3 diff = b - a;
+    EXPECT_DOUBLE_EQ(diff.x, 3);
+    const Vec3 scaled = a * 2.0;
+    EXPECT_DOUBLE_EQ(scaled.z, 6);
+    const Vec3 left_scaled = 2.0 * a;
+    EXPECT_DOUBLE_EQ(left_scaled.z, 6);
+    const Vec3 neg = -a;
+    EXPECT_DOUBLE_EQ(neg.x, -1);
+    const Vec3 div = b / 2.0;
+    EXPECT_DOUBLE_EQ(div.x, 2);
+}
+
+TEST(Vec3, DotAndCross)
+{
+    const Vec3 x{1, 0, 0};
+    const Vec3 y{0, 1, 0};
+    const Vec3 z{0, 0, 1};
+    EXPECT_DOUBLE_EQ(x.dot(y), 0.0);
+    EXPECT_DOUBLE_EQ(x.dot(x), 1.0);
+    const Vec3 c = x.cross(y);
+    EXPECT_DOUBLE_EQ(c.x, z.x);
+    EXPECT_DOUBLE_EQ(c.y, z.y);
+    EXPECT_DOUBLE_EQ(c.z, z.z);
+    // Anti-commutativity.
+    const Vec3 c2 = y.cross(x);
+    EXPECT_DOUBLE_EQ(c2.z, -1.0);
+}
+
+TEST(Vec3, LengthAndNormalize)
+{
+    const Vec3 v{3, 4, 0};
+    EXPECT_DOUBLE_EQ(v.length(), 5.0);
+    EXPECT_DOUBLE_EQ(v.lengthSquared(), 25.0);
+    const Vec3 n = v.normalized();
+    EXPECT_NEAR(n.length(), 1.0, 1e-12);
+    EXPECT_DOUBLE_EQ(n.x, 0.6);
+    // Zero vector stays zero.
+    EXPECT_DOUBLE_EQ(Vec3{}.normalized().length(), 0.0);
+}
+
+TEST(Vec3, ComponentwiseProductAndClamp)
+{
+    const Vec3 a{0.5, 2.0, -1.0};
+    const Vec3 b{2.0, 0.5, 3.0};
+    const Vec3 p = a * b;
+    EXPECT_DOUBLE_EQ(p.x, 1.0);
+    EXPECT_DOUBLE_EQ(p.y, 1.0);
+    EXPECT_DOUBLE_EQ(p.z, -3.0);
+    const Vec3 c = rt::clamp(a, 0.0, 1.0);
+    EXPECT_DOUBLE_EQ(c.x, 0.5);
+    EXPECT_DOUBLE_EQ(c.y, 1.0);
+    EXPECT_DOUBLE_EQ(c.z, 0.0);
+}
+
+TEST(Vec3, CompoundAssignment)
+{
+    Vec3 a{1, 1, 1};
+    a += Vec3{1, 2, 3};
+    EXPECT_DOUBLE_EQ(a.y, 3.0);
+    a *= 2.0;
+    EXPECT_DOUBLE_EQ(a.z, 8.0);
+}
+
+TEST(Vec3, ReflectKnownCase)
+{
+    // 45-degree incidence on the ground plane.
+    const Vec3 v = Vec3{1, -1, 0}.normalized();
+    const Vec3 n{0, 1, 0};
+    const Vec3 r = rt::reflect(v, n);
+    EXPECT_NEAR(r.x, v.x, 1e-12);
+    EXPECT_NEAR(r.y, -v.y, 1e-12);
+}
+
+class OpticsProperty : public ::testing::TestWithParam<std::uint64_t>
+{
+  protected:
+    sim::Random rng{GetParam()};
+
+    Vec3
+    randomUnit()
+    {
+        for (;;) {
+            const Vec3 v{rng.uniformReal(-1, 1), rng.uniformReal(-1, 1),
+                         rng.uniformReal(-1, 1)};
+            const double len = v.length();
+            if (len > 0.05 && len <= 1.0)
+                return v / len;
+        }
+    }
+};
+
+TEST_P(OpticsProperty, ReflectionPreservesLengthAndAngle)
+{
+    for (int i = 0; i < 300; ++i) {
+        const Vec3 n = randomUnit();
+        Vec3 v = randomUnit();
+        if (v.dot(n) > 0)
+            v = -v; // incident against the normal
+        const Vec3 r = rt::reflect(v, n);
+        EXPECT_NEAR(r.length(), v.length(), 1e-9);
+        // Angle of incidence equals angle of reflection.
+        EXPECT_NEAR(-v.dot(n), r.dot(n), 1e-9);
+        // Reflecting twice restores the original direction.
+        const Vec3 rr = rt::reflect(r, n);
+        EXPECT_NEAR(rr.x, v.x, 1e-9);
+        EXPECT_NEAR(rr.y, v.y, 1e-9);
+        EXPECT_NEAR(rr.z, v.z, 1e-9);
+    }
+}
+
+TEST_P(OpticsProperty, RefractionObeysSnell)
+{
+    for (int i = 0; i < 300; ++i) {
+        const Vec3 n = randomUnit();
+        Vec3 v = randomUnit();
+        if (v.dot(n) > 0)
+            v = -v;
+        const double eta = rng.uniformReal(0.4, 1.0); // into denser
+        Vec3 t;
+        ASSERT_TRUE(rt::refract(v, n, eta, t));
+        // Snell: sin(theta_t) = eta * sin(theta_i).
+        const double cos_i = -v.dot(n);
+        const double sin_i = std::sqrt(
+            std::max(0.0, 1.0 - cos_i * cos_i));
+        const double cos_t = -t.normalized().dot(n);
+        const double sin_t = std::sqrt(
+            std::max(0.0, 1.0 - cos_t * cos_t));
+        EXPECT_NEAR(sin_t, eta * sin_i, 1e-9);
+        // Transmitted ray continues into the surface.
+        EXPECT_LT(t.dot(n), 1e-12);
+    }
+}
+
+TEST_P(OpticsProperty, TotalInternalReflectionAtGrazing)
+{
+    // Leaving a dense medium (eta > 1) at grazing incidence cannot
+    // refract.
+    const Vec3 n{0, 1, 0};
+    const Vec3 v = Vec3{1, -0.05, 0}.normalized();
+    Vec3 t;
+    EXPECT_FALSE(rt::refract(v, n, 1.5, t));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OpticsProperty,
+                         ::testing::Values(11ull, 22ull, 33ull));
+
+TEST(Optics, NormalIncidencePassesStraightThrough)
+{
+    const Vec3 n{0, 1, 0};
+    const Vec3 v{0, -1, 0};
+    Vec3 t;
+    ASSERT_TRUE(rt::refract(v, n, 1.0 / 1.5, t));
+    EXPECT_NEAR(t.normalized().y, -1.0, 1e-12);
+    EXPECT_NEAR(t.x, 0.0, 1e-12);
+}

@@ -1,0 +1,213 @@
+/**
+ * @file
+ * Unit tests of the discrete-event simulation core.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.hh"
+
+using namespace supmon::sim;
+
+TEST(EventQueue, StartsAtTickZero)
+{
+    Simulation simul;
+    EXPECT_EQ(simul.now(), 0u);
+    EXPECT_TRUE(simul.empty());
+    EXPECT_EQ(simul.eventsExecuted(), 0u);
+}
+
+TEST(EventQueue, ExecutesInTimeOrder)
+{
+    Simulation simul;
+    std::vector<int> order;
+    simul.scheduleAt(30, [&] { order.push_back(3); });
+    simul.scheduleAt(10, [&] { order.push_back(1); });
+    simul.scheduleAt(20, [&] { order.push_back(2); });
+    simul.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(simul.now(), 30u);
+}
+
+TEST(EventQueue, SameTickIsFifo)
+{
+    Simulation simul;
+    std::vector<int> order;
+    for (int i = 0; i < 10; ++i)
+        simul.scheduleAt(5, [&order, i] { order.push_back(i); });
+    simul.run();
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(EventQueue, ScheduleAfterIsRelative)
+{
+    Simulation simul;
+    Tick seen = 0;
+    simul.scheduleAt(100, [&] {
+        simul.scheduleAfter(50, [&] { seen = simul.now(); });
+    });
+    simul.run();
+    EXPECT_EQ(seen, 150u);
+}
+
+TEST(EventQueue, EventsCanScheduleEvents)
+{
+    Simulation simul;
+    int depth = 0;
+    std::function<void()> chain = [&] {
+        if (++depth < 100)
+            simul.scheduleAfter(1, chain);
+    };
+    simul.scheduleAfter(1, chain);
+    simul.run();
+    EXPECT_EQ(depth, 100);
+    EXPECT_EQ(simul.now(), 100u);
+}
+
+TEST(EventQueue, CancelPreventsExecution)
+{
+    Simulation simul;
+    bool fired = false;
+    EventHandle h = simul.scheduleAt(10, [&] { fired = true; });
+    EXPECT_TRUE(h.pending());
+    h.cancel();
+    EXPECT_FALSE(h.pending());
+    simul.run();
+    EXPECT_FALSE(fired);
+}
+
+TEST(EventQueue, CancelAfterFireIsNoop)
+{
+    Simulation simul;
+    int count = 0;
+    EventHandle h = simul.scheduleAt(10, [&] { ++count; });
+    simul.run();
+    EXPECT_FALSE(h.pending());
+    h.cancel(); // must not crash or re-fire
+    simul.run();
+    EXPECT_EQ(count, 1);
+}
+
+TEST(EventQueue, RunHonorsLimit)
+{
+    Simulation simul;
+    int fired = 0;
+    simul.scheduleAt(10, [&] { ++fired; });
+    simul.scheduleAt(20, [&] { ++fired; });
+    simul.scheduleAt(30, [&] { ++fired; });
+    simul.run(20);
+    EXPECT_EQ(fired, 2);
+    EXPECT_FALSE(simul.empty());
+    simul.run();
+    EXPECT_EQ(fired, 3);
+}
+
+TEST(EventQueue, RunAdvancesToLimitWhenIdle)
+{
+    Simulation simul;
+    simul.scheduleAt(5, [] {});
+    simul.run(1000);
+    EXPECT_EQ(simul.now(), 1000u);
+}
+
+TEST(EventQueue, StopRequestEndsRun)
+{
+    Simulation simul;
+    int fired = 0;
+    simul.scheduleAt(1, [&] {
+        ++fired;
+        simul.requestStop();
+    });
+    simul.scheduleAt(2, [&] { ++fired; });
+    simul.run();
+    EXPECT_EQ(fired, 1);
+    simul.run();
+    EXPECT_EQ(fired, 2);
+}
+
+TEST(EventQueue, CountsExecutedEvents)
+{
+    Simulation simul;
+    for (int i = 0; i < 25; ++i)
+        simul.scheduleAt(static_cast<Tick>(i), [] {});
+    const auto ran = simul.run();
+    EXPECT_EQ(ran, 25u);
+    EXPECT_EQ(simul.eventsExecuted(), 25u);
+}
+
+TEST(EventQueue, SchedulingInThePastPanics)
+{
+    Simulation simul;
+    simul.scheduleAt(100, [] {});
+    simul.run();
+    EXPECT_DEATH(simul.scheduleAt(50, [] {}), "past");
+}
+
+TEST(EventQueueDeath, CancelledChainStillAdvancesTime)
+{
+    Simulation simul;
+    EventHandle h = simul.scheduleAt(10, [] {});
+    simul.scheduleAt(20, [] {});
+    h.cancel();
+    simul.run();
+    EXPECT_EQ(simul.now(), 20u);
+}
+
+// ---------------------------------------------------------------------
+// Types helpers.
+// ---------------------------------------------------------------------
+
+TEST(Types, UnitConversions)
+{
+    EXPECT_EQ(nanoseconds(7), 7u);
+    EXPECT_EQ(microseconds(3), 3000u);
+    EXPECT_EQ(milliseconds(2), 2000000u);
+    EXPECT_EQ(seconds(1), 1000000000u);
+    EXPECT_DOUBLE_EQ(toSeconds(seconds(2)), 2.0);
+    EXPECT_DOUBLE_EQ(toMilliseconds(milliseconds(5)), 5.0);
+    EXPECT_DOUBLE_EQ(toMicroseconds(microseconds(9)), 9.0);
+}
+
+TEST(Types, TransferTimeRoundsUp)
+{
+    // 1 byte at 1 GB/s is exactly 1 ns.
+    EXPECT_EQ(transferTime(1, 1000000000ull), 1u);
+    // 100 bytes at 160 MB/s = 625 ns.
+    EXPECT_EQ(transferTime(100, 160000000ull), 625u);
+    // Fractional results round up.
+    EXPECT_EQ(transferTime(1, 3000000000ull), 1u);
+    // Zero rate yields zero (guard).
+    EXPECT_EQ(transferTime(100, 0), 0u);
+}
+
+struct TransferCase
+{
+    std::uint64_t bytes;
+    std::uint64_t rate;
+};
+
+class TransferTimeProperty : public ::testing::TestWithParam<TransferCase>
+{
+};
+
+TEST_P(TransferTimeProperty, MatchesArithmetic)
+{
+    const auto p = GetParam();
+    const Tick t = transferTime(p.bytes, p.rate);
+    const long double exact = static_cast<long double>(p.bytes) * 1e9L /
+                              static_cast<long double>(p.rate);
+    EXPECT_GE(static_cast<long double>(t), exact - 0.5L);
+    EXPECT_LE(static_cast<long double>(t), exact + 1.0L);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, TransferTimeProperty,
+    ::testing::Values(TransferCase{1, 19200}, TransferCase{6, 19200},
+                      TransferCase{64, 160000000},
+                      TransferCase{664, 160000000},
+                      TransferCase{1024, 25000000},
+                      TransferCase{1 << 20, 1000000},
+                      TransferCase{96, 120000000}));

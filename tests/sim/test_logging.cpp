@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Tests of the formatting and status-message helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/logging.hh"
+
+using namespace supmon::sim;
+
+TEST(Logging, StrprintfFormats)
+{
+    EXPECT_EQ(strprintf("x=%d y=%s", 5, "abc"), "x=5 y=abc");
+    EXPECT_EQ(strprintf("%.3f", 1.5), "1.500");
+    EXPECT_EQ(strprintf("plain"), "plain");
+}
+
+TEST(Logging, StrprintfLongStrings)
+{
+    std::string big(5000, 'a');
+    const std::string out = strprintf("<%s>", big.c_str());
+    EXPECT_EQ(out.size(), big.size() + 2);
+    EXPECT_EQ(out.front(), '<');
+    EXPECT_EQ(out.back(), '>');
+}
+
+TEST(Logging, QuietFlagRoundTrips)
+{
+    const bool was = quiet();
+    setQuiet(true);
+    EXPECT_TRUE(quiet());
+    warn("this warning must be suppressed (%d)", 1);
+    inform("this info must be suppressed");
+    setQuiet(false);
+    EXPECT_FALSE(quiet());
+    setQuiet(was);
+}
+
+TEST(LoggingDeath, PanicAborts)
+{
+    EXPECT_DEATH(panic("fatal condition %d", 42), "fatal condition 42");
+}
+
+TEST(LoggingDeath, FatalExitsWithCodeOne)
+{
+    EXPECT_EXIT(fatal("user error %s", "bad config"),
+                ::testing::ExitedWithCode(1), "bad config");
+}

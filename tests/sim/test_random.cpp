@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Tests of the deterministic RNG: reproducibility and distribution
+ * sanity (property-style over several seeds).
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "sim/random.hh"
+
+using namespace supmon::sim;
+
+TEST(Random, SameSeedSameSequence)
+{
+    Random a(42);
+    Random b(42);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Random, DifferentSeedsDiffer)
+{
+    Random a(1);
+    Random b(2);
+    int differing = 0;
+    for (int i = 0; i < 100; ++i)
+        differing += a.next() != b.next();
+    EXPECT_GT(differing, 90);
+}
+
+TEST(Random, ReseedRestartsSequence)
+{
+    Random a(7);
+    std::vector<std::uint64_t> first;
+    for (int i = 0; i < 16; ++i)
+        first.push_back(a.next());
+    a.reseed(7);
+    for (int i = 0; i < 16; ++i)
+        EXPECT_EQ(a.next(), first[static_cast<size_t>(i)]);
+}
+
+TEST(Random, SplitMixIsStable)
+{
+    // Regression anchor: splitmix64 of 0 is a known constant.
+    std::uint64_t state = 0;
+    EXPECT_EQ(splitmix64(state), 0xe220a8397b1dcdafull);
+}
+
+class RandomSeeded : public ::testing::TestWithParam<std::uint64_t>
+{
+  protected:
+    Random rng{GetParam()};
+};
+
+TEST_P(RandomSeeded, UniformIntStaysInBounds)
+{
+    for (int i = 0; i < 5000; ++i) {
+        const auto v = rng.uniformInt(10, 20);
+        EXPECT_GE(v, 10u);
+        EXPECT_LE(v, 20u);
+    }
+}
+
+TEST_P(RandomSeeded, UniformIntCoversRange)
+{
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 2000; ++i)
+        seen.insert(rng.uniformInt(0, 7));
+    EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST_P(RandomSeeded, UniformIntDegenerateRange)
+{
+    EXPECT_EQ(rng.uniformInt(5, 5), 5u);
+    EXPECT_EQ(rng.uniformInt(9, 3), 9u); // hi < lo: returns lo
+}
+
+TEST_P(RandomSeeded, UniformRealInHalfOpenUnitInterval)
+{
+    for (int i = 0; i < 5000; ++i) {
+        const double v = rng.uniformReal();
+        EXPECT_GE(v, 0.0);
+        EXPECT_LT(v, 1.0);
+    }
+}
+
+TEST_P(RandomSeeded, UniformRealMeanNearHalf)
+{
+    double sum = 0.0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        sum += rng.uniformReal();
+    EXPECT_NEAR(sum / n, 0.5, 0.02);
+}
+
+TEST_P(RandomSeeded, UniformRealRangeRespectsBounds)
+{
+    for (int i = 0; i < 2000; ++i) {
+        const double v = rng.uniformReal(-3.0, 5.0);
+        EXPECT_GE(v, -3.0);
+        EXPECT_LT(v, 5.0);
+    }
+}
+
+TEST_P(RandomSeeded, ExponentialMeanApproximates)
+{
+    double sum = 0.0;
+    const int n = 30000;
+    for (int i = 0; i < n; ++i)
+        sum += rng.exponential(4.0);
+    EXPECT_NEAR(sum / n, 4.0, 0.15);
+}
+
+TEST_P(RandomSeeded, ExponentialIsPositive)
+{
+    for (int i = 0; i < 2000; ++i)
+        EXPECT_GT(rng.exponential(1.0), 0.0);
+}
+
+TEST_P(RandomSeeded, BernoulliFrequency)
+{
+    int hits = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        hits += rng.bernoulli(0.3);
+    EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomSeeded,
+                         ::testing::Values(1ull, 42ull, 1992ull,
+                                           0xdeadbeefull,
+                                           0xffffffffffffffffull));

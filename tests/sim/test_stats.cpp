@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Tests of SummaryStat (Welford) and Histogram.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "sim/random.hh"
+#include "sim/stats.hh"
+
+using namespace supmon::sim;
+
+TEST(SummaryStat, EmptyIsZero)
+{
+    SummaryStat s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+    EXPECT_DOUBLE_EQ(s.min(), 0.0);
+    EXPECT_DOUBLE_EQ(s.max(), 0.0);
+}
+
+TEST(SummaryStat, KnownValues)
+{
+    SummaryStat s;
+    for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        s.push(v);
+    EXPECT_EQ(s.count(), 8u);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(s.variance(), 4.0);
+    EXPECT_DOUBLE_EQ(s.stddev(), 2.0);
+    EXPECT_DOUBLE_EQ(s.min(), 2.0);
+    EXPECT_DOUBLE_EQ(s.max(), 9.0);
+    EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(SummaryStat, SingleValue)
+{
+    SummaryStat s;
+    s.push(-3.5);
+    EXPECT_DOUBLE_EQ(s.mean(), -3.5);
+    EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+    EXPECT_DOUBLE_EQ(s.min(), -3.5);
+    EXPECT_DOUBLE_EQ(s.max(), -3.5);
+}
+
+TEST(SummaryStat, ResetClears)
+{
+    SummaryStat s;
+    s.push(1.0);
+    s.push(2.0);
+    s.reset();
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+}
+
+TEST(SummaryStat, MatchesNaiveComputation)
+{
+    Random rng(99);
+    std::vector<double> data;
+    SummaryStat s;
+    for (int i = 0; i < 2000; ++i) {
+        const double v = rng.uniformReal(-100.0, 100.0);
+        data.push_back(v);
+        s.push(v);
+    }
+    double mean = 0.0;
+    for (double v : data)
+        mean += v;
+    mean /= static_cast<double>(data.size());
+    double var = 0.0;
+    for (double v : data)
+        var += (v - mean) * (v - mean);
+    var /= static_cast<double>(data.size());
+    EXPECT_NEAR(s.mean(), mean, 1e-9);
+    EXPECT_NEAR(s.variance(), var, 1e-6);
+}
+
+TEST(Histogram, BinsCorrectly)
+{
+    Histogram h(0.0, 10.0, 10);
+    for (int i = 0; i < 10; ++i)
+        h.push(i + 0.5);
+    for (std::size_t b = 0; b < h.bins(); ++b)
+        EXPECT_EQ(h.binCount(b), 1u);
+    EXPECT_EQ(h.underflow(), 0u);
+    EXPECT_EQ(h.overflow(), 0u);
+    EXPECT_EQ(h.samples(), 10u);
+}
+
+TEST(Histogram, UnderAndOverflow)
+{
+    Histogram h(0.0, 1.0, 4);
+    h.push(-0.1);
+    h.push(1.0); // hi edge is exclusive
+    h.push(5.0);
+    EXPECT_EQ(h.underflow(), 1u);
+    EXPECT_EQ(h.overflow(), 2u);
+    EXPECT_EQ(h.samples(), 3u);
+}
+
+TEST(Histogram, EdgeValuesGoToCorrectBin)
+{
+    Histogram h(0.0, 4.0, 4);
+    h.push(0.0);
+    h.push(1.0);
+    h.push(3.999);
+    EXPECT_EQ(h.binCount(0), 1u);
+    EXPECT_EQ(h.binCount(1), 1u);
+    EXPECT_EQ(h.binCount(3), 1u);
+}
+
+TEST(Histogram, BinLowerBounds)
+{
+    Histogram h(10.0, 20.0, 5);
+    EXPECT_DOUBLE_EQ(h.binLower(0), 10.0);
+    EXPECT_DOUBLE_EQ(h.binLower(4), 18.0);
+}
+
+TEST(Histogram, DegenerateConfigurationIsSafe)
+{
+    Histogram h(5.0, 5.0, 0); // invalid: falls back to [0,1), 1 bin
+    h.push(0.5);
+    EXPECT_EQ(h.bins(), 1u);
+    EXPECT_EQ(h.binCount(0), 1u);
+}

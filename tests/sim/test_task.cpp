@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Tests of the coroutine Task type used for simulated processes.
+ */
+
+#include <gtest/gtest.h>
+
+#include <coroutine>
+#include <stdexcept>
+
+#include "sim/task.hh"
+
+using namespace supmon::sim;
+
+namespace
+{
+
+/** Awaiter that parks the handle for manual resumption. */
+struct Park
+{
+    std::coroutine_handle<> *slot;
+
+    bool
+    await_ready() const
+    {
+        return false;
+    }
+
+    void
+    await_suspend(std::coroutine_handle<> h)
+    {
+        *slot = h;
+    }
+
+    void
+    await_resume()
+    {
+    }
+};
+
+Task
+counterBody(int *counter, std::coroutine_handle<> *slot)
+{
+    ++*counter;
+    co_await Park{slot};
+    ++*counter;
+    co_await Park{slot};
+    ++*counter;
+}
+
+Task
+throwingBody()
+{
+    throw std::runtime_error("boom");
+    co_return; // unreachable; makes this a coroutine
+}
+
+Task
+emptyBody()
+{
+    co_return;
+}
+
+} // namespace
+
+TEST(Task, StartsSuspended)
+{
+    int counter = 0;
+    std::coroutine_handle<> slot;
+    Task t = counterBody(&counter, &slot);
+    EXPECT_TRUE(t.valid());
+    EXPECT_FALSE(t.done());
+    EXPECT_EQ(counter, 0);
+}
+
+TEST(Task, RunsToEachSuspensionPoint)
+{
+    int counter = 0;
+    std::coroutine_handle<> slot;
+    Task t = counterBody(&counter, &slot);
+    t.resume();
+    EXPECT_EQ(counter, 1);
+    EXPECT_FALSE(t.done());
+    slot.resume();
+    EXPECT_EQ(counter, 2);
+    slot.resume();
+    EXPECT_EQ(counter, 3);
+    EXPECT_TRUE(t.done());
+}
+
+TEST(Task, OnDoneFiresExactlyOnce)
+{
+    int done = 0;
+    Task t = emptyBody();
+    t.promise().onDone = [&] { ++done; };
+    t.resume();
+    EXPECT_EQ(done, 1);
+    EXPECT_TRUE(t.done());
+}
+
+TEST(Task, OnDoneNotFiredWhileSuspended)
+{
+    int counter = 0;
+    int done = 0;
+    std::coroutine_handle<> slot;
+    Task t = counterBody(&counter, &slot);
+    t.promise().onDone = [&] { ++done; };
+    t.resume();
+    EXPECT_EQ(done, 0);
+    slot.resume();
+    slot.resume();
+    EXPECT_EQ(done, 1);
+}
+
+TEST(Task, CapturesUnhandledException)
+{
+    Task t = throwingBody();
+    bool done_called = false;
+    t.promise().onDone = [&] { done_called = true; };
+    t.resume();
+    EXPECT_TRUE(done_called);
+    ASSERT_TRUE(static_cast<bool>(t.promise().error));
+    EXPECT_THROW(std::rethrow_exception(t.promise().error),
+                 std::runtime_error);
+}
+
+TEST(Task, MoveTransfersOwnership)
+{
+    int counter = 0;
+    std::coroutine_handle<> slot;
+    Task a = counterBody(&counter, &slot);
+    Task b = std::move(a);
+    EXPECT_FALSE(a.valid());
+    EXPECT_TRUE(b.valid());
+    b.resume();
+    EXPECT_EQ(counter, 1);
+}
+
+TEST(Task, MoveAssignDestroysOldFrame)
+{
+    int c1 = 0;
+    int c2 = 0;
+    std::coroutine_handle<> s1;
+    std::coroutine_handle<> s2;
+    Task a = counterBody(&c1, &s1);
+    Task b = counterBody(&c2, &s2);
+    a = std::move(b); // a's original frame destroyed
+    EXPECT_TRUE(a.valid());
+    EXPECT_FALSE(b.valid());
+    a.resume();
+    EXPECT_EQ(c1, 0);
+    EXPECT_EQ(c2, 1);
+}
+
+TEST(Task, DefaultConstructedIsInvalid)
+{
+    Task t;
+    EXPECT_FALSE(t.valid());
+    EXPECT_FALSE(t.done());
+}
+
+TEST(Task, ContextPointerRoundTrips)
+{
+    int dummy = 0;
+    Task t = emptyBody();
+    t.promise().context = &dummy;
+    EXPECT_EQ(t.promise().context, &dummy);
+}

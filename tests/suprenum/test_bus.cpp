@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Tests of the interconnect models: cluster bus (dual 160 MB/s) and
+ * SUPRENUM token-ring bus (duplicated, 25 MB/s).
+ */
+
+#include <gtest/gtest.h>
+
+#include "suprenum/bus.hh"
+
+using namespace supmon;
+using suprenum::BusGrant;
+using suprenum::BusTransfer;
+using suprenum::ClusterBus;
+using suprenum::RingBus;
+
+TEST(ClusterBus, TransferTimeMatchesRate)
+{
+    ClusterBus bus(160000000ull, 1, 0);
+    const BusGrant g = bus.acquire(0, 160); // 160 B at 160 MB/s = 1 us
+    EXPECT_EQ(g.start, 0u);
+    EXPECT_EQ(g.end, sim::microseconds(1));
+}
+
+TEST(ClusterBus, ArbitrationDelaysStart)
+{
+    ClusterBus bus(160000000ull, 1, sim::microseconds(4));
+    const BusGrant g = bus.acquire(100, 160);
+    EXPECT_EQ(g.start, 100u + sim::microseconds(4));
+}
+
+TEST(ClusterBus, DualBusesCarryTwoTransfersInParallel)
+{
+    ClusterBus bus(160000000ull, 2, 0);
+    const BusGrant a = bus.acquire(0, 16000); // 100 us
+    const BusGrant b = bus.acquire(0, 16000);
+    EXPECT_EQ(a.start, 0u);
+    EXPECT_EQ(b.start, 0u); // second sub-bus, no queueing
+    EXPECT_NE(a.subBus, b.subBus);
+    const BusGrant c = bus.acquire(0, 16000);
+    EXPECT_EQ(c.start, a.end); // third transfer must queue
+}
+
+TEST(ClusterBus, SingleBusSerializes)
+{
+    ClusterBus bus(160000000ull, 1, 0);
+    const BusGrant a = bus.acquire(0, 16000);
+    const BusGrant b = bus.acquire(0, 16000);
+    EXPECT_EQ(b.start, a.end);
+}
+
+TEST(ClusterBus, ObserverSeesTransfers)
+{
+    ClusterBus bus(160000000ull, 2, 0);
+    int seen = 0;
+    bus.attachObserver([&](const BusTransfer &t) {
+        ++seen;
+        EXPECT_EQ(t.bytes, 128u);
+    });
+    BusTransfer t;
+    t.bytes = 128;
+    bus.notify(t);
+    bus.notify(t);
+    EXPECT_EQ(seen, 2);
+}
+
+TEST(ClusterBus, CountsBusyTime)
+{
+    ClusterBus bus(160000000ull, 1, 0);
+    bus.acquire(0, 160);
+    bus.acquire(0, 160);
+    EXPECT_EQ(bus.transferCount(), 2u);
+    EXPECT_EQ(bus.totalBusyTime(), sim::microseconds(2));
+}
+
+TEST(RingBus, TokenLatencyScalesWithHops)
+{
+    RingBus ring(25000000ull, 1, sim::microseconds(20));
+    const BusGrant a = ring.acquire(0, 25, 0); // 25 B at 25 MB/s = 1 us
+    EXPECT_EQ(a.start, 0u);
+    EXPECT_EQ(a.end, sim::microseconds(1));
+    const BusGrant b = ring.acquire(a.end, 25, 3);
+    EXPECT_EQ(b.start, a.end + 3 * sim::microseconds(20));
+}
+
+TEST(RingBus, DuplicatedRingDoublesBandwidth)
+{
+    RingBus ring(25000000ull, 2, 0);
+    const BusGrant a = ring.acquire(0, 25000, 0); // 1 ms
+    const BusGrant b = ring.acquire(0, 25000, 0);
+    EXPECT_EQ(a.start, 0u);
+    EXPECT_EQ(b.start, 0u);
+    const BusGrant c = ring.acquire(0, 25000, 0);
+    EXPECT_EQ(c.start, a.end);
+    EXPECT_EQ(ring.transferCount(), 3u);
+}
+
+TEST(RingBus, BusyRingQueuesLaterTransfers)
+{
+    RingBus ring(25000000ull, 1, 0);
+    const BusGrant a = ring.acquire(0, 25000, 0);
+    const BusGrant b = ring.acquire(10, 25000, 0);
+    EXPECT_GE(b.start, a.end);
+}

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Tests of the node's measurement devices: the seven segment display
+ * (with firmware-write suppression) and the V.24 serial port
+ * (including the paper's ">2.4 ms per 48-bit event" number).
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "suprenum/serial_port.hh"
+#include "suprenum/seven_segment.hh"
+
+using namespace supmon;
+using suprenum::SerialPort;
+using suprenum::SevenSegmentDisplay;
+using suprenum::sevenSegmentFont;
+using suprenum::sevenSegmentPatternOf;
+
+TEST(SevenSegment, FontRoundTrips)
+{
+    for (std::uint8_t i = 0; i < 16; ++i)
+        EXPECT_EQ(sevenSegmentPatternOf(sevenSegmentFont[i]), i);
+}
+
+TEST(SevenSegment, FontGlyphsAreDistinct)
+{
+    for (int a = 0; a < 16; ++a) {
+        for (int b = a + 1; b < 16; ++b)
+            EXPECT_NE(sevenSegmentFont[a], sevenSegmentFont[b]);
+    }
+}
+
+TEST(SevenSegment, UnknownGlyphMapsToSentinel)
+{
+    EXPECT_EQ(sevenSegmentPatternOf(0x00), 0xff);
+    EXPECT_EQ(sevenSegmentPatternOf(0x80), 0xff);
+}
+
+TEST(SevenSegment, WriteDrivesGlyphAndNotifiesObserver)
+{
+    SevenSegmentDisplay disp;
+    std::vector<std::pair<std::uint8_t, sim::Tick>> seen;
+    disp.attachObserver([&](std::uint8_t glyph, sim::Tick when) {
+        seen.push_back({glyph, when});
+    });
+    disp.write(0x0a, 100);
+    disp.write(0x0f, 200);
+    ASSERT_EQ(seen.size(), 2u);
+    EXPECT_EQ(seen[0].first, sevenSegmentFont[0x0a]);
+    EXPECT_EQ(seen[0].second, 100u);
+    EXPECT_EQ(seen[1].first, sevenSegmentFont[0x0f]);
+    EXPECT_EQ(disp.glyph(), sevenSegmentFont[0x0f]);
+}
+
+TEST(SevenSegment, PatternIndexIsMaskedToFourBits)
+{
+    SevenSegmentDisplay disp;
+    disp.write(0x1f, 0); // same as 0x0f
+    EXPECT_EQ(disp.glyph(), sevenSegmentFont[0x0f]);
+}
+
+TEST(SevenSegment, FirmwareWritesShowByDefault)
+{
+    SevenSegmentDisplay disp;
+    int seen = 0;
+    disp.attachObserver([&](std::uint8_t, sim::Tick) { ++seen; });
+    disp.write(0x3, 0, true); // firmware status display
+    EXPECT_EQ(seen, 1);
+    EXPECT_EQ(disp.suppressedFirmwareWrites(), 0u);
+}
+
+TEST(SevenSegment, ReservationSuppressesFirmwareWrites)
+{
+    // The triggerword must stay reserved and (T, m_i) pairs atomic:
+    // while monitoring, communication firmware writes are dropped.
+    SevenSegmentDisplay disp;
+    int seen = 0;
+    disp.attachObserver([&](std::uint8_t, sim::Tick) { ++seen; });
+    disp.reserveForMonitoring(true);
+    disp.write(0x3, 0, true);
+    disp.write(0x4, 0, true);
+    EXPECT_EQ(seen, 0);
+    EXPECT_EQ(disp.suppressedFirmwareWrites(), 2u);
+    disp.write(0x0f, 0, false); // monitoring writes pass
+    EXPECT_EQ(seen, 1);
+}
+
+TEST(SerialPort, FortyEightBitsTakeMoreThan2400Microseconds)
+{
+    // Paper, section 3.2: "It would take more than 2.4 ms to output
+    // 48 bits of event data" via the terminal interface.
+    SerialPort port(19200);
+    EXPECT_GT(port.transmissionTime(48), sim::microseconds(2400));
+    EXPECT_LT(port.transmissionTime(48), sim::milliseconds(4));
+}
+
+TEST(SerialPort, TransmissionTimeScalesWithBits)
+{
+    SerialPort port(19200);
+    EXPECT_GT(port.transmissionTime(96), port.transmissionTime(48));
+    EXPECT_EQ(port.transmissionTime(0), 0u);
+}
+
+TEST(SerialPort, CompleteNotifiesObserverAndCounts)
+{
+    SerialPort port(19200);
+    std::uint64_t seen_data = 0;
+    unsigned seen_bits = 0;
+    port.attachObserver(
+        [&](std::uint64_t data, unsigned bits, sim::Tick) {
+            seen_data = data;
+            seen_bits = bits;
+        });
+    port.complete(0xabcdef, 48, 1000);
+    EXPECT_EQ(seen_data, 0xabcdefull);
+    EXPECT_EQ(seen_bits, 48u);
+    EXPECT_EQ(port.transmissionCount(), 1u);
+}

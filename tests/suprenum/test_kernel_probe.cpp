@@ -1,0 +1,213 @@
+/**
+ * @file
+ * Tests of the OS instrumentation extension: the kernel probe fires
+ * on every scheduler/communication action, ideal probes cost nothing,
+ * and software probes slow the node down.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "sim/logging.hh"
+#include "suprenum/machine.hh"
+#include "suprenum/mailbox.hh"
+
+using namespace supmon;
+using suprenum::Machine;
+using suprenum::MachineParams;
+using suprenum::Pid;
+using suprenum::ProcessEnv;
+
+namespace
+{
+
+struct Entry
+{
+    sim::Tick at;
+    std::uint16_t token;
+    std::uint32_t param;
+};
+
+class KernelProbeTest : public ::testing::Test
+{
+  protected:
+    KernelProbeTest()
+    {
+        sim::setQuiet(true);
+        params.numClusters = 1;
+        params.nodesPerCluster = 4;
+        machine = std::make_unique<Machine>(simul, params);
+    }
+
+    ~KernelProbeTest() override
+    {
+        sim::setQuiet(false);
+    }
+
+    void
+    attachProbe(unsigned node, sim::Tick cost = 0)
+    {
+        machine->nodeByIndex(node).setKernelProbe(
+            [this](std::uint16_t token, std::uint32_t param) {
+                trace.push_back({simul.now(), token, param});
+            },
+            cost);
+    }
+
+    std::uint64_t
+    countOf(std::uint16_t token) const
+    {
+        std::uint64_t n = 0;
+        for (const auto &e : trace)
+            n += e.token == token;
+        return n;
+    }
+
+    sim::Simulation simul;
+    MachineParams params;
+    std::unique_ptr<Machine> machine;
+    std::vector<Entry> trace;
+};
+
+} // namespace
+
+TEST_F(KernelProbeTest, CapturesLifecycleOfOneProcess)
+{
+    attachProbe(0);
+    machine->nodeByIndex(0).spawn("p", [&](ProcessEnv env) -> sim::Task {
+        co_await env.compute(sim::milliseconds(1));
+        co_await env.sleep(sim::milliseconds(2));
+    });
+    simul.run();
+    EXPECT_EQ(countOf(suprenum::evKernReady), 2u);    // spawn + wake
+    EXPECT_EQ(countOf(suprenum::evKernDispatch), 2u); // twice on CPU
+    EXPECT_EQ(countOf(suprenum::evKernBlock), 1u);    // the sleep
+    EXPECT_EQ(countOf(suprenum::evKernExit), 1u);
+    EXPECT_EQ(machine->nodeByIndex(0).kernelEventCount(),
+              trace.size());
+}
+
+TEST_F(KernelProbeTest, CapturesYields)
+{
+    attachProbe(0);
+    machine->nodeByIndex(0).spawn("y", [&](ProcessEnv env) -> sim::Task {
+        co_await env.yield();
+        co_await env.yield();
+    });
+    simul.run();
+    EXPECT_EQ(countOf(suprenum::evKernYield), 2u);
+}
+
+TEST_F(KernelProbeTest, CapturesMessagingOnBothSides)
+{
+    attachProbe(0);
+    attachProbe(1);
+    const Pid dst = machine->nodeByIndex(1).spawn(
+        "recv", [&](ProcessEnv env) -> sim::Task {
+            co_await env.receive();
+        });
+    machine->nodeByIndex(0).spawn("send",
+                                  [&, dst](ProcessEnv env) -> sim::Task {
+                                      co_await env.send(dst, 64, 1, 0);
+                                  });
+    simul.run();
+    EXPECT_EQ(countOf(suprenum::evKernSend), 1u);
+    EXPECT_EQ(countOf(suprenum::evKernDeliver), 1u);
+}
+
+TEST_F(KernelProbeTest, BlockParamEncodesReason)
+{
+    attachProbe(0);
+    machine->nodeByIndex(0).spawn("s", [&](ProcessEnv env) -> sim::Task {
+        co_await env.sleep(sim::milliseconds(1));
+    });
+    simul.run();
+    bool found = false;
+    for (const auto &e : trace) {
+        if (e.token == suprenum::evKernBlock) {
+            found = true;
+            EXPECT_EQ(e.param & 0xff,
+                      static_cast<std::uint32_t>(
+                          suprenum::BlockReason::Sleep));
+        }
+    }
+    EXPECT_TRUE(found);
+}
+
+TEST_F(KernelProbeTest, IdealProbeIsFree)
+{
+    // Run the same program with and without an ideal probe: identical
+    // completion time.
+    auto body = [](ProcessEnv env) -> sim::Task {
+        for (int i = 0; i < 5; ++i) {
+            co_await env.compute(sim::milliseconds(2));
+            co_await env.yield();
+        }
+    };
+    const Pid without = machine->nodeByIndex(2).spawn("a", body);
+    attachProbe(3, 0);
+    const Pid with = machine->nodeByIndex(3).spawn("b", body);
+    simul.run();
+    const auto *lwp_a = machine->nodeByIndex(2).find(without.lwp);
+    const auto *lwp_b = machine->nodeByIndex(3).find(with.lwp);
+    EXPECT_EQ(lwp_a->accounting.running, lwp_b->accounting.running);
+    EXPECT_EQ(lwp_a->accounting.ready, lwp_b->accounting.ready);
+}
+
+TEST_F(KernelProbeTest, SoftwareProbeSlowsTheNodeDown)
+{
+    sim::Tick done_free = 0;
+    sim::Tick done_costly = 0;
+    auto body = [](sim::Tick *done) {
+        return [done](ProcessEnv env) -> sim::Task {
+            for (int i = 0; i < 10; ++i) {
+                co_await env.compute(sim::milliseconds(1));
+                co_await env.yield();
+            }
+            *done = env.now();
+        };
+    };
+    machine->nodeByIndex(0).spawn("free", body(&done_free));
+    attachProbe(1, sim::microseconds(100));
+    machine->nodeByIndex(1).spawn("costly", body(&done_costly));
+    simul.run();
+    EXPECT_GT(done_costly, done_free);
+    // Each of the ~10 dispatch rounds pays for a few probe events.
+    EXPECT_GE(done_costly - done_free, sim::microseconds(1000));
+}
+
+TEST_F(KernelProbeTest, MailboxSchedulingDelayIsMeasurable)
+{
+    // The paper's future-work question answered at kernel level: how
+    // long does a delivered message wait for the mailbox process?
+    attachProbe(1);
+    suprenum::Mailbox box(machine->nodeByIndex(1), "box");
+    machine->nodeByIndex(1).spawn(
+        "owner", [&](ProcessEnv env) -> sim::Task {
+            co_await env.compute(sim::milliseconds(30));
+            co_await box.read(env);
+        });
+    machine->nodeByIndex(0).spawn(
+        "sender", [&](ProcessEnv env) -> sim::Task {
+            co_await env.send(box.pid(), 64, 1, 1);
+        });
+    simul.run();
+
+    sim::Tick delivered = 0;
+    sim::Tick dispatched = 0;
+    for (const auto &e : trace) {
+        if (e.token == suprenum::evKernDeliver &&
+            e.param == box.pid().lwp && !delivered)
+            delivered = e.at;
+        if (e.token == suprenum::evKernDispatch &&
+            e.param == box.pid().lwp && delivered && !dispatched)
+            dispatched = e.at;
+    }
+    ASSERT_GT(delivered, 0u);
+    ASSERT_GT(dispatched, delivered);
+    // The owner computed for 30 ms: the mailbox had to wait ~that long.
+    EXPECT_GT(dispatched - delivered, sim::milliseconds(20));
+}

@@ -1,0 +1,279 @@
+/**
+ * @file
+ * Machine-level tests: topology, routing (intra- and inter-cluster),
+ * disk node service, diagnosis node, and configuration validation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "sim/logging.hh"
+#include "suprenum/machine.hh"
+
+using namespace supmon;
+using suprenum::Machine;
+using suprenum::MachineParams;
+using suprenum::Message;
+using suprenum::NodeId;
+using suprenum::Pid;
+using suprenum::ProcessEnv;
+
+namespace
+{
+
+class MachineTest : public ::testing::Test
+{
+  protected:
+    MachineTest()
+    {
+        sim::setQuiet(true);
+    }
+
+    ~MachineTest() override
+    {
+        sim::setQuiet(false);
+    }
+
+    std::unique_ptr<Machine>
+    build(unsigned clusters, unsigned nodes_per_cluster = 16)
+    {
+        MachineParams p;
+        p.numClusters = clusters;
+        p.nodesPerCluster = nodes_per_cluster;
+        return std::make_unique<Machine>(simul, p);
+    }
+
+    sim::Simulation simul;
+};
+
+} // namespace
+
+TEST_F(MachineTest, FlatIndexMapsClusterMajor)
+{
+    auto machine = build(2, 16);
+    EXPECT_EQ(machine->nodeIdByIndex(0), (NodeId{0, 0}));
+    EXPECT_EQ(machine->nodeIdByIndex(15), (NodeId{0, 15}));
+    EXPECT_EQ(machine->nodeIdByIndex(16), (NodeId{1, 0}));
+    EXPECT_EQ(machine->nodeIdByIndex(31), (NodeId{1, 15}));
+}
+
+TEST_F(MachineTest, FullSystemHas256ProcessingNodes)
+{
+    auto machine = build(16, 16);
+    EXPECT_EQ(machine->params().totalProcessingNodes(), 256u);
+    // All nodes are reachable.
+    EXPECT_NO_FATAL_FAILURE(machine->nodeByIndex(255));
+}
+
+TEST_F(MachineTest, IntraClusterMessageArrives)
+{
+    auto machine = build(1);
+    int got = 0;
+    const Pid dst = machine->spawnOn(
+        NodeId{0, 5}, "recv", [&](ProcessEnv env) -> sim::Task {
+            Message m = co_await env.receive();
+            got = suprenum::payloadAs<int>(m);
+        });
+    machine->spawnOn(NodeId{0, 0}, "send",
+                     [&, dst](ProcessEnv env) -> sim::Task {
+                         co_await env.send(dst, 1024, 1, 7);
+                     });
+    simul.run();
+    EXPECT_EQ(got, 7);
+    EXPECT_GE(machine->messagesRouted(), 2u); // message + ack
+}
+
+TEST_F(MachineTest, InterClusterMessageArrives)
+{
+    auto machine = build(4);
+    int got = 0;
+    sim::Tick arrival = 0;
+    const Pid dst = machine->spawnOn(
+        NodeId{3, 2}, "recv", [&](ProcessEnv env) -> sim::Task {
+            Message m = co_await env.receive();
+            got = suprenum::payloadAs<int>(m);
+            arrival = m.deliveredAt;
+        });
+    machine->spawnOn(NodeId{0, 0}, "send",
+                     [&, dst](ProcessEnv env) -> sim::Task {
+                         co_await env.send(dst, 4096, 1, 11);
+                     });
+    simul.run();
+    EXPECT_EQ(got, 11);
+    EXPECT_GT(arrival, 0u);
+}
+
+TEST_F(MachineTest, InterClusterIsSlowerThanIntraCluster)
+{
+    auto machine = build(4);
+    sim::Tick intra = 0;
+    sim::Tick inter = 0;
+
+    const Pid near_dst = machine->spawnOn(
+        NodeId{0, 1}, "recv-near", [&](ProcessEnv env) -> sim::Task {
+            Message m = co_await env.receive();
+            intra = m.deliveredAt - m.sentAt;
+        });
+    const Pid far_dst = machine->spawnOn(
+        NodeId{3, 1}, "recv-far", [&](ProcessEnv env) -> sim::Task {
+            Message m = co_await env.receive();
+            inter = m.deliveredAt - m.sentAt;
+        });
+    machine->spawnOn(NodeId{0, 0}, "send-near",
+                     [&, near_dst](ProcessEnv env) -> sim::Task {
+                         co_await env.send(near_dst, 4096, 1, 0);
+                     });
+    machine->spawnOn(NodeId{0, 2}, "send-far",
+                     [&, far_dst](ProcessEnv env) -> sim::Task {
+                         co_await env.send(far_dst, 4096, 1, 0);
+                     });
+    simul.run();
+    EXPECT_GT(intra, 0u);
+    EXPECT_GT(inter, intra);
+}
+
+TEST_F(MachineTest, TorusRouteUsesRowAndColumnRings)
+{
+    // On a 2x2 torus a (0,0) -> cluster 3 message needs both a row
+    // and a column leg; it must still arrive.
+    MachineParams p;
+    p.numClusters = 4;
+    p.torusColumns = 2;
+    p.nodesPerCluster = 4;
+    Machine machine(simul, p);
+    bool got = false;
+    const Pid dst = machine.spawnOn(NodeId{3, 0}, "recv",
+                                    [&](ProcessEnv env) -> sim::Task {
+                                        co_await env.receive();
+                                        got = true;
+                                    });
+    machine.spawnOn(NodeId{0, 0}, "send",
+                    [&, dst](ProcessEnv env) -> sim::Task {
+                        co_await env.send(dst, 512, 1, 0);
+                    });
+    simul.run();
+    EXPECT_TRUE(got);
+}
+
+TEST_F(MachineTest, DiskServiceAcceptsWriteRequests)
+{
+    auto machine = build(1);
+    sim::Tick done = 0;
+    const Pid init = machine->spawnOn(
+        NodeId{0, 0}, "writer", [&](ProcessEnv env) -> sim::Task {
+            suprenum::DiskWriteRequest req;
+            req.bytes = 4096;
+            co_await env.send(machine->diskService(0), req.bytes,
+                              suprenum::tagDiskWrite, req);
+            done = env.now();
+        });
+    machine->setInitialProcess(init);
+    EXPECT_TRUE(machine->runToCompletion(sim::seconds(5)));
+    EXPECT_GT(done, 0u);
+}
+
+TEST_F(MachineTest, DiagnosisNodeCountsClusterTraffic)
+{
+    auto machine = build(1);
+    const Pid dst = machine->spawnOn(NodeId{0, 1}, "recv",
+                                     [&](ProcessEnv env) -> sim::Task {
+                                         co_await env.receive();
+                                         co_await env.receive();
+                                     });
+    machine->spawnOn(NodeId{0, 0}, "send",
+                     [&, dst](ProcessEnv env) -> sim::Task {
+                         co_await env.send(dst, 1000, 1, 0);
+                         co_await env.send(dst, 2000, 1, 0);
+                     });
+    simul.run();
+    const auto &diag = machine->diagnosis(0);
+    // 2 messages + 2 acks.
+    EXPECT_EQ(diag.totals().transfers, 4u);
+    EXPECT_GT(diag.totals().bytes, 3000u);
+    EXPECT_FALSE(diag.trafficMatrix().empty());
+    EXPECT_FALSE(diag.report().empty());
+}
+
+TEST_F(MachineTest, LocalMessagesBypassTheBus)
+{
+    auto machine = build(1);
+    const Pid dst = machine->spawnOn(NodeId{0, 0}, "recv",
+                                     [&](ProcessEnv env) -> sim::Task {
+                                         co_await env.receive();
+                                     });
+    machine->spawnOn(NodeId{0, 0}, "send",
+                     [&, dst](ProcessEnv env) -> sim::Task {
+                         co_await env.send(dst, 1000, 1, 0);
+                     });
+    simul.run();
+    EXPECT_EQ(machine->diagnosis(0).totals().transfers, 0u);
+}
+
+TEST_F(MachineTest, InvalidTopologyIsFatal)
+{
+    MachineParams p;
+    p.numClusters = 17;
+    EXPECT_EXIT({ Machine m(simul, p); },
+                ::testing::ExitedWithCode(1), "clusters");
+    MachineParams p2;
+    p2.nodesPerCluster = 0;
+    EXPECT_EXIT({ Machine m(simul, p2); },
+                ::testing::ExitedWithCode(1), "nodes");
+}
+
+TEST_F(MachineTest, UnknownNodePanics)
+{
+    auto machine = build(1, 4);
+    EXPECT_DEATH(machine->node(NodeId{0, 9}), "no such node");
+    EXPECT_DEATH(machine->node(NodeId{3, 0}), "no such cluster");
+    EXPECT_DEATH(machine->nodeByIndex(64), "out of range");
+}
+
+TEST_F(MachineTest, DiskNodeIsAddressable)
+{
+    auto machine = build(1, 4);
+    // Slot nodesPerCluster is the disk node.
+    EXPECT_NO_FATAL_FAILURE(machine->node(NodeId{0, 4}));
+    EXPECT_EQ(machine->diskService(0).node, (NodeId{0, 4}));
+}
+
+TEST_F(MachineTest, OperatorTimeLimitReleasesResources)
+{
+    auto machine = build(1);
+    const Pid init = machine->spawnOn(
+        NodeId{0, 0}, "hog", [&](ProcessEnv env) -> sim::Task {
+            // Monopolizes the partition far beyond the limit.
+            co_await env.compute(sim::seconds(100));
+        });
+    machine->setInitialProcess(init);
+    machine->setOperatorTimeLimit(sim::seconds(1));
+    EXPECT_FALSE(machine->runToCompletion(sim::seconds(1000)));
+    EXPECT_TRUE(machine->operatorKilled());
+    EXPECT_FALSE(machine->applicationExited());
+    EXPECT_LE(simul.now(), sim::seconds(1));
+}
+
+TEST_F(MachineTest, OperatorLimitHarmlessIfJobFinishesFirst)
+{
+    auto machine = build(1);
+    const Pid init = machine->spawnOn(
+        NodeId{0, 0}, "quick", [&](ProcessEnv env) -> sim::Task {
+            co_await env.compute(sim::milliseconds(5));
+        });
+    machine->setInitialProcess(init);
+    machine->setOperatorTimeLimit(sim::seconds(10));
+    EXPECT_TRUE(machine->runToCompletion(sim::seconds(1000)));
+    EXPECT_FALSE(machine->operatorKilled());
+    EXPECT_TRUE(machine->applicationExited());
+}
+
+TEST_F(MachineTest, FrontEndDownloadTimeScalesWithCode)
+{
+    auto machine = build(1);
+    // 1 MB of program code at 1 MB/s front-end link: ~1 s.
+    EXPECT_EQ(machine->downloadTime(1000000), sim::seconds(1));
+    EXPECT_EQ(machine->downloadTime(0), 0u);
+    EXPECT_GT(machine->downloadTime(2000000),
+              machine->downloadTime(1000000));
+}

@@ -1,0 +1,240 @@
+/**
+ * @file
+ * Property-style tests of the node scheduler and the messaging
+ * fabric: round-robin fairness, message order preservation, and
+ * timing invariants, swept over process counts and seeds.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "sim/logging.hh"
+#include "sim/random.hh"
+#include "suprenum/machine.hh"
+#include "suprenum/mailbox.hh"
+
+using namespace supmon;
+using suprenum::Machine;
+using suprenum::MachineParams;
+using suprenum::Message;
+using suprenum::Pid;
+using suprenum::ProcessEnv;
+
+namespace
+{
+
+class SchedulerProperty : public ::testing::TestWithParam<unsigned>
+{
+  protected:
+    SchedulerProperty()
+    {
+        sim::setQuiet(true);
+        params.numClusters = 1;
+        params.nodesPerCluster = 4;
+        machine = std::make_unique<Machine>(simul, params);
+    }
+
+    ~SchedulerProperty() override
+    {
+        sim::setQuiet(false);
+    }
+
+    sim::Simulation simul;
+    MachineParams params;
+    std::unique_ptr<Machine> machine;
+};
+
+} // namespace
+
+TEST_P(SchedulerProperty, RoundRobinSharesCpuFairly)
+{
+    const unsigned n = GetParam();
+    std::vector<Pid> pids;
+    for (unsigned i = 0; i < n; ++i) {
+        pids.push_back(machine->nodeByIndex(0).spawn(
+            "worker" + std::to_string(i),
+            [](ProcessEnv env) -> sim::Task {
+                for (int round = 0; round < 50; ++round) {
+                    co_await env.compute(sim::milliseconds(1));
+                    co_await env.yield();
+                }
+            }));
+    }
+    simul.run();
+    // Every process got exactly its 50 ms of CPU...
+    for (const Pid &pid : pids) {
+        const auto *lwp = machine->nodeByIndex(0).find(pid.lwp);
+        ASSERT_NE(lwp, nullptr);
+        EXPECT_EQ(lwp->accounting.running, sim::milliseconds(50));
+        // 1 initial dispatch + one per yield (the last one only runs
+        // the coroutine to completion).
+        EXPECT_EQ(lwp->accounting.dispatches, 51u);
+    }
+    // ...and waited its fair share: per rotation a process sits ready
+    // while the other (n-1) compute 1 ms each and the scheduler pays
+    // n context switches.
+    const double per_round =
+        static_cast<double>((n - 1) * sim::milliseconds(1) +
+                            n * params.contextSwitchCost);
+    for (const Pid &pid : pids) {
+        const auto *lwp = machine->nodeByIndex(0).find(pid.lwp);
+        EXPECT_NEAR(static_cast<double>(lwp->accounting.ready),
+                    51.0 * per_round,
+                    3.0 * (static_cast<double>(sim::milliseconds(1)) +
+                           per_round));
+    }
+}
+
+TEST_P(SchedulerProperty, CpuNeverRunsTwoProcessesAtOnce)
+{
+    const unsigned n = GetParam();
+    // Total node busy time equals the sum of per-process run times.
+    for (unsigned i = 0; i < n; ++i) {
+        machine->nodeByIndex(0).spawn(
+            "w" + std::to_string(i), [i](ProcessEnv env) -> sim::Task {
+                co_await env.compute(sim::milliseconds(2 + i));
+            });
+    }
+    simul.run();
+    sim::Tick per_process = 0;
+    for (unsigned i = 0; i < n; ++i)
+        per_process += sim::milliseconds(2 + i);
+    EXPECT_EQ(machine->nodeByIndex(0).accounting().cpuBusy,
+              per_process);
+}
+
+TEST_P(SchedulerProperty, MessagesFromOneSenderArriveInOrder)
+{
+    const unsigned n = GetParam();
+    std::vector<int> received;
+    suprenum::Mailbox box(machine->nodeByIndex(1), "box");
+    machine->nodeByIndex(1).spawn(
+        "owner", [&](ProcessEnv env) -> sim::Task {
+            for (unsigned i = 0; i < 3 * n; ++i) {
+                Message m = co_await box.read(env);
+                received.push_back(suprenum::payloadAs<int>(m));
+            }
+        });
+    machine->nodeByIndex(0).spawn(
+        "sender", [&](ProcessEnv env) -> sim::Task {
+            for (unsigned i = 0; i < 3 * n; ++i) {
+                co_await env.send(box.pid(), 64, 1,
+                                  static_cast<int>(i));
+            }
+        });
+    simul.run();
+    ASSERT_EQ(received.size(), 3u * n);
+    for (unsigned i = 0; i < 3 * n; ++i)
+        EXPECT_EQ(received[i], static_cast<int>(i));
+}
+
+TEST_P(SchedulerProperty, ManySendersAllComplete)
+{
+    const unsigned n = GetParam();
+    int received = 0;
+    suprenum::Mailbox box(machine->nodeByIndex(0), "box");
+    machine->nodeByIndex(0).spawn(
+        "owner", [&, n](ProcessEnv env) -> sim::Task {
+            for (unsigned i = 0; i < 4 * n; ++i) {
+                co_await box.read(env);
+                ++received;
+            }
+        });
+    for (unsigned s = 0; s < n; ++s) {
+        machine->nodeByIndex(1 + s % 3)
+            .spawn("sender" + std::to_string(s),
+                   [&, s](ProcessEnv env) -> sim::Task {
+                       for (int k = 0; k < 4; ++k) {
+                           co_await env.send(box.pid(), 64, 1,
+                                             static_cast<int>(s));
+                       }
+                   });
+    }
+    simul.run();
+    EXPECT_EQ(received, static_cast<int>(4 * n));
+    EXPECT_TRUE(simul.empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(ProcessCounts, SchedulerProperty,
+                         ::testing::Values(1u, 2u, 3u, 5u, 8u));
+
+// ----------------------------------------------------------------------
+// Timing invariants.
+// ----------------------------------------------------------------------
+
+TEST(SchedulerTiming, ComputeIsExact)
+{
+    sim::setQuiet(true);
+    sim::Simulation simul;
+    MachineParams params;
+    params.numClusters = 1;
+    Machine machine(simul, params);
+    sim::Tick start = 0;
+    sim::Tick end = 0;
+    machine.nodeByIndex(0).spawn("t", [&](ProcessEnv env) -> sim::Task {
+        start = env.now();
+        co_await env.compute(sim::microseconds(1234567));
+        end = env.now();
+    });
+    simul.run();
+    EXPECT_EQ(end - start, sim::microseconds(1234567));
+    sim::setQuiet(false);
+}
+
+TEST(SchedulerTiming, MessageLatencyIsDeterministicAndOrdered)
+{
+    // The same transfer performed twice takes exactly the same time.
+    sim::setQuiet(true);
+    sim::Simulation simul;
+    MachineParams params;
+    params.numClusters = 1;
+    Machine machine(simul, params);
+    std::vector<sim::Tick> latencies;
+    const Pid dst = machine.nodeByIndex(1).spawn(
+        "recv", [&](ProcessEnv env) -> sim::Task {
+            for (int i = 0; i < 2; ++i) {
+                Message m = co_await env.receive();
+                latencies.push_back(m.deliveredAt - m.sentAt);
+            }
+        });
+    machine.nodeByIndex(0).spawn("send",
+                                 [&, dst](ProcessEnv env) -> sim::Task {
+                                     co_await env.send(dst, 4096, 1, 0);
+                                     co_await env.send(dst, 4096, 1, 1);
+                                 });
+    simul.run();
+    ASSERT_EQ(latencies.size(), 2u);
+    EXPECT_EQ(latencies[0], latencies[1]);
+    EXPECT_GT(latencies[0], params.deliverLatency);
+    sim::setQuiet(false);
+}
+
+TEST(SchedulerTiming, BiggerMessagesTakeLonger)
+{
+    sim::setQuiet(true);
+    sim::Simulation simul;
+    MachineParams params;
+    params.numClusters = 1;
+    Machine machine(simul, params);
+    std::vector<sim::Tick> latencies;
+    const Pid dst = machine.nodeByIndex(1).spawn(
+        "recv", [&](ProcessEnv env) -> sim::Task {
+            for (int i = 0; i < 2; ++i) {
+                Message m = co_await env.receive();
+                latencies.push_back(m.deliveredAt - m.sentAt);
+            }
+        });
+    machine.nodeByIndex(0).spawn(
+        "send", [&, dst](ProcessEnv env) -> sim::Task {
+            co_await env.send(dst, 64, 1, 0);
+            co_await env.send(dst, 1 << 20, 1, 1); // 1 MB
+        });
+    simul.run();
+    ASSERT_EQ(latencies.size(), 2u);
+    EXPECT_GT(latencies[1], latencies[0]);
+    // 1 MB at 160 MB/s is ~6.5 ms of pure transfer.
+    EXPECT_GT(latencies[1] - latencies[0], sim::milliseconds(6));
+    sim::setQuiet(false);
+}

@@ -1,0 +1,203 @@
+/**
+ * @file
+ * Tests of the activity mapper: event trace -> state intervals, and
+ * the utilization / duration statistics built on it.
+ */
+
+#include <gtest/gtest.h>
+
+#include "trace/activity.hh"
+
+using namespace supmon;
+using trace::ActivityMap;
+using trace::EventDictionary;
+using trace::TraceEvent;
+
+namespace
+{
+
+TraceEvent
+ev(sim::Tick ts, std::uint16_t token, unsigned stream,
+   std::uint32_t param = 0)
+{
+    TraceEvent e;
+    e.timestamp = ts;
+    e.token = token;
+    e.stream = stream;
+    e.param = param;
+    return e;
+}
+
+EventDictionary
+dict2()
+{
+    EventDictionary d;
+    d.defineBegin(1, "Work Begin", "WORK");
+    d.defineBegin(2, "Wait Begin", "WAIT");
+    d.definePoint(3, "Tick");
+    return d;
+}
+
+} // namespace
+
+TEST(Activity, BuildsIntervalsFromBeginEvents)
+{
+    const auto d = dict2();
+    std::vector<TraceEvent> events{ev(100, 1, 0), ev(300, 2, 0),
+                                   ev(600, 1, 0)};
+    const auto map = ActivityMap::build(events, d, 1000);
+    ASSERT_EQ(map.intervals().size(), 3u);
+    EXPECT_EQ(map.intervals()[0].state, "WORK");
+    EXPECT_EQ(map.intervals()[0].begin, 100u);
+    EXPECT_EQ(map.intervals()[0].end, 300u);
+    EXPECT_EQ(map.intervals()[1].state, "WAIT");
+    EXPECT_EQ(map.intervals()[1].duration(), 300u);
+    // Last interval closed at trace end.
+    EXPECT_EQ(map.intervals()[2].end, 1000u);
+    EXPECT_EQ(map.traceBegin(), 100u);
+    EXPECT_EQ(map.traceEnd(), 1000u);
+}
+
+TEST(Activity, PointEventsBecomeMarkersNotStates)
+{
+    const auto d = dict2();
+    std::vector<TraceEvent> events{ev(100, 1, 0), ev(200, 3, 0, 42),
+                                   ev(300, 2, 0)};
+    const auto map = ActivityMap::build(events, d, 400);
+    ASSERT_EQ(map.markers().size(), 1u);
+    EXPECT_EQ(map.markers()[0].name, "Tick");
+    EXPECT_EQ(map.markers()[0].at, 200u);
+    EXPECT_EQ(map.markers()[0].param, 42u);
+    // WORK runs through the marker uninterrupted.
+    EXPECT_EQ(map.intervals()[0].end, 300u);
+}
+
+TEST(Activity, StreamsAreIndependent)
+{
+    const auto d = dict2();
+    std::vector<TraceEvent> events{ev(0, 1, 0), ev(50, 2, 1),
+                                   ev(100, 2, 0), ev(150, 1, 1)};
+    const auto map = ActivityMap::build(events, d, 200);
+    EXPECT_EQ(map.streams(), (std::vector<unsigned>{0, 1}));
+    const auto s0 = map.intervalsOf(0);
+    const auto s1 = map.intervalsOf(1);
+    ASSERT_EQ(s0.size(), 2u);
+    ASSERT_EQ(s1.size(), 2u);
+    EXPECT_EQ(s0[0].state, "WORK");
+    EXPECT_EQ(s1[0].state, "WAIT");
+}
+
+TEST(Activity, UnknownTokensAreCounted)
+{
+    const auto d = dict2();
+    std::vector<TraceEvent> events{ev(0, 1, 0), ev(10, 99, 0)};
+    const auto map = ActivityMap::build(events, d, 100);
+    EXPECT_EQ(map.unknownTokens(), 1u);
+}
+
+TEST(Activity, EmptyTraceIsEmptyMap)
+{
+    const auto d = dict2();
+    const auto map = ActivityMap::build({}, d, 0);
+    EXPECT_TRUE(map.intervals().empty());
+    EXPECT_TRUE(map.streams().empty());
+}
+
+TEST(Activity, UtilizationExactFractions)
+{
+    const auto d = dict2();
+    // WORK 0-400, WAIT 400-1000: 40% / 60%.
+    std::vector<TraceEvent> events{ev(0, 1, 0), ev(400, 2, 0)};
+    const auto map = ActivityMap::build(events, d, 1000);
+    EXPECT_DOUBLE_EQ(map.utilization(0, "WORK", 0, 1000), 0.4);
+    EXPECT_DOUBLE_EQ(map.utilization(0, "WAIT", 0, 1000), 0.6);
+    EXPECT_DOUBLE_EQ(map.utilization(0, "IDLE", 0, 1000), 0.0);
+}
+
+TEST(Activity, UtilizationClipsToWindow)
+{
+    const auto d = dict2();
+    std::vector<TraceEvent> events{ev(0, 1, 0), ev(400, 2, 0)};
+    const auto map = ActivityMap::build(events, d, 1000);
+    // Window 200-600: WORK covers 200-400 = 50 % of the window.
+    EXPECT_DOUBLE_EQ(map.utilization(0, "WORK", 200, 600), 0.5);
+    // Degenerate window.
+    EXPECT_DOUBLE_EQ(map.utilization(0, "WORK", 600, 600), 0.0);
+}
+
+TEST(Activity, MeanUtilizationAcrossStreams)
+{
+    const auto d = dict2();
+    // Stream 0: WORK the whole time; stream 1: WORK half the time.
+    std::vector<TraceEvent> events{ev(0, 1, 0), ev(0, 1, 1),
+                                   ev(500, 2, 1)};
+    const auto map = ActivityMap::build(events, d, 1000);
+    EXPECT_DOUBLE_EQ(map.meanUtilization({0, 1}, "WORK", 0, 1000),
+                     0.75);
+    EXPECT_DOUBLE_EQ(map.meanUtilization({}, "WORK", 0, 1000), 0.0);
+}
+
+TEST(Activity, DurationStats)
+{
+    const auto d = dict2();
+    std::vector<TraceEvent> events{ev(0, 1, 0), ev(100, 2, 0),
+                                   ev(150, 1, 0), ev(450, 2, 0)};
+    const auto map = ActivityMap::build(events, d, 500);
+    const auto stats = map.durationStats();
+    const auto &work = stats.at({0, "WORK"});
+    EXPECT_EQ(work.count(), 2u);
+    EXPECT_DOUBLE_EQ(work.mean(), 200.0); // (100 + 300) / 2
+    const auto &wait = stats.at({0, "WAIT"});
+    EXPECT_EQ(wait.count(), 2u);
+}
+
+TEST(Activity, RepeatedBeginOfSameStateSplitsIntervals)
+{
+    const auto d = dict2();
+    // Two consecutive Work Begin events (new job, same state).
+    std::vector<TraceEvent> events{ev(0, 1, 0), ev(100, 1, 0),
+                                   ev(200, 2, 0)};
+    const auto map = ActivityMap::build(events, d, 300);
+    const auto s0 = map.intervalsOf(0);
+    ASSERT_EQ(s0.size(), 3u);
+    EXPECT_EQ(s0[0].state, "WORK");
+    EXPECT_EQ(s0[0].end, 100u);
+    EXPECT_EQ(s0[1].state, "WORK");
+    EXPECT_EQ(s0[1].begin, 100u);
+}
+
+TEST(Activity, ZeroLengthIntervalsAreDropped)
+{
+    const auto d = dict2();
+    std::vector<TraceEvent> events{ev(100, 1, 0), ev(100, 2, 0),
+                                   ev(200, 1, 0)};
+    const auto map = ActivityMap::build(events, d, 300);
+    for (const auto &iv : map.intervals())
+        EXPECT_GT(iv.duration(), 0u);
+}
+
+TEST(Activity, DurationHistogramBinsIntervals)
+{
+    const auto d = dict2();
+    // WORK durations: 100, 200, 300, 900.
+    std::vector<TraceEvent> events{
+        ev(0, 1, 0),    ev(100, 2, 0),  ev(200, 1, 0), ev(400, 2, 0),
+        ev(500, 1, 0),  ev(800, 2, 0),  ev(900, 1, 0), ev(1800, 2, 0)};
+    const auto map = ActivityMap::build(events, d, 2000);
+    const auto hist = map.durationHistogram(0, "WORK", 3);
+    EXPECT_EQ(hist.samples(), 4u);
+    EXPECT_EQ(hist.underflow(), 0u);
+    EXPECT_EQ(hist.overflow(), 0u);
+    // Bins over [0, ~900): 100/200/300 land in bin 0; 900 in bin 2.
+    EXPECT_EQ(hist.binCount(0), 3u);
+    EXPECT_EQ(hist.binCount(2), 1u);
+}
+
+TEST(Activity, DurationHistogramOfAbsentStateIsEmpty)
+{
+    const auto d = dict2();
+    std::vector<TraceEvent> events{ev(0, 1, 0)};
+    const auto map = ActivityMap::build(events, d, 100);
+    const auto hist = map.durationHistogram(0, "NOPE", 4);
+    EXPECT_EQ(hist.samples(), 0u);
+}

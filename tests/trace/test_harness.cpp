@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Tests of the top-level MonitoringHarness: wiring sizes, capture,
+ * stream numbering, skew configuration and statistics.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "hybrid/instrument.hh"
+#include "sim/logging.hh"
+#include "suprenum/machine.hh"
+#include "trace/harness.hh"
+
+using namespace supmon;
+using suprenum::Machine;
+using suprenum::MachineParams;
+using suprenum::ProcessEnv;
+
+namespace
+{
+
+class HarnessTest : public ::testing::Test
+{
+  protected:
+    HarnessTest()
+    {
+        sim::setQuiet(true);
+        params.numClusters = 1;
+        machine = std::make_unique<Machine>(simul, params);
+    }
+
+    ~HarnessTest() override
+    {
+        sim::setQuiet(false);
+    }
+
+    /** Emit one event from each of the first @p nodes nodes. */
+    void
+    emitOnePerNode(unsigned nodes)
+    {
+        for (unsigned n = 0; n < nodes; ++n) {
+            machine->nodeByIndex(n).spawn(
+                "e" + std::to_string(n),
+                [n](ProcessEnv env) -> sim::Task {
+                    hybrid::Instrumentor mon(env,
+                                             hybrid::MonitorMode::Hybrid);
+                    co_await env.compute(
+                        sim::milliseconds(1 + n));
+                    co_await mon(0x0101, n);
+                });
+        }
+        simul.run();
+    }
+
+    sim::Simulation simul;
+    MachineParams params;
+    std::unique_ptr<Machine> machine;
+};
+
+} // namespace
+
+TEST_F(HarnessTest, SizesFollowTheFourChannelRule)
+{
+    trace::MonitoringHarness h1(*machine, 1);
+    EXPECT_EQ(h1.recorderCount(), 1u);
+    trace::MonitoringHarness h4(*machine, 4);
+    EXPECT_EQ(h4.recorderCount(), 1u);
+    trace::MonitoringHarness h5(*machine, 5);
+    EXPECT_EQ(h5.recorderCount(), 2u);
+    trace::MonitoringHarness h16(*machine, 16);
+    EXPECT_EQ(h16.recorderCount(), 4u);
+}
+
+TEST_F(HarnessTest, CapturesOneEventPerNodeWithNodeStreams)
+{
+    trace::MonitoringHarness zm4(*machine, 6);
+    zm4.startMeasurement();
+    emitOnePerNode(6);
+    const auto events = zm4.harvest();
+    ASSERT_EQ(events.size(), 6u);
+    // Default stream numbering equals the node index; events arrive
+    // in node order because node n computed for 1+n ms first.
+    for (unsigned n = 0; n < 6; ++n) {
+        EXPECT_EQ(events[n].stream, n);
+        EXPECT_EQ(events[n].param, n);
+    }
+    EXPECT_EQ(zm4.eventsRecorded(), 6u);
+    EXPECT_EQ(zm4.eventsLost(), 0u);
+    EXPECT_EQ(zm4.protocolErrors(), 0u);
+}
+
+TEST_F(HarnessTest, CustomStreamMapping)
+{
+    trace::MonitoringHarness zm4(*machine, 2);
+    zm4.startMeasurement();
+    emitOnePerNode(2);
+    const auto events = zm4.harvest(
+        [](const zm4::RawRecord &) { return 42u; });
+    ASSERT_EQ(events.size(), 2u);
+    EXPECT_EQ(events[0].stream, 42u);
+}
+
+TEST_F(HarnessTest, SkewWithoutMeasurementStartMisordersNodes)
+{
+    trace::MonitoringHarness zm4(*machine, 5); // 2 recorders
+    // No startMeasurement(): recorder 1 (nodes 4+) is 1 s fast.
+    zm4.configureSkew(1, static_cast<sim::TickDelta>(sim::seconds(1)),
+                      0.0);
+    emitOnePerNode(5);
+    const auto events = zm4.harvest();
+    ASSERT_EQ(events.size(), 5u);
+    // Node 4's event was emitted last but appears far in the future.
+    EXPECT_EQ(events.back().stream, 4u);
+    EXPECT_GT(events.back().timestamp, sim::seconds(1));
+}
+
+TEST_F(HarnessTest, StartMeasurementOverridesSkew)
+{
+    trace::MonitoringHarness zm4(*machine, 5);
+    zm4.configureSkew(1, static_cast<sim::TickDelta>(sim::seconds(1)),
+                      0.0);
+    zm4.startMeasurement(); // tick channel wins
+    emitOnePerNode(5);
+    const auto events = zm4.harvest();
+    ASSERT_EQ(events.size(), 5u);
+    EXPECT_LT(events.back().timestamp, sim::seconds(1));
+}
+
+TEST_F(HarnessTest, RejectsInvalidConfigurations)
+{
+    EXPECT_EXIT({ trace::MonitoringHarness bad(*machine, 0); },
+                ::testing::ExitedWithCode(1), "at least one");
+    EXPECT_EXIT({ trace::MonitoringHarness bad(*machine, 999); },
+                ::testing::ExitedWithCode(1), "cannot monitor");
+}

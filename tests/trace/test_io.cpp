@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Tests of the binary trace file format: round trips, corruption
+ * handling, and interoperability with the evaluation tools.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "sim/random.hh"
+#include "trace/activity.hh"
+#include "trace/io.hh"
+
+using namespace supmon;
+using trace::TraceEvent;
+
+namespace
+{
+
+std::vector<TraceEvent>
+randomTrace(std::size_t n, std::uint64_t seed)
+{
+    sim::Random rng(seed);
+    std::vector<TraceEvent> events;
+    sim::Tick ts = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+        ts += rng.uniformInt(1, 100000);
+        TraceEvent ev;
+        ev.timestamp = ts;
+        ev.token = static_cast<std::uint16_t>(rng.next());
+        ev.param = static_cast<std::uint32_t>(rng.next());
+        ev.stream = static_cast<unsigned>(rng.uniformInt(0, 63));
+        ev.flags = static_cast<std::uint8_t>(rng.uniformInt(0, 1));
+        events.push_back(ev);
+    }
+    return events;
+}
+
+const char *tmpPath = "/tmp/supmon_trace_io_test.smtr";
+
+} // namespace
+
+TEST(TraceIo, RoundTripsEmptyTrace)
+{
+    ASSERT_TRUE(trace::saveTrace(tmpPath, {}));
+    const auto loaded = trace::loadTrace(tmpPath);
+    ASSERT_TRUE(loaded.has_value());
+    EXPECT_TRUE(loaded->empty());
+    std::remove(tmpPath);
+}
+
+TEST(TraceIo, RoundTripsEveryField)
+{
+    const auto original = randomTrace(5000, 42);
+    ASSERT_TRUE(trace::saveTrace(tmpPath, original));
+    const auto loaded = trace::loadTrace(tmpPath);
+    ASSERT_TRUE(loaded.has_value());
+    ASSERT_EQ(loaded->size(), original.size());
+    for (std::size_t i = 0; i < original.size(); ++i) {
+        EXPECT_EQ((*loaded)[i].timestamp, original[i].timestamp);
+        EXPECT_EQ((*loaded)[i].token, original[i].token);
+        EXPECT_EQ((*loaded)[i].param, original[i].param);
+        EXPECT_EQ((*loaded)[i].stream, original[i].stream);
+        EXPECT_EQ((*loaded)[i].flags, original[i].flags);
+    }
+    std::remove(tmpPath);
+}
+
+TEST(TraceIo, MissingFileYieldsNullopt)
+{
+    EXPECT_FALSE(
+        trace::loadTrace("/tmp/supmon_no_such_trace.smtr").has_value());
+}
+
+TEST(TraceIo, WrongMagicRejected)
+{
+    std::ofstream out(tmpPath, std::ios::binary);
+    out << "NOPE0000000000000000";
+    out.close();
+    EXPECT_FALSE(trace::loadTrace(tmpPath).has_value());
+    std::remove(tmpPath);
+}
+
+TEST(TraceIo, TruncatedFileRejected)
+{
+    const auto original = randomTrace(100, 7);
+    ASSERT_TRUE(trace::saveTrace(tmpPath, original));
+    // Chop the file in half.
+    std::ifstream in(tmpPath, std::ios::binary);
+    std::string data((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+    in.close();
+    std::ofstream out(tmpPath, std::ios::binary | std::ios::trunc);
+    out.write(data.data(),
+              static_cast<std::streamsize>(data.size() / 2));
+    out.close();
+    EXPECT_FALSE(trace::loadTrace(tmpPath).has_value());
+    std::remove(tmpPath);
+}
+
+TEST(TraceIo, UnwritablePathFails)
+{
+    EXPECT_FALSE(trace::saveTrace("/nonexistent-dir/trace.smtr", {}));
+}
+
+TEST(TraceIo, LoadedTraceFeedsEvaluation)
+{
+    // A trace survives the disk round trip and still evaluates.
+    trace::EventDictionary dict;
+    dict.defineBegin(1, "Work Begin", "WORK");
+    dict.defineBegin(2, "Wait Begin", "WAIT");
+    std::vector<TraceEvent> events;
+    TraceEvent a;
+    a.timestamp = 100;
+    a.token = 1;
+    TraceEvent b;
+    b.timestamp = 600;
+    b.token = 2;
+    events = {a, b};
+    ASSERT_TRUE(trace::saveTrace(tmpPath, events));
+    const auto loaded = trace::loadTrace(tmpPath);
+    ASSERT_TRUE(loaded.has_value());
+    const auto map = trace::ActivityMap::build(*loaded, dict, 1000);
+    EXPECT_DOUBLE_EQ(map.utilization(0, "WORK", 100, 1000),
+                     500.0 / 900.0);
+    std::remove(tmpPath);
+}

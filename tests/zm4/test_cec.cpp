@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Tests of the control and evaluation computer's trace merge.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "sim/random.hh"
+#include "sim/logging.hh"
+#include "zm4/cec.hh"
+
+using namespace supmon;
+using zm4::ControlEvaluationComputer;
+using zm4::RawRecord;
+
+namespace
+{
+
+RawRecord
+rec(sim::Tick ts, std::uint16_t recorder, std::uint64_t seq,
+    std::uint64_t data = 0)
+{
+    RawRecord r;
+    r.timestamp = ts;
+    r.recorderId = recorder;
+    r.seq = seq;
+    r.data48 = data;
+    return r;
+}
+
+} // namespace
+
+TEST(Cec, MergesTwoSortedTraces)
+{
+    std::vector<std::vector<RawRecord>> locals(2);
+    locals[0] = {rec(100, 0, 0), rec(300, 0, 1), rec(500, 0, 2)};
+    locals[1] = {rec(200, 1, 0), rec(400, 1, 1)};
+    const auto global = ControlEvaluationComputer::merge(locals);
+    ASSERT_EQ(global.size(), 5u);
+    for (std::size_t i = 1; i < global.size(); ++i)
+        EXPECT_LE(global[i - 1].timestamp, global[i].timestamp);
+    EXPECT_EQ(global[0].timestamp, 100u);
+    EXPECT_EQ(global[4].timestamp, 500u);
+}
+
+TEST(Cec, TieBrokenByRecorderThenSequence)
+{
+    std::vector<std::vector<RawRecord>> locals(2);
+    locals[0] = {rec(100, 1, 0), rec(100, 1, 1)};
+    locals[1] = {rec(100, 0, 0)};
+    const auto global = ControlEvaluationComputer::merge(locals);
+    ASSERT_EQ(global.size(), 3u);
+    EXPECT_EQ(global[0].recorderId, 0);
+    EXPECT_EQ(global[1].recorderId, 1);
+    EXPECT_EQ(global[1].seq, 0u);
+    EXPECT_EQ(global[2].seq, 1u);
+}
+
+TEST(Cec, EmptyInputs)
+{
+    EXPECT_TRUE(ControlEvaluationComputer::merge({}).empty());
+    std::vector<std::vector<RawRecord>> locals(3);
+    EXPECT_TRUE(ControlEvaluationComputer::merge(locals).empty());
+}
+
+TEST(Cec, SingleTracePassesThrough)
+{
+    std::vector<std::vector<RawRecord>> locals(1);
+    for (int i = 0; i < 10; ++i)
+        locals[0].push_back(rec(static_cast<sim::Tick>(i * 10), 0,
+                                static_cast<std::uint64_t>(i)));
+    const auto global = ControlEvaluationComputer::merge(locals);
+    ASSERT_EQ(global.size(), 10u);
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(global[static_cast<std::size_t>(i)].timestamp,
+                  static_cast<sim::Tick>(i * 10));
+}
+
+TEST(Cec, ManyTracesPropertySweep)
+{
+    // Property: the merge of k sorted traces equals the sorted
+    // concatenation (by timestamp/recorder/seq).
+    sim::Random rng(2025);
+    for (int round = 0; round < 20; ++round) {
+        const unsigned k = 1 + static_cast<unsigned>(
+                                   rng.uniformInt(0, 7));
+        std::vector<std::vector<RawRecord>> locals(k);
+        std::vector<RawRecord> all;
+        for (unsigned t = 0; t < k; ++t) {
+            sim::Tick ts = 0;
+            const unsigned n = static_cast<unsigned>(
+                rng.uniformInt(0, 50));
+            for (unsigned i = 0; i < n; ++i) {
+                ts += rng.uniformInt(0, 500);
+                locals[t].push_back(
+                    rec(ts, static_cast<std::uint16_t>(t), i,
+                        rng.next()));
+                all.push_back(locals[t].back());
+            }
+        }
+        auto expected = all;
+        std::stable_sort(
+            expected.begin(), expected.end(),
+            [](const RawRecord &a, const RawRecord &b) {
+                if (a.timestamp != b.timestamp)
+                    return a.timestamp < b.timestamp;
+                if (a.recorderId != b.recorderId)
+                    return a.recorderId < b.recorderId;
+                return a.seq < b.seq;
+            });
+        const auto global = ControlEvaluationComputer::merge(locals);
+        ASSERT_EQ(global.size(), expected.size());
+        for (std::size_t i = 0; i < global.size(); ++i) {
+            EXPECT_EQ(global[i].timestamp, expected[i].timestamp);
+            EXPECT_EQ(global[i].recorderId, expected[i].recorderId);
+            EXPECT_EQ(global[i].seq, expected[i].seq);
+            EXPECT_EQ(global[i].data48, expected[i].data48);
+        }
+    }
+}
+
+TEST(Cec, UnsortedLocalTraceIsStillMergedCorrectly)
+{
+    supmon::sim::setQuiet(true);
+    std::vector<std::vector<RawRecord>> locals(1);
+    locals[0] = {rec(300, 0, 0), rec(100, 0, 1), rec(200, 0, 2)};
+    const auto global = ControlEvaluationComputer::merge(locals);
+    supmon::sim::setQuiet(false);
+    ASSERT_EQ(global.size(), 3u);
+    EXPECT_EQ(global[0].timestamp, 100u);
+    EXPECT_EQ(global[1].timestamp, 200u);
+    EXPECT_EQ(global[2].timestamp, 300u);
+}
+
+TEST(Cec, AgentConnectionCollectsAllRecorders)
+{
+    sim::Simulation simul;
+    zm4::MonitorAgent agent("ma");
+    zm4::EventRecorder r0(simul, 0);
+    zm4::EventRecorder r1(simul, 1);
+    r0.attachAgent(agent);
+    r1.attachAgent(agent);
+    simul.scheduleAt(1000, [&] { r0.record(0, 1); });
+    simul.scheduleAt(2000, [&] { r1.record(0, 2); });
+    simul.run();
+    ControlEvaluationComputer cec;
+    cec.connectAgent(agent);
+    EXPECT_EQ(cec.agentCount(), 1u);
+    const auto global = cec.collectAndMerge();
+    ASSERT_EQ(global.size(), 2u);
+    EXPECT_EQ(global[0].data48, 1u);
+    EXPECT_EQ(global[1].data48, 2u);
+}

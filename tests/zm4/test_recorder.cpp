@@ -1,0 +1,251 @@
+/**
+ * @file
+ * Tests of the ZM4 event recorder: time stamping at 100 ns
+ * resolution, FIFO behaviour (32K entries, overflow flagging), input
+ * bandwidth limit, and the 10000 events/s drain to the monitor
+ * agent's disk.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/logging.hh"
+#include "zm4/event_recorder.hh"
+#include "zm4/monitor_agent.hh"
+
+using namespace supmon;
+using zm4::EventRecorder;
+using zm4::MonitorAgent;
+using zm4::RawRecord;
+using zm4::RecorderParams;
+
+TEST(Recorder, TimestampsAreQuantizedTo100ns)
+{
+    sim::Simulation simul;
+    EventRecorder rec(simul, 0);
+    EXPECT_EQ(rec.timestampOf(0), 0u);
+    EXPECT_EQ(rec.timestampOf(99), 0u);
+    EXPECT_EQ(rec.timestampOf(100), 100u);
+    EXPECT_EQ(rec.timestampOf(12345), 12300u);
+}
+
+TEST(Recorder, ClockOffsetShiftsTimestamps)
+{
+    sim::Simulation simul;
+    EventRecorder rec(simul, 0);
+    rec.configureClock(1000, 0.0);
+    EXPECT_EQ(rec.timestampOf(0), 1000u);
+    EXPECT_EQ(rec.timestampOf(500), 1500u);
+}
+
+TEST(Recorder, NegativeOffsetClampsAtZero)
+{
+    sim::Simulation simul;
+    EventRecorder rec(simul, 0);
+    rec.configureClock(-1000, 0.0);
+    EXPECT_EQ(rec.timestampOf(500), 0u);
+    EXPECT_EQ(rec.timestampOf(2000), 1000u);
+}
+
+TEST(Recorder, DriftScalesElapsedTime)
+{
+    sim::Simulation simul;
+    EventRecorder rec(simul, 0);
+    rec.configureClock(0, 100.0); // +100 ppm
+    // After 1 s the clock is 100 us ahead.
+    EXPECT_EQ(rec.timestampOf(sim::seconds(1)),
+              sim::seconds(1) + sim::microseconds(100));
+}
+
+TEST(Recorder, RecordsCarryChannelFlagsAndSequence)
+{
+    sim::Simulation simul;
+    MonitorAgent agent("ma");
+    EventRecorder rec(simul, 3);
+    rec.attachAgent(agent);
+    simul.scheduleAt(1000, [&] { rec.record(2, 0xabc); });
+    simul.scheduleAt(200000, [&] { rec.record(1, 0xdef); });
+    simul.run();
+    const auto &trace = agent.localTrace(3);
+    ASSERT_EQ(trace.size(), 2u);
+    EXPECT_EQ(trace[0].data48, 0xabcull);
+    EXPECT_EQ(trace[0].channel, 2);
+    EXPECT_EQ(trace[0].recorderId, 3);
+    EXPECT_EQ(trace[0].seq, 0u);
+    EXPECT_EQ(trace[0].timestamp, 1000u);
+    EXPECT_EQ(trace[1].seq, 1u);
+    EXPECT_EQ(trace[1].flags, 0);
+}
+
+TEST(Recorder, DrainRateIsLimitedByAgentDisk)
+{
+    // "About 10000 events per second can be written from the FIFO
+    // buffer onto the disk of the monitor agent": 100 events spaced
+    // at the input limit drain over >= 10 ms of simulated time.
+    sim::Simulation simul;
+    MonitorAgent agent("ma");
+    EventRecorder rec(simul, 0);
+    rec.attachAgent(agent);
+    for (int i = 0; i < 100; ++i) {
+        simul.scheduleAt(static_cast<sim::Tick>(i) * 100, [&rec, i] {
+            rec.record(0, static_cast<std::uint64_t>(i));
+        });
+    }
+    simul.run();
+    EXPECT_EQ(agent.storedCount(), 100u);
+    EXPECT_GE(simul.now(), sim::milliseconds(10));
+    EXPECT_LE(simul.now(), sim::milliseconds(12));
+}
+
+TEST(Recorder, DrainCompletesEventually)
+{
+    sim::Simulation simul;
+    MonitorAgent agent("ma");
+    EventRecorder rec(simul, 0);
+    rec.attachAgent(agent);
+    simul.scheduleAt(0, [&] {
+        // Respect the input gap of 100 ns between entries.
+        for (int i = 0; i < 50; ++i) {
+            simul.scheduleAfter(static_cast<sim::Tick>(i) * 200,
+                                [&rec, i] {
+                                    rec.record(0, static_cast<
+                                                      std::uint64_t>(i));
+                                });
+        }
+    });
+    simul.run();
+    EXPECT_EQ(agent.localTrace(0).size(), 50u);
+    EXPECT_EQ(rec.fifoDepth(), 0u);
+    // 50 events at 10000/s take >= 5 ms of simulated time.
+    EXPECT_GE(simul.now(), sim::milliseconds(5));
+    EXPECT_GE(rec.maxFifoDepth(), 40u);
+}
+
+TEST(Recorder, SimultaneousChannelRequestsAreLatched)
+{
+    // Coincident requests on different channels are serialized by the
+    // input latch instead of being lost.
+    sim::Simulation simul;
+    MonitorAgent agent("ma");
+    EventRecorder rec(simul, 0);
+    rec.attachAgent(agent);
+    simul.scheduleAt(0, [&] {
+        rec.record(0, 1);
+        rec.record(1, 2);
+        rec.record(2, 3);
+    });
+    simul.run();
+    EXPECT_EQ(rec.lostToInputRate(), 0u);
+    EXPECT_EQ(agent.localTrace(0).size(), 3u);
+}
+
+TEST(Recorder, InputRateLimitDropsSustainedOverrun)
+{
+    // A burst beyond the input latch depth exceeds the 10M events/s
+    // input bandwidth: the overflowing events are lost and the gap is
+    // flagged on the next good one.
+    sim::Simulation simul;
+    MonitorAgent agent("ma");
+    EventRecorder rec(simul, 0);
+    rec.attachAgent(agent);
+    simul.scheduleAt(0, [&] {
+        for (int i = 0; i < 12; ++i)
+            rec.record(0, static_cast<std::uint64_t>(i + 1));
+    });
+    simul.scheduleAt(10000, [&] { rec.record(0, 99); });
+    simul.run();
+    // 1 immediate + 8 latched accepted; 3 lost.
+    EXPECT_EQ(rec.lostToInputRate(), 3u);
+    const auto &trace = agent.localTrace(0);
+    ASSERT_EQ(trace.size(), 10u);
+    EXPECT_EQ(trace.back().data48, 99u);
+    EXPECT_EQ(trace.back().flags & zm4::flagOverflowGap,
+              zm4::flagOverflowGap);
+}
+
+TEST(Recorder, BurstWithinBandwidthIsAbsorbedByFifo)
+{
+    // "a bandwidth of 120 MByte/s at the input of the FIFO allows for
+    // peak event rates of 10 millions of events per second during
+    // bursts" - 1000 events spaced 100 ns apart must all be captured.
+    sim::Simulation simul;
+    MonitorAgent agent("ma");
+    EventRecorder rec(simul, 0);
+    rec.attachAgent(agent);
+    for (int i = 0; i < 1000; ++i) {
+        simul.scheduleAt(static_cast<sim::Tick>(i) * 100, [&rec, i] {
+            rec.record(0, static_cast<std::uint64_t>(i));
+        });
+    }
+    simul.run();
+    EXPECT_EQ(rec.lostToInputRate(), 0u);
+    EXPECT_EQ(rec.lostToOverflow(), 0u);
+    EXPECT_EQ(agent.localTrace(0).size(), 1000u);
+}
+
+TEST(Recorder, FifoOverflowLosesEventsAndFlagsGap)
+{
+    sim::Simulation simul;
+    MonitorAgent agent("ma");
+    RecorderParams params;
+    params.fifoCapacity = 8;
+    EventRecorder rec(simul, 0, params);
+    rec.attachAgent(agent);
+    for (int i = 0; i < 12; ++i) {
+        simul.scheduleAt(static_cast<sim::Tick>(i) * 200, [&rec, i] {
+            rec.record(0, static_cast<std::uint64_t>(i));
+        });
+    }
+    // A later event (after the FIFO drained a bit) carries the gap
+    // flag marking the loss.
+    simul.scheduleAt(sim::milliseconds(1),
+                     [&rec] { rec.record(0, 999); });
+    simul.run();
+    EXPECT_GT(rec.lostToOverflow(), 0u);
+    const auto &trace = agent.localTrace(0);
+    EXPECT_LT(trace.size(), 13u);
+    bool gap_flagged = false;
+    for (const auto &r : trace)
+        gap_flagged = gap_flagged || (r.flags & zm4::flagOverflowGap);
+    EXPECT_TRUE(gap_flagged);
+}
+
+TEST(Recorder, LocalTraceIsTimeOrdered)
+{
+    sim::Simulation simul;
+    MonitorAgent agent("ma");
+    EventRecorder rec(simul, 0);
+    rec.attachAgent(agent);
+    for (int i = 0; i < 100; ++i) {
+        simul.scheduleAt(static_cast<sim::Tick>(i) * 137, [&rec, i] {
+            rec.record(i % 4, static_cast<std::uint64_t>(i));
+        });
+    }
+    simul.run();
+    const auto &trace = agent.localTrace(0);
+    for (std::size_t i = 1; i < trace.size(); ++i)
+        EXPECT_LE(trace[i - 1].timestamp, trace[i].timestamp);
+}
+
+TEST(RecorderDeath, FifthRecorderOnOneAgentIsFatal)
+{
+    sim::Simulation simul;
+    MonitorAgent agent("ma");
+    std::vector<std::unique_ptr<EventRecorder>> recs;
+    for (int i = 0; i < 4; ++i) {
+        recs.push_back(std::make_unique<EventRecorder>(
+            simul, static_cast<std::uint16_t>(i)));
+        recs.back()->attachAgent(agent);
+    }
+    EventRecorder fifth(simul, 4);
+    EXPECT_EXIT(fifth.attachAgent(agent), ::testing::ExitedWithCode(1),
+                "four");
+}
+
+TEST(RecorderDeath, ZeroFifoCapacityIsFatal)
+{
+    sim::Simulation simul;
+    RecorderParams params;
+    params.fifoCapacity = 0;
+    EXPECT_EXIT({ EventRecorder rec(simul, 0, params); },
+                ::testing::ExitedWithCode(1), "FIFO");
+}

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * diag - quick diagnostic runs of the parallel ray tracer.
+ *
+ * Usage: diag [version 1-4] [image edge] [pixel queue limit]
+ *             [scene: moderate|pyramid]
+ *
+ * Runs the configured version and prints the headline metrics plus a
+ * SIMPLE-style state statistics report - the workflow the paper's
+ * authors used to find their bottlenecks.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "partracer/runner.hh"
+#include "sim/logging.hh"
+#include "trace/report.hh"
+
+using namespace supmon;
+
+int
+main(int argc, char **argv)
+{
+    sim::setQuiet(true);
+
+    par::RunConfig cfg;
+    cfg.version = static_cast<par::Version>(
+        argc > 1 ? std::atoi(argv[1]) : 1);
+    cfg.imageWidth = cfg.imageHeight =
+        argc > 2 ? static_cast<unsigned>(std::atoi(argv[2])) : 96;
+    cfg.applyVersionDefaults();
+    if (argc > 3 && std::atoi(argv[3]) > 0)
+        cfg.pixelQueueLimit = static_cast<std::size_t>(
+            std::atoi(argv[3]));
+    if (argc > 4 && std::strcmp(argv[4], "pyramid") == 0)
+        cfg.scene = par::SceneKind::FractalPyramid;
+
+    const par::RunResult res = par::runRayTracer(cfg);
+    if (!res.completed) {
+        std::fprintf(stderr, "run did not complete\n");
+        return 1;
+    }
+
+    std::printf("%s: util measured %.1f%% actual %.1f%% | "
+                "ray cost mean %.2f ms | master cycle mean %.2f ms | "
+                "jobs %llu\n",
+                par::versionName(cfg.version),
+                100.0 * res.servantUtilizationMeasured,
+                100.0 * res.servantUtilizationActual,
+                res.rayCostMs.mean(), res.masterCycleMs.mean(),
+                static_cast<unsigned long long>(res.jobsSent));
+
+    const auto activity = res.activity();
+    std::printf("%s", trace::stateStatisticsReport(
+                          activity, res.dictionary, res.phaseBegin,
+                          res.phaseEnd)
+                          .substr(0, 4000)
+                          .c_str());
+    return 0;
+}

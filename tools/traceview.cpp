@@ -1,0 +1,118 @@
+/**
+ * @file
+ * traceview - offline evaluation of saved event traces, in the spirit
+ * of the SIMPLE tool environment: statistics, Gantt charts and
+ * histograms over a trace file, long after the measurement ran.
+ *
+ * Usage:
+ *   traceview <trace.smtr> [gantt [t0_ms t1_ms] | stats | csv |
+ *                           hist <stream> <STATE>]
+ *
+ * The trace file is produced by trace::saveTrace(); the ray tracer
+ * dictionary is used for interpretation (tokens outside it are
+ * counted as unknown).
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <algorithm>
+#include <string>
+
+#include "partracer/events.hh"
+#include "sim/logging.hh"
+#include "trace/gantt.hh"
+#include "trace/io.hh"
+#include "trace/report.hh"
+
+using namespace supmon;
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2) {
+        std::fprintf(stderr,
+                     "usage: %s <trace.smtr> [gantt [t0_ms t1_ms] | "
+                     "stats | csv | hist <stream> <STATE>]\n",
+                     argv[0]);
+        return 2;
+    }
+
+    const auto events = trace::loadTrace(argv[1]);
+    if (!events) {
+        std::fprintf(stderr, "cannot read trace '%s'\n", argv[1]);
+        return 1;
+    }
+
+    trace::EventDictionary dict = par::rayTracerDictionary();
+    {
+        // Name the logical streams by the ray tracer's conventions
+        // (8 streams per node: master-class, servant-class, agents).
+        unsigned max_stream = 0;
+        for (const auto &ev : *events)
+            max_stream = std::max(max_stream, ev.stream);
+        for (unsigned stream = 0; stream <= max_stream; ++stream) {
+            const unsigned node = stream / par::streamsPerNode;
+            const unsigned sub = stream % par::streamsPerNode;
+            if (sub == 0) {
+                dict.nameStream(stream, node == 0
+                                            ? "MASTER"
+                                            : "NODE " +
+                                                  std::to_string(node));
+            } else if (sub == 1) {
+                dict.nameStream(stream,
+                                "SERVANT " + std::to_string(node));
+            } else {
+                dict.nameStream(stream,
+                                "AGENT " + std::to_string(sub - 2) +
+                                    " (node " + std::to_string(node) +
+                                    ")");
+            }
+        }
+    }
+    const auto activity = trace::ActivityMap::build(*events, dict);
+    const std::string mode = argc > 2 ? argv[2] : "stats";
+
+    std::printf("trace '%s': %zu events, %zu streams, "
+                "%.3f s .. %.3f s%s\n\n",
+                argv[1], events->size(), activity.streams().size(),
+                sim::toSeconds(activity.traceBegin()),
+                sim::toSeconds(activity.traceEnd()),
+                trace::isTimeOrdered(*events) ? ""
+                                              : " (NOT time-ordered!)");
+
+    if (mode == "gantt") {
+        sim::Tick t0 = activity.traceBegin();
+        sim::Tick t1 = activity.traceEnd();
+        if (argc > 4) {
+            t0 = sim::milliseconds(
+                static_cast<std::uint64_t>(std::atoll(argv[3])));
+            t1 = sim::milliseconds(
+                static_cast<std::uint64_t>(std::atoll(argv[4])));
+        }
+        trace::GanttChart chart(activity, dict);
+        std::printf("%s\n", chart.render(t0, t1).c_str());
+    } else if (mode == "csv") {
+        std::printf("%s", trace::eventsCsv(*events, dict).c_str());
+    } else if (mode == "hist" && argc > 4) {
+        const unsigned stream =
+            static_cast<unsigned>(std::atoi(argv[3]));
+        std::printf("%s\n",
+                    trace::durationHistogramReport(activity, dict,
+                                                   stream, argv[4])
+                        .c_str());
+    } else {
+        std::printf("%s\n",
+                    trace::stateStatisticsReport(
+                        activity, dict, activity.traceBegin(),
+                        activity.traceEnd())
+                        .c_str());
+        if (activity.unknownTokens()) {
+            std::printf("(%llu events with tokens outside the ray "
+                        "tracer dictionary)\n",
+                        static_cast<unsigned long long>(
+                            activity.unknownTokens()));
+        }
+    }
+    return 0;
+}
