@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_intrusion.dir/bench_ablation_intrusion.cpp.o"
+  "CMakeFiles/bench_ablation_intrusion.dir/bench_ablation_intrusion.cpp.o.d"
+  "bench_ablation_intrusion"
+  "bench_ablation_intrusion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_intrusion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

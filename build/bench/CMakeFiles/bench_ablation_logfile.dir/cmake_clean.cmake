@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_logfile.dir/bench_ablation_logfile.cpp.o"
+  "CMakeFiles/bench_ablation_logfile.dir/bench_ablation_logfile.cpp.o.d"
+  "bench_ablation_logfile"
+  "bench_ablation_logfile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_logfile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_scene.dir/bench_ablation_scene.cpp.o"
+  "CMakeFiles/bench_ablation_scene.dir/bench_ablation_scene.cpp.o.d"
+  "bench_ablation_scene"
+  "bench_ablation_scene.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_scene.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_complex_scene.dir/bench_complex_scene.cpp.o"
+  "CMakeFiles/bench_complex_scene.dir/bench_complex_scene.cpp.o.d"
+  "bench_complex_scene"
+  "bench_complex_scene.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_complex_scene.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig09_agents_gantt.dir/bench_fig09_agents_gantt.cpp.o"
+  "CMakeFiles/bench_fig09_agents_gantt.dir/bench_fig09_agents_gantt.cpp.o.d"
+  "bench_fig09_agents_gantt"
+  "bench_fig09_agents_gantt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig09_agents_gantt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

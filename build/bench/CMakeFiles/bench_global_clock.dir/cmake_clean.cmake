@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_global_clock.dir/bench_global_clock.cpp.o"
+  "CMakeFiles/bench_global_clock.dir/bench_global_clock.cpp.o.d"
+  "bench_global_clock"
+  "bench_global_clock.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_global_clock.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

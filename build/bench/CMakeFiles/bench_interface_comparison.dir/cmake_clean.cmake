@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_interface_comparison.dir/bench_interface_comparison.cpp.o"
+  "CMakeFiles/bench_interface_comparison.dir/bench_interface_comparison.cpp.o.d"
+  "bench_interface_comparison"
+  "bench_interface_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_interface_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_os_monitoring.dir/bench_os_monitoring.cpp.o"
+  "CMakeFiles/bench_os_monitoring.dir/bench_os_monitoring.cpp.o.d"
+  "bench_os_monitoring"
+  "bench_os_monitoring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_os_monitoring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

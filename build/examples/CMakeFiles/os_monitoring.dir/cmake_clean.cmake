@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/os_monitoring.dir/os_monitoring.cpp.o"
+  "CMakeFiles/os_monitoring.dir/os_monitoring.cpp.o.d"
+  "os_monitoring"
+  "os_monitoring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/os_monitoring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tune_ray_tracer.dir/tune_ray_tracer.cpp.o"
+  "CMakeFiles/tune_ray_tracer.dir/tune_ray_tracer.cpp.o.d"
+  "tune_ray_tracer"
+  "tune_ray_tracer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tune_ray_tracer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/universality.dir/universality.cpp.o"
+  "CMakeFiles/universality.dir/universality.cpp.o.d"
+  "universality"
+  "universality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/universality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

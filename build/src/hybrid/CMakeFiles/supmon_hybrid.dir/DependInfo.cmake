@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hybrid/event_code.cc" "src/hybrid/CMakeFiles/supmon_hybrid.dir/event_code.cc.o" "gcc" "src/hybrid/CMakeFiles/supmon_hybrid.dir/event_code.cc.o.d"
+  "/root/repo/src/hybrid/instrument.cc" "src/hybrid/CMakeFiles/supmon_hybrid.dir/instrument.cc.o" "gcc" "src/hybrid/CMakeFiles/supmon_hybrid.dir/instrument.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/suprenum/CMakeFiles/supmon_suprenum.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/supmon_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

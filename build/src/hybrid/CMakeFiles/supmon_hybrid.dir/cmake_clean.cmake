@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/supmon_hybrid.dir/event_code.cc.o"
+  "CMakeFiles/supmon_hybrid.dir/event_code.cc.o.d"
+  "CMakeFiles/supmon_hybrid.dir/instrument.cc.o"
+  "CMakeFiles/supmon_hybrid.dir/instrument.cc.o.d"
+  "libsupmon_hybrid.a"
+  "libsupmon_hybrid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/supmon_hybrid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

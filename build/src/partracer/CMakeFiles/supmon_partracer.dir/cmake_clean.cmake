@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/supmon_partracer.dir/agent.cc.o"
+  "CMakeFiles/supmon_partracer.dir/agent.cc.o.d"
+  "CMakeFiles/supmon_partracer.dir/events.cc.o"
+  "CMakeFiles/supmon_partracer.dir/events.cc.o.d"
+  "CMakeFiles/supmon_partracer.dir/runner.cc.o"
+  "CMakeFiles/supmon_partracer.dir/runner.cc.o.d"
+  "CMakeFiles/supmon_partracer.dir/workers.cc.o"
+  "CMakeFiles/supmon_partracer.dir/workers.cc.o.d"
+  "libsupmon_partracer.a"
+  "libsupmon_partracer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/supmon_partracer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/raytracer/bvh.cc" "src/raytracer/CMakeFiles/supmon_raytracer.dir/bvh.cc.o" "gcc" "src/raytracer/CMakeFiles/supmon_raytracer.dir/bvh.cc.o.d"
+  "/root/repo/src/raytracer/camera.cc" "src/raytracer/CMakeFiles/supmon_raytracer.dir/camera.cc.o" "gcc" "src/raytracer/CMakeFiles/supmon_raytracer.dir/camera.cc.o.d"
+  "/root/repo/src/raytracer/image.cc" "src/raytracer/CMakeFiles/supmon_raytracer.dir/image.cc.o" "gcc" "src/raytracer/CMakeFiles/supmon_raytracer.dir/image.cc.o.d"
+  "/root/repo/src/raytracer/primitive.cc" "src/raytracer/CMakeFiles/supmon_raytracer.dir/primitive.cc.o" "gcc" "src/raytracer/CMakeFiles/supmon_raytracer.dir/primitive.cc.o.d"
+  "/root/repo/src/raytracer/render.cc" "src/raytracer/CMakeFiles/supmon_raytracer.dir/render.cc.o" "gcc" "src/raytracer/CMakeFiles/supmon_raytracer.dir/render.cc.o.d"
+  "/root/repo/src/raytracer/scene.cc" "src/raytracer/CMakeFiles/supmon_raytracer.dir/scene.cc.o" "gcc" "src/raytracer/CMakeFiles/supmon_raytracer.dir/scene.cc.o.d"
+  "/root/repo/src/raytracer/scenes.cc" "src/raytracer/CMakeFiles/supmon_raytracer.dir/scenes.cc.o" "gcc" "src/raytracer/CMakeFiles/supmon_raytracer.dir/scenes.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/supmon_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/supmon_raytracer.dir/bvh.cc.o"
+  "CMakeFiles/supmon_raytracer.dir/bvh.cc.o.d"
+  "CMakeFiles/supmon_raytracer.dir/camera.cc.o"
+  "CMakeFiles/supmon_raytracer.dir/camera.cc.o.d"
+  "CMakeFiles/supmon_raytracer.dir/image.cc.o"
+  "CMakeFiles/supmon_raytracer.dir/image.cc.o.d"
+  "CMakeFiles/supmon_raytracer.dir/primitive.cc.o"
+  "CMakeFiles/supmon_raytracer.dir/primitive.cc.o.d"
+  "CMakeFiles/supmon_raytracer.dir/render.cc.o"
+  "CMakeFiles/supmon_raytracer.dir/render.cc.o.d"
+  "CMakeFiles/supmon_raytracer.dir/scene.cc.o"
+  "CMakeFiles/supmon_raytracer.dir/scene.cc.o.d"
+  "CMakeFiles/supmon_raytracer.dir/scenes.cc.o"
+  "CMakeFiles/supmon_raytracer.dir/scenes.cc.o.d"
+  "libsupmon_raytracer.a"
+  "libsupmon_raytracer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/supmon_raytracer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

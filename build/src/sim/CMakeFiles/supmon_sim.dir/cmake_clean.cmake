@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/supmon_sim.dir/event_queue.cc.o"
+  "CMakeFiles/supmon_sim.dir/event_queue.cc.o.d"
+  "CMakeFiles/supmon_sim.dir/logging.cc.o"
+  "CMakeFiles/supmon_sim.dir/logging.cc.o.d"
+  "libsupmon_sim.a"
+  "libsupmon_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/supmon_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

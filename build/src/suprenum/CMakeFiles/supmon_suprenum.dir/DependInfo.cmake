@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/suprenum/diagnosis.cc" "src/suprenum/CMakeFiles/supmon_suprenum.dir/diagnosis.cc.o" "gcc" "src/suprenum/CMakeFiles/supmon_suprenum.dir/diagnosis.cc.o.d"
+  "/root/repo/src/suprenum/kernel.cc" "src/suprenum/CMakeFiles/supmon_suprenum.dir/kernel.cc.o" "gcc" "src/suprenum/CMakeFiles/supmon_suprenum.dir/kernel.cc.o.d"
+  "/root/repo/src/suprenum/kernel_events.cc" "src/suprenum/CMakeFiles/supmon_suprenum.dir/kernel_events.cc.o" "gcc" "src/suprenum/CMakeFiles/supmon_suprenum.dir/kernel_events.cc.o.d"
+  "/root/repo/src/suprenum/machine.cc" "src/suprenum/CMakeFiles/supmon_suprenum.dir/machine.cc.o" "gcc" "src/suprenum/CMakeFiles/supmon_suprenum.dir/machine.cc.o.d"
+  "/root/repo/src/suprenum/mailbox.cc" "src/suprenum/CMakeFiles/supmon_suprenum.dir/mailbox.cc.o" "gcc" "src/suprenum/CMakeFiles/supmon_suprenum.dir/mailbox.cc.o.d"
+  "/root/repo/src/suprenum/seven_segment.cc" "src/suprenum/CMakeFiles/supmon_suprenum.dir/seven_segment.cc.o" "gcc" "src/suprenum/CMakeFiles/supmon_suprenum.dir/seven_segment.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/supmon_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/supmon_suprenum.dir/diagnosis.cc.o"
+  "CMakeFiles/supmon_suprenum.dir/diagnosis.cc.o.d"
+  "CMakeFiles/supmon_suprenum.dir/kernel.cc.o"
+  "CMakeFiles/supmon_suprenum.dir/kernel.cc.o.d"
+  "CMakeFiles/supmon_suprenum.dir/kernel_events.cc.o"
+  "CMakeFiles/supmon_suprenum.dir/kernel_events.cc.o.d"
+  "CMakeFiles/supmon_suprenum.dir/machine.cc.o"
+  "CMakeFiles/supmon_suprenum.dir/machine.cc.o.d"
+  "CMakeFiles/supmon_suprenum.dir/mailbox.cc.o"
+  "CMakeFiles/supmon_suprenum.dir/mailbox.cc.o.d"
+  "CMakeFiles/supmon_suprenum.dir/seven_segment.cc.o"
+  "CMakeFiles/supmon_suprenum.dir/seven_segment.cc.o.d"
+  "libsupmon_suprenum.a"
+  "libsupmon_suprenum.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/supmon_suprenum.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/activity.cc" "src/trace/CMakeFiles/supmon_trace.dir/activity.cc.o" "gcc" "src/trace/CMakeFiles/supmon_trace.dir/activity.cc.o.d"
+  "/root/repo/src/trace/dictionary.cc" "src/trace/CMakeFiles/supmon_trace.dir/dictionary.cc.o" "gcc" "src/trace/CMakeFiles/supmon_trace.dir/dictionary.cc.o.d"
+  "/root/repo/src/trace/gantt.cc" "src/trace/CMakeFiles/supmon_trace.dir/gantt.cc.o" "gcc" "src/trace/CMakeFiles/supmon_trace.dir/gantt.cc.o.d"
+  "/root/repo/src/trace/harness.cc" "src/trace/CMakeFiles/supmon_trace.dir/harness.cc.o" "gcc" "src/trace/CMakeFiles/supmon_trace.dir/harness.cc.o.d"
+  "/root/repo/src/trace/io.cc" "src/trace/CMakeFiles/supmon_trace.dir/io.cc.o" "gcc" "src/trace/CMakeFiles/supmon_trace.dir/io.cc.o.d"
+  "/root/repo/src/trace/report.cc" "src/trace/CMakeFiles/supmon_trace.dir/report.cc.o" "gcc" "src/trace/CMakeFiles/supmon_trace.dir/report.cc.o.d"
+  "/root/repo/src/trace/trace.cc" "src/trace/CMakeFiles/supmon_trace.dir/trace.cc.o" "gcc" "src/trace/CMakeFiles/supmon_trace.dir/trace.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/zm4/CMakeFiles/supmon_zm4.dir/DependInfo.cmake"
+  "/root/repo/build/src/hybrid/CMakeFiles/supmon_hybrid.dir/DependInfo.cmake"
+  "/root/repo/build/src/suprenum/CMakeFiles/supmon_suprenum.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/supmon_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/supmon_trace.dir/activity.cc.o"
+  "CMakeFiles/supmon_trace.dir/activity.cc.o.d"
+  "CMakeFiles/supmon_trace.dir/dictionary.cc.o"
+  "CMakeFiles/supmon_trace.dir/dictionary.cc.o.d"
+  "CMakeFiles/supmon_trace.dir/gantt.cc.o"
+  "CMakeFiles/supmon_trace.dir/gantt.cc.o.d"
+  "CMakeFiles/supmon_trace.dir/harness.cc.o"
+  "CMakeFiles/supmon_trace.dir/harness.cc.o.d"
+  "CMakeFiles/supmon_trace.dir/io.cc.o"
+  "CMakeFiles/supmon_trace.dir/io.cc.o.d"
+  "CMakeFiles/supmon_trace.dir/report.cc.o"
+  "CMakeFiles/supmon_trace.dir/report.cc.o.d"
+  "CMakeFiles/supmon_trace.dir/trace.cc.o"
+  "CMakeFiles/supmon_trace.dir/trace.cc.o.d"
+  "libsupmon_trace.a"
+  "libsupmon_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/supmon_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

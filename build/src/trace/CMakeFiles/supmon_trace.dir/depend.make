@@ -1,0 +1,2 @@
+# Empty dependencies file for supmon_trace.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/zm4/cec.cc" "src/zm4/CMakeFiles/supmon_zm4.dir/cec.cc.o" "gcc" "src/zm4/CMakeFiles/supmon_zm4.dir/cec.cc.o.d"
+  "/root/repo/src/zm4/event_recorder.cc" "src/zm4/CMakeFiles/supmon_zm4.dir/event_recorder.cc.o" "gcc" "src/zm4/CMakeFiles/supmon_zm4.dir/event_recorder.cc.o.d"
+  "/root/repo/src/zm4/monitor_agent.cc" "src/zm4/CMakeFiles/supmon_zm4.dir/monitor_agent.cc.o" "gcc" "src/zm4/CMakeFiles/supmon_zm4.dir/monitor_agent.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/supmon_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

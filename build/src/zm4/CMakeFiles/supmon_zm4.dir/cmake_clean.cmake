@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/supmon_zm4.dir/cec.cc.o"
+  "CMakeFiles/supmon_zm4.dir/cec.cc.o.d"
+  "CMakeFiles/supmon_zm4.dir/event_recorder.cc.o"
+  "CMakeFiles/supmon_zm4.dir/event_recorder.cc.o.d"
+  "CMakeFiles/supmon_zm4.dir/monitor_agent.cc.o"
+  "CMakeFiles/supmon_zm4.dir/monitor_agent.cc.o.d"
+  "libsupmon_zm4.a"
+  "libsupmon_zm4.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/supmon_zm4.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hybrid_event_code.dir/hybrid/test_event_code.cpp.o"
+  "CMakeFiles/test_hybrid_event_code.dir/hybrid/test_event_code.cpp.o.d"
+  "test_hybrid_event_code"
+  "test_hybrid_event_code.pdb"
+  "test_hybrid_event_code[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hybrid_event_code.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hybrid_instrument.dir/hybrid/test_instrument.cpp.o"
+  "CMakeFiles/test_hybrid_instrument.dir/hybrid/test_instrument.cpp.o.d"
+  "test_hybrid_instrument"
+  "test_hybrid_instrument.pdb"
+  "test_hybrid_instrument[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hybrid_instrument.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

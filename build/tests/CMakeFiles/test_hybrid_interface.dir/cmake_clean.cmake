@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hybrid_interface.dir/hybrid/test_interface.cpp.o"
+  "CMakeFiles/test_hybrid_interface.dir/hybrid/test_interface.cpp.o.d"
+  "test_hybrid_interface"
+  "test_hybrid_interface.pdb"
+  "test_hybrid_interface[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hybrid_interface.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

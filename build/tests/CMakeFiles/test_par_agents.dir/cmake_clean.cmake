@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_par_agents.dir/partracer/test_agents.cpp.o"
+  "CMakeFiles/test_par_agents.dir/partracer/test_agents.cpp.o.d"
+  "test_par_agents"
+  "test_par_agents.pdb"
+  "test_par_agents[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_par_agents.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

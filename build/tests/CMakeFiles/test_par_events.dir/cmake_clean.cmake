@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_par_events.dir/partracer/test_events.cpp.o"
+  "CMakeFiles/test_par_events.dir/partracer/test_events.cpp.o.d"
+  "test_par_events"
+  "test_par_events.pdb"
+  "test_par_events[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_par_events.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_par_os_instrumentation.dir/partracer/test_os_instrumentation.cpp.o"
+  "CMakeFiles/test_par_os_instrumentation.dir/partracer/test_os_instrumentation.cpp.o.d"
+  "test_par_os_instrumentation"
+  "test_par_os_instrumentation.pdb"
+  "test_par_os_instrumentation[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_par_os_instrumentation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

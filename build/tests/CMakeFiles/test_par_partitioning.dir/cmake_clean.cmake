@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_par_partitioning.dir/partracer/test_partitioning.cpp.o"
+  "CMakeFiles/test_par_partitioning.dir/partracer/test_partitioning.cpp.o.d"
+  "test_par_partitioning"
+  "test_par_partitioning.pdb"
+  "test_par_partitioning[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_par_partitioning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_par_runner.dir/partracer/test_runner.cpp.o"
+  "CMakeFiles/test_par_runner.dir/partracer/test_runner.cpp.o.d"
+  "test_par_runner"
+  "test_par_runner.pdb"
+  "test_par_runner[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_par_runner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_par_versions.dir/partracer/test_versions.cpp.o"
+  "CMakeFiles/test_par_versions.dir/partracer/test_versions.cpp.o.d"
+  "test_par_versions"
+  "test_par_versions.pdb"
+  "test_par_versions[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_par_versions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

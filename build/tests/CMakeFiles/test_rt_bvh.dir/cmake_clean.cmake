@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rt_bvh.dir/raytracer/test_bvh.cpp.o"
+  "CMakeFiles/test_rt_bvh.dir/raytracer/test_bvh.cpp.o.d"
+  "test_rt_bvh"
+  "test_rt_bvh.pdb"
+  "test_rt_bvh[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rt_bvh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

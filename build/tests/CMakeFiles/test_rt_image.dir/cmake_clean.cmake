@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rt_image.dir/raytracer/test_image.cpp.o"
+  "CMakeFiles/test_rt_image.dir/raytracer/test_image.cpp.o.d"
+  "test_rt_image"
+  "test_rt_image.pdb"
+  "test_rt_image[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rt_image.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rt_primitives.dir/raytracer/test_primitives.cpp.o"
+  "CMakeFiles/test_rt_primitives.dir/raytracer/test_primitives.cpp.o.d"
+  "test_rt_primitives"
+  "test_rt_primitives.pdb"
+  "test_rt_primitives[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rt_primitives.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rt_render.dir/raytracer/test_render.cpp.o"
+  "CMakeFiles/test_rt_render.dir/raytracer/test_render.cpp.o.d"
+  "test_rt_render"
+  "test_rt_render.pdb"
+  "test_rt_render[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rt_render.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

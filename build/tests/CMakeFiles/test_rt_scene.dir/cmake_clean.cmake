@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rt_scene.dir/raytracer/test_scene.cpp.o"
+  "CMakeFiles/test_rt_scene.dir/raytracer/test_scene.cpp.o.d"
+  "test_rt_scene"
+  "test_rt_scene.pdb"
+  "test_rt_scene[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rt_scene.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rt_vec3.dir/raytracer/test_vec3.cpp.o"
+  "CMakeFiles/test_rt_vec3.dir/raytracer/test_vec3.cpp.o.d"
+  "test_rt_vec3"
+  "test_rt_vec3.pdb"
+  "test_rt_vec3[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rt_vec3.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim_logging.dir/sim/test_logging.cpp.o"
+  "CMakeFiles/test_sim_logging.dir/sim/test_logging.cpp.o.d"
+  "test_sim_logging"
+  "test_sim_logging.pdb"
+  "test_sim_logging[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim_logging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

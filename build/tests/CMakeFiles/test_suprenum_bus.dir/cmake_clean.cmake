@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_suprenum_bus.dir/suprenum/test_bus.cpp.o"
+  "CMakeFiles/test_suprenum_bus.dir/suprenum/test_bus.cpp.o.d"
+  "test_suprenum_bus"
+  "test_suprenum_bus.pdb"
+  "test_suprenum_bus[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_suprenum_bus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

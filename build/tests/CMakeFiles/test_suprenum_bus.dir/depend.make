@@ -1,0 +1,2 @@
+# Empty dependencies file for test_suprenum_bus.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_suprenum_contention.dir/suprenum/test_comm_contention.cpp.o"
+  "CMakeFiles/test_suprenum_contention.dir/suprenum/test_comm_contention.cpp.o.d"
+  "test_suprenum_contention"
+  "test_suprenum_contention.pdb"
+  "test_suprenum_contention[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_suprenum_contention.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_suprenum_devices.dir/suprenum/test_devices.cpp.o"
+  "CMakeFiles/test_suprenum_devices.dir/suprenum/test_devices.cpp.o.d"
+  "test_suprenum_devices"
+  "test_suprenum_devices.pdb"
+  "test_suprenum_devices[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_suprenum_devices.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_suprenum_kernel.dir/suprenum/test_kernel.cpp.o"
+  "CMakeFiles/test_suprenum_kernel.dir/suprenum/test_kernel.cpp.o.d"
+  "test_suprenum_kernel"
+  "test_suprenum_kernel.pdb"
+  "test_suprenum_kernel[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_suprenum_kernel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_suprenum_kernel_probe.dir/suprenum/test_kernel_probe.cpp.o"
+  "CMakeFiles/test_suprenum_kernel_probe.dir/suprenum/test_kernel_probe.cpp.o.d"
+  "test_suprenum_kernel_probe"
+  "test_suprenum_kernel_probe.pdb"
+  "test_suprenum_kernel_probe[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_suprenum_kernel_probe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

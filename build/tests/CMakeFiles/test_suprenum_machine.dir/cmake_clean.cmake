@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_suprenum_machine.dir/suprenum/test_machine.cpp.o"
+  "CMakeFiles/test_suprenum_machine.dir/suprenum/test_machine.cpp.o.d"
+  "test_suprenum_machine"
+  "test_suprenum_machine.pdb"
+  "test_suprenum_machine[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_suprenum_machine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_suprenum_mailbox.dir/suprenum/test_mailbox.cpp.o"
+  "CMakeFiles/test_suprenum_mailbox.dir/suprenum/test_mailbox.cpp.o.d"
+  "test_suprenum_mailbox"
+  "test_suprenum_mailbox.pdb"
+  "test_suprenum_mailbox[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_suprenum_mailbox.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_suprenum_scheduler.dir/suprenum/test_scheduler_properties.cpp.o"
+  "CMakeFiles/test_suprenum_scheduler.dir/suprenum/test_scheduler_properties.cpp.o.d"
+  "test_suprenum_scheduler"
+  "test_suprenum_scheduler.pdb"
+  "test_suprenum_scheduler[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_suprenum_scheduler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/trace/test_activity.cpp" "tests/CMakeFiles/test_trace_activity.dir/trace/test_activity.cpp.o" "gcc" "tests/CMakeFiles/test_trace_activity.dir/trace/test_activity.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/partracer/CMakeFiles/supmon_partracer.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/supmon_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/hybrid/CMakeFiles/supmon_hybrid.dir/DependInfo.cmake"
+  "/root/repo/build/src/suprenum/CMakeFiles/supmon_suprenum.dir/DependInfo.cmake"
+  "/root/repo/build/src/zm4/CMakeFiles/supmon_zm4.dir/DependInfo.cmake"
+  "/root/repo/build/src/raytracer/CMakeFiles/supmon_raytracer.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/supmon_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_trace_activity.dir/trace/test_activity.cpp.o"
+  "CMakeFiles/test_trace_activity.dir/trace/test_activity.cpp.o.d"
+  "test_trace_activity"
+  "test_trace_activity.pdb"
+  "test_trace_activity[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_trace_activity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_trace_gantt.dir/trace/test_gantt.cpp.o"
+  "CMakeFiles/test_trace_gantt.dir/trace/test_gantt.cpp.o.d"
+  "test_trace_gantt"
+  "test_trace_gantt.pdb"
+  "test_trace_gantt[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_trace_gantt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_zm4_cec.dir/zm4/test_cec.cpp.o"
+  "CMakeFiles/test_zm4_cec.dir/zm4/test_cec.cpp.o.d"
+  "test_zm4_cec"
+  "test_zm4_cec.pdb"
+  "test_zm4_cec[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_zm4_cec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_zm4_clock.dir/zm4/test_clock.cpp.o"
+  "CMakeFiles/test_zm4_clock.dir/zm4/test_clock.cpp.o.d"
+  "test_zm4_clock"
+  "test_zm4_clock.pdb"
+  "test_zm4_clock[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_zm4_clock.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

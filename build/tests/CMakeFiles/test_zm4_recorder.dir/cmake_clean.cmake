@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_zm4_recorder.dir/zm4/test_recorder.cpp.o"
+  "CMakeFiles/test_zm4_recorder.dir/zm4/test_recorder.cpp.o.d"
+  "test_zm4_recorder"
+  "test_zm4_recorder.pdb"
+  "test_zm4_recorder[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_zm4_recorder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

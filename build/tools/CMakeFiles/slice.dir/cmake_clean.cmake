@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slice.dir/slice.cpp.o"
+  "CMakeFiles/slice.dir/slice.cpp.o.d"
+  "slice"
+  "slice.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slice.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/traceview.dir/traceview.cpp.o"
+  "CMakeFiles/traceview.dir/traceview.cpp.o.d"
+  "traceview"
+  "traceview.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/traceview.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
