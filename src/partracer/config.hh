@@ -133,6 +133,14 @@ struct RunConfig
     /** Instrument Send Results Begin (added for Figure 9). */
     bool instrumentSendResults = false;
     /**
+     * Instrument every job send on the master with a Job Send marker
+     * carrying the job id. This is the protocol metadata the trace
+     * validator's causality rule matches against the servants' Work
+     * Begin events (src/validate/rules.hh). Off by default: the extra
+     * hybrid_mon call per job perturbs the paper's timings.
+     */
+    bool instrumentJobSend = false;
+    /**
      * Instrument the node operating systems (the paper's future
      * work): record every scheduler/communication action of every
      * node's kernel.

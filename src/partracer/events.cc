@@ -37,6 +37,7 @@ rayTracerDictionary()
     dict.defineBegin(evWritePixelsBegin, "Write Pixels Begin",
                      "WRITE PIXELS");
     dict.definePoint(evWritePixelsEnd, "Write Pixels End");
+    dict.definePoint(evJobSend, "Job Send");
     dict.definePoint(evMasterStart, "Master Start");
     dict.definePoint(evMasterDone, "Master Done");
 

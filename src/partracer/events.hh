@@ -34,6 +34,11 @@ enum Token : std::uint16_t
     evReceiveResultsBegin = 0x0105,
     evWritePixelsBegin = 0x0106,
     evWritePixelsEnd = 0x0107,
+    /** Marker: a job message leaves the master; param = job id. Only
+     *  emitted with RunConfig::instrumentJobSend - it is the metadata
+     *  the validate::ProtocolCausalityRule matches against the
+     *  servants' Work Begin events. */
+    evJobSend = 0x0108,
     /** Marker: master initialization done, ray tracing phase begins. */
     evMasterStart = 0x0110,
     /** Marker: the complete image has been written. */

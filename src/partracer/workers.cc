@@ -174,6 +174,8 @@ masterProcess(suprenum::ProcessEnv env, RunContext &ctx)
                     for (unsigned i = 0; i < job.count; ++i)
                         pixel_queue.pop_front();
                     co_await env.compute(cfg.perJobSendPrep);
+                    if (cfg.instrumentJobSend)
+                        co_await mon(evJobSend, job.jobId);
                     if (cfg.forwardAgents()) {
                         // Indicate to a free agent via the shared
                         // variable, then relinquish the processor so
@@ -332,6 +334,8 @@ staticMasterProcess(suprenum::ProcessEnv env, RunContext &ctx)
         }
         outstanding += job.count;
         co_await env.compute(cfg.perJobSendPrep);
+        if (cfg.instrumentJobSend)
+            co_await mon(evJobSend, job.jobId);
         if (cfg.forwardAgents()) {
             ctx.masterPool->submit(ctx.servantMailboxes[s]->pid(),
                                    job.wireBytes(), tagJob, job);

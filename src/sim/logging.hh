@@ -53,6 +53,27 @@ void setQuiet(bool quiet);
 /** @return whether warn()/inform() output is currently suppressed. */
 bool quiet();
 
+/** RAII: silence warn()/inform() for the enclosing scope. */
+class QuietScope
+{
+  public:
+    QuietScope() : prev(quiet())
+    {
+        setQuiet(true);
+    }
+
+    ~QuietScope()
+    {
+        setQuiet(prev);
+    }
+
+    QuietScope(const QuietScope &) = delete;
+    QuietScope &operator=(const QuietScope &) = delete;
+
+  private:
+    bool prev;
+};
+
 } // namespace sim
 } // namespace supmon
 

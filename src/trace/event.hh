@@ -32,6 +32,10 @@ struct TraceEvent
     /** Evaluation stream (monitored object) this event belongs to. */
     unsigned stream = 0;
     std::uint8_t flags = 0;
+
+    /** Field-wise equality (determinism and golden-trace tests). */
+    friend bool operator==(const TraceEvent &,
+                           const TraceEvent &) = default;
 };
 
 /** Default stream numbering: recorder id * channels + channel. */

@@ -1,0 +1,94 @@
+#include "validate/golden.hh"
+
+#include <cinttypes>
+#include <cstdio>
+#include <memory>
+
+namespace supmon
+{
+namespace validate
+{
+
+namespace
+{
+
+constexpr std::uint64_t fnvOffset = 0xcbf29ce484222325ull;
+constexpr std::uint64_t fnvPrime = 0x00000100000001b3ull;
+
+void
+mix(std::uint64_t &hash, std::uint64_t value, unsigned bytes)
+{
+    for (unsigned i = 0; i < bytes; ++i) {
+        hash ^= (value >> (8 * i)) & 0xff;
+        hash *= fnvPrime;
+    }
+}
+
+struct FileCloser
+{
+    void
+    operator()(std::FILE *f) const
+    {
+        if (f)
+            std::fclose(f);
+    }
+};
+
+using File = std::unique_ptr<std::FILE, FileCloser>;
+
+} // namespace
+
+std::uint64_t
+traceHash(const std::vector<trace::TraceEvent> &events)
+{
+    std::uint64_t hash = fnvOffset;
+    for (const auto &ev : events) {
+        mix(hash, ev.timestamp, 8);
+        mix(hash, ev.token, 2);
+        mix(hash, ev.param, 4);
+        mix(hash, ev.stream, 4);
+        mix(hash, ev.flags, 1);
+    }
+    return hash;
+}
+
+TraceDigest
+digestOf(const std::vector<trace::TraceEvent> &events)
+{
+    return TraceDigest{traceHash(events), events.size()};
+}
+
+std::string
+hashHex(std::uint64_t hash)
+{
+    char buf[17];
+    std::snprintf(buf, sizeof(buf), "%016" PRIx64, hash);
+    return buf;
+}
+
+std::optional<TraceDigest>
+loadGolden(const std::string &path)
+{
+    File f(std::fopen(path.c_str(), "r"));
+    if (!f)
+        return std::nullopt;
+    TraceDigest digest;
+    if (std::fscanf(f.get(), "%16" SCNx64 " %" SCNu64, &digest.hash,
+                    &digest.eventCount) != 2)
+        return std::nullopt;
+    return digest;
+}
+
+bool
+saveGolden(const std::string &path, const TraceDigest &digest)
+{
+    File f(std::fopen(path.c_str(), "w"));
+    if (!f)
+        return false;
+    return std::fprintf(f.get(), "%s %" PRIu64 "\n",
+                        hashHex(digest.hash).c_str(),
+                        digest.eventCount) > 0;
+}
+
+} // namespace validate
+} // namespace supmon

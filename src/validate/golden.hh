@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Golden-trace regression support.
+ *
+ * sim::Simulation fires events at equal ticks in FIFO order, so a run
+ * is fully described by its configuration plus seed: same config and
+ * seed produce a bit-identical harvested trace. That makes traces
+ * snapshot-testable: hash the canonical byte representation of every
+ * event, store the hash (plus the event count) in a small text file
+ * under tests/golden/, and fail any run whose trace diverges.
+ *
+ * Golden file format (one line, text):
+ *
+ *     <16 hex digits> <event count>
+ *
+ * Refresh with `tracecheck --scenario all --update-golden` after an
+ * intentional behaviour change and commit the diff.
+ */
+
+#ifndef VALIDATE_GOLDEN_HH
+#define VALIDATE_GOLDEN_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "trace/event.hh"
+
+namespace supmon
+{
+namespace validate
+{
+
+/** Digest of a trace: content hash plus event count. */
+struct TraceDigest
+{
+    std::uint64_t hash = 0;
+    std::uint64_t eventCount = 0;
+
+    friend bool
+    operator==(const TraceDigest &a, const TraceDigest &b)
+    {
+        return a.hash == b.hash && a.eventCount == b.eventCount;
+    }
+};
+
+/**
+ * FNV-1a (64 bit) over the canonical little-endian representation of
+ * every event field (timestamp, token, param, stream, flags) -
+ * independent of struct padding and host byte order.
+ */
+std::uint64_t traceHash(const std::vector<trace::TraceEvent> &events);
+
+/** Digest of a trace (hash + count). */
+TraceDigest digestOf(const std::vector<trace::TraceEvent> &events);
+
+/** 16-digit lower-case hex rendering of a hash. */
+std::string hashHex(std::uint64_t hash);
+
+/** Read a golden file; nullopt if missing or malformed. */
+std::optional<TraceDigest> loadGolden(const std::string &path);
+
+/** Write a golden file. @return false on I/O failure. */
+bool saveGolden(const std::string &path, const TraceDigest &digest);
+
+} // namespace validate
+} // namespace supmon
+
+#endif // VALIDATE_GOLDEN_HH

@@ -1,0 +1,288 @@
+/**
+ * @file
+ * Trace-invariant checking (in the spirit of generic trace-analysis
+ * monitors: the checks are first-class, pluggable analyses).
+ *
+ * The whole reproduction argues from harvested traces, so the traces
+ * themselves must be trustworthy: globally valid timestamps, correctly
+ * merged recorder streams, protocol-causal event sequences, conserved
+ * message counts. A TraceValidator runs a set of invariant rules over
+ * an evaluation trace and reports every violation with the name of the
+ * rule that caught it, the event index, and a diagnostic message.
+ *
+ * Built-in rules:
+ *  - stream-monotonic:   per-stream timestamp monotonicity;
+ *  - merge-order:        global timestamp order of the CEC merge;
+ *  - protocol-causality: send/work/result matching of the ray tracer
+ *                        protocol by job id (needs the evJobSend
+ *                        metadata, RunConfig::instrumentJobSend);
+ *  - conservation:       jobs sent == worked == results received,
+ *                        master/servant start/done pairing, and
+ *                        (optionally) ground-truth count matching;
+ *  - token-dictionary:   every token is defined in a dictionary;
+ *  - lwp-state-machine:  kernel-probe events follow the legal LWP
+ *                        life cycle (ready -> running -> blocked);
+ *  - activity-sanity:    state intervals lie inside the trace window
+ *                        and utilizations stay within [0, 1].
+ */
+
+#ifndef VALIDATE_RULES_HH
+#define VALIDATE_RULES_HH
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "trace/dictionary.hh"
+#include "trace/event.hh"
+
+namespace supmon
+{
+namespace validate
+{
+
+/** One invariant violation found in a trace. */
+struct Violation
+{
+    /** Name of the rule that detected the violation. */
+    std::string rule;
+    /** Index of the offending event in the trace (or the trace size
+     *  for whole-trace violations such as count mismatches). */
+    std::size_t eventIndex = 0;
+    std::string message;
+};
+
+/** Render violations as a human-readable multi-line report. */
+std::string formatViolations(const std::vector<Violation> &violations);
+
+/**
+ * An invariant rule. Rules are stateless between validate() calls;
+ * check() appends one Violation per finding (capped by the validator).
+ */
+class Rule
+{
+  public:
+    virtual ~Rule() = default;
+
+    /** Stable rule name used in diagnostics. */
+    virtual const char *name() const = 0;
+
+    virtual void check(const std::vector<trace::TraceEvent> &events,
+                       std::vector<Violation> &out) const = 0;
+};
+
+/** Per-stream timestamps must never decrease. */
+class StreamMonotonicRule : public Rule
+{
+  public:
+    const char *
+    name() const override
+    {
+        return "stream-monotonic";
+    }
+
+    void check(const std::vector<trace::TraceEvent> &events,
+               std::vector<Violation> &out) const override;
+};
+
+/** The merged global trace must be in non-decreasing timestamp
+ *  order (the CEC merge invariant; ties break by recorder, so the
+ *  stream id is not required to tie-break). */
+class MergeOrderRule : public Rule
+{
+  public:
+    const char *
+    name() const override
+    {
+        return "merge-order";
+    }
+
+    void check(const std::vector<trace::TraceEvent> &events,
+               std::vector<Violation> &out) const override;
+};
+
+/**
+ * Ray tracer protocol causality, matched by job id:
+ *  - a job is sent at most once (evJobSend) and worked at most once
+ *    (evWorkBegin);
+ *  - Work Begin for a job must follow its Job Send (when the send
+ *    metadata is instrumented);
+ *  - Send Results / Receive Results for a job must follow its Work
+ *    Begin.
+ * Traces without ray tracer protocol tokens pass trivially.
+ */
+class ProtocolCausalityRule : public Rule
+{
+  public:
+    const char *
+    name() const override
+    {
+        return "protocol-causality";
+    }
+
+    void check(const std::vector<trace::TraceEvent> &events,
+               std::vector<Violation> &out) const override;
+};
+
+/** Ground-truth counts a trace can be checked against (all
+ *  optional; unset members are not checked). */
+struct ConservationExpectations
+{
+    /** Jobs the master actually sent (host-side bookkeeping). */
+    std::optional<std::uint64_t> jobsSent;
+    /** Results the master actually received. */
+    std::optional<std::uint64_t> resultsReceived;
+    /** Pixels of the image (requested == written). */
+    std::optional<std::uint64_t> pixelsWritten;
+};
+
+/**
+ * Conservation laws over the whole trace: everything sent is worked,
+ * everything worked is received, every servant that starts finishes,
+ * and the master's start/done markers pair up. With expectations set,
+ * the trace counts are additionally checked against the ground truth.
+ */
+class ConservationRule : public Rule
+{
+  public:
+    explicit ConservationRule(ConservationExpectations expect = {})
+        : expected(expect)
+    {
+    }
+
+    const char *
+    name() const override
+    {
+        return "conservation";
+    }
+
+    void check(const std::vector<trace::TraceEvent> &events,
+               std::vector<Violation> &out) const override;
+
+  private:
+    ConservationExpectations expected;
+};
+
+/** Every token in the trace must be defined in the dictionary. */
+class TokenDictionaryRule : public Rule
+{
+  public:
+    explicit TokenDictionaryRule(trace::EventDictionary dictionary)
+        : dict(std::move(dictionary))
+    {
+    }
+
+    const char *
+    name() const override
+    {
+        return "token-dictionary";
+    }
+
+    void check(const std::vector<trace::TraceEvent> &events,
+               std::vector<Violation> &out) const override;
+
+  private:
+    trace::EventDictionary dict;
+};
+
+/**
+ * Kernel-probe events (token class 7) must describe a legal LWP life
+ * cycle per stream (= node): only a ready process is dispatched, only
+ * the running process blocks/yields/sends/exits, and nothing happens
+ * to a terminated process. Traces without kernel tokens pass.
+ */
+class LwpStateRule : public Rule
+{
+  public:
+    const char *
+    name() const override
+    {
+        return "lwp-state-machine";
+    }
+
+    void check(const std::vector<trace::TraceEvent> &events,
+               std::vector<Violation> &out) const override;
+};
+
+/**
+ * Activity-level sanity: every state interval derived from the trace
+ * lies inside the trace window with a non-negative duration, and the
+ * per-stream busy time never exceeds the window (utilization <= 1).
+ */
+class ActivitySanityRule : public Rule
+{
+  public:
+    explicit ActivitySanityRule(trace::EventDictionary dictionary)
+        : dict(std::move(dictionary))
+    {
+    }
+
+    const char *
+    name() const override
+    {
+        return "activity-sanity";
+    }
+
+    void check(const std::vector<trace::TraceEvent> &events,
+               std::vector<Violation> &out) const override;
+
+  private:
+    trace::EventDictionary dict;
+};
+
+/**
+ * Runs a pluggable set of invariant rules over an evaluation trace.
+ *
+ * @code
+ * auto validator = validate::TraceValidator::forRayTracer();
+ * const auto violations = validator.validate(result.events);
+ * if (!violations.empty())
+ *     std::puts(validate::formatViolations(violations).c_str());
+ * @endcode
+ */
+class TraceValidator
+{
+  public:
+    /** Append a rule; rules run in insertion order. */
+    void
+    addRule(std::unique_ptr<Rule> rule)
+    {
+        rules.push_back(std::move(rule));
+    }
+
+    /** Generic rule set: order, causality, conservation, LWP
+     *  legality. Applicable to any harvested trace. */
+    static TraceValidator standard();
+
+    /**
+     * Rule set for parallel ray tracer traces: standard() plus the
+     * ray tracer token dictionary and activity sanity, optionally
+     * pinned to ground-truth counts.
+     */
+    static TraceValidator forRayTracer(
+        ConservationExpectations expect = {});
+
+    /** Run all rules; returns every violation found (per rule capped
+     *  at maxViolationsPerRule to keep reports readable). */
+    std::vector<Violation> validate(
+        const std::vector<trace::TraceEvent> &events) const;
+
+    std::size_t
+    ruleCount() const
+    {
+        return rules.size();
+    }
+
+    /** Cap on recorded violations per rule. */
+    static constexpr std::size_t maxViolationsPerRule = 64;
+
+  private:
+    std::vector<std::unique_ptr<Rule>> rules;
+};
+
+} // namespace validate
+} // namespace supmon
+
+#endif // VALIDATE_RULES_HH

@@ -1,0 +1,104 @@
+#include "validate/scenarios.hh"
+
+#include "sim/logging.hh"
+
+namespace supmon
+{
+namespace validate
+{
+
+namespace
+{
+
+par::RunConfig
+baseConfig(par::Version version, unsigned servants, unsigned edge)
+{
+    par::RunConfig cfg;
+    cfg.version = version;
+    cfg.numServants = servants;
+    cfg.imageWidth = edge;
+    cfg.imageHeight = edge;
+    cfg.applyVersionDefaults();
+    // The per-job send metadata gives the causality rule complete
+    // send -> work -> result chains to match.
+    cfg.instrumentJobSend = true;
+    return cfg;
+}
+
+std::vector<Scenario>
+makeScenarios()
+{
+    std::vector<Scenario> list;
+    {
+        Scenario s;
+        s.name = "fig07-mailbox";
+        s.description = "version 1, mailbox communication on two "
+                        "processors (Figure 7)";
+        s.config = baseConfig(par::Version::V1Mailbox, 1, 16);
+        s.config.writeBatchMin = 3;
+        list.push_back(std::move(s));
+    }
+    {
+        Scenario s;
+        s.name = "fig09-agents";
+        s.description = "version 2, communication agents forward "
+                        "master->servant (Figure 9)";
+        s.config = baseConfig(par::Version::V2AgentsForward, 3, 16);
+        list.push_back(std::move(s));
+    }
+    {
+        Scenario s;
+        s.name = "fig10-versions";
+        s.description = "version 4, tuned bundle and queue constant "
+                        "(Figure 10 end point)";
+        s.config = baseConfig(par::Version::V4Tuned, 7, 24);
+        list.push_back(std::move(s));
+    }
+    return list;
+}
+
+} // namespace
+
+const std::vector<Scenario> &
+goldenScenarios()
+{
+    static const std::vector<Scenario> scenarios = makeScenarios();
+    return scenarios;
+}
+
+const Scenario *
+findScenario(const std::string &name)
+{
+    for (const auto &s : goldenScenarios()) {
+        if (s.name == name)
+            return &s;
+    }
+    return nullptr;
+}
+
+par::RunResult
+runScenario(const Scenario &scenario)
+{
+    sim::QuietScope quiet;
+    return par::runRayTracer(scenario.config);
+}
+
+ConservationExpectations
+expectationsOf(const par::RunResult &result)
+{
+    ConservationExpectations expect;
+    expect.jobsSent = result.jobsSent;
+    expect.resultsReceived = result.resultsReceived;
+    expect.pixelsWritten = result.config.totalPixels();
+    return expect;
+}
+
+std::vector<Violation>
+validateRun(const par::RunResult &result)
+{
+    return TraceValidator::forRayTracer(expectationsOf(result))
+        .validate(result.events);
+}
+
+} // namespace validate
+} // namespace supmon

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Canonical golden-trace scenarios.
+ *
+ * Each scenario is a small, fast, fully deterministic ray tracer run
+ * whose harvested trace is regression-locked by a golden digest under
+ * tests/golden/ (see golden.hh). The three defaults mirror the
+ * paper's measurement figures:
+ *
+ *  - fig07-mailbox:  version 1 on two processors (Figure 7's mailbox
+ *                    synchronization window);
+ *  - fig09-agents:   version 2 with communication agents (Figure 9);
+ *  - fig10-versions: the tuned version 4 (the end point of Figure
+ *                    10's tuning story).
+ *
+ * All scenarios instrument the per-job send metadata so the
+ * protocol-causality rule has send/work/result chains to match.
+ */
+
+#ifndef VALIDATE_SCENARIOS_HH
+#define VALIDATE_SCENARIOS_HH
+
+#include <string>
+#include <vector>
+
+#include "partracer/runner.hh"
+#include "validate/rules.hh"
+
+namespace supmon
+{
+namespace validate
+{
+
+struct Scenario
+{
+    std::string name;
+    std::string description;
+    par::RunConfig config;
+
+    /** Golden file name: <name>.golden . */
+    std::string
+    goldenFileName() const
+    {
+        return name + ".golden";
+    }
+};
+
+/** The checked-in golden scenarios, in stable order. */
+const std::vector<Scenario> &goldenScenarios();
+
+/** Find a scenario by name; nullptr if unknown. */
+const Scenario *findScenario(const std::string &name);
+
+/** Run a scenario (quietly) and return the full result. */
+par::RunResult runScenario(const Scenario &scenario);
+
+/** Conservation expectations pinned to a run's ground truth. */
+ConservationExpectations expectationsOf(const par::RunResult &result);
+
+/**
+ * Validate a finished run's trace with the full ray tracer rule set,
+ * pinned to the run's own ground-truth counters.
+ */
+std::vector<Violation> validateRun(const par::RunResult &result);
+
+} // namespace validate
+} // namespace supmon
+
+#endif // VALIDATE_SCENARIOS_HH

@@ -17,6 +17,7 @@
 #include "suprenum/mailbox.hh"
 #include "trace/gantt.hh"
 #include "trace/report.hh"
+#include "validate/rules.hh"
 #include "zm4/cec.hh"
 #include "zm4/mtg.hh"
 
@@ -74,7 +75,14 @@ struct MonitorStack
     {
         zm4::ControlEvaluationComputer cec;
         cec.connectAgent(agent);
-        return trace::fromRawRecords(cec.collectAndMerge());
+        auto events = trace::fromRawRecords(cec.collectAndMerge());
+        // Every harvested trace must satisfy the structural
+        // invariants before any evaluation interprets it.
+        const auto violations =
+            validate::TraceValidator::standard().validate(events);
+        EXPECT_TRUE(violations.empty())
+            << validate::formatViolations(violations);
+        return events;
     }
 };
 

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Edge cases for trace::fromRawRecords, the conversion from merged
+ * 96-bit ZM4 records into evaluation events: empty input, custom
+ * stream maps, out-of-order input (preserved, not repaired) and the
+ * 48-bit packing boundaries.
+ */
+
+#include <gtest/gtest.h>
+
+#include "hybrid/event_code.hh"
+#include "trace/event.hh"
+#include "validate/rules.hh"
+
+using namespace supmon;
+using trace::TraceEvent;
+using zm4::RawRecord;
+
+namespace
+{
+
+RawRecord
+rec(sim::Tick ts, std::uint16_t token, std::uint32_t param,
+    std::uint16_t recorder, std::uint8_t channel)
+{
+    RawRecord r;
+    r.timestamp = ts;
+    r.data48 = hybrid::pack48(token, param);
+    r.recorderId = recorder;
+    r.channel = channel;
+    return r;
+}
+
+} // namespace
+
+TEST(FromRawRecords, EmptyInputYieldsEmptyTrace)
+{
+    const auto events = trace::fromRawRecords({});
+    EXPECT_TRUE(events.empty());
+    EXPECT_TRUE(trace::isTimeOrdered(events));
+}
+
+TEST(FromRawRecords, DefaultStreamIsRecorderTimesChannels)
+{
+    const auto events = trace::fromRawRecords(
+        {rec(10, 1, 0, 0, 0), rec(20, 1, 0, 0, 3),
+         rec(30, 1, 0, 2, 1)});
+    ASSERT_EQ(events.size(), 3u);
+    EXPECT_EQ(events[0].stream, 0u);
+    EXPECT_EQ(events[1].stream, 3u);
+    EXPECT_EQ(events[2].stream, 2u * 4u + 1u);
+}
+
+TEST(FromRawRecords, CustomStreamMapOverridesDefault)
+{
+    const auto events = trace::fromRawRecords(
+        {rec(10, 1, 0, 5, 2)}, [](const RawRecord &r) {
+            return 100u + r.channel;
+        });
+    ASSERT_EQ(events.size(), 1u);
+    EXPECT_EQ(events[0].stream, 102u);
+}
+
+TEST(FromRawRecords, OutOfOrderInputIsPreservedNotRepaired)
+{
+    // The converter mirrors the CEC's merge output; it must not sort
+    // behind the caller's back, or ordering bugs upstream would be
+    // masked. The validator is the layer that flags them.
+    const auto events = trace::fromRawRecords(
+        {rec(300, 1, 0, 0, 0), rec(100, 2, 0, 0, 0),
+         rec(200, 3, 0, 0, 0)});
+    ASSERT_EQ(events.size(), 3u);
+    EXPECT_EQ(events[0].timestamp, 300u);
+    EXPECT_EQ(events[1].timestamp, 100u);
+    EXPECT_EQ(events[2].timestamp, 200u);
+    EXPECT_FALSE(trace::isTimeOrdered(events));
+
+    const auto violations =
+        validate::TraceValidator::standard().validate(events);
+    EXPECT_FALSE(violations.empty());
+}
+
+TEST(FromRawRecords, FortyEightBitBoundaryValues)
+{
+    const auto events = trace::fromRawRecords(
+        {rec(1, 0x0000, 0x00000000u, 0, 0),
+         rec(2, 0xffff, 0xffffffffu, 0, 0),
+         rec(3, 0x8000, 0x80000001u, 0, 0)});
+    ASSERT_EQ(events.size(), 3u);
+    EXPECT_EQ(events[0].token, 0x0000);
+    EXPECT_EQ(events[0].param, 0x00000000u);
+    EXPECT_EQ(events[1].token, 0xffff);
+    EXPECT_EQ(events[1].param, 0xffffffffu);
+    EXPECT_EQ(events[2].token, 0x8000);
+    EXPECT_EQ(events[2].param, 0x80000001u);
+
+    // pack48 of the maximum values occupies exactly 48 bits.
+    EXPECT_EQ(hybrid::pack48(0xffff, 0xffffffffu),
+              0x0000ffffffffffffull);
+}
+
+TEST(FromRawRecords, BitsAboveFortyEightAreIgnored)
+{
+    // The wire format is 48 bits wide; junk in the upper 16 bits of
+    // the staging word must not leak into the token.
+    RawRecord r = rec(1, 0, 0, 0, 0);
+    r.data48 = 0xdead000000000000ull | hybrid::pack48(0x1234, 0x5678);
+    const auto events = trace::fromRawRecords({r});
+    ASSERT_EQ(events.size(), 1u);
+    EXPECT_EQ(events[0].token, 0x1234);
+    EXPECT_EQ(events[0].param, 0x5678u);
+}
+
+TEST(FromRawRecords, FlagsAndTimestampsAreCopied)
+{
+    RawRecord r = rec(4711, 7, 8, 1, 1);
+    r.flags = zm4::flagOverflowGap;
+    const auto events = trace::fromRawRecords({r});
+    ASSERT_EQ(events.size(), 1u);
+    EXPECT_EQ(events[0].timestamp, 4711u);
+    EXPECT_EQ(events[0].flags, zm4::flagOverflowGap);
+}

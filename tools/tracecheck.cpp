@@ -1,0 +1,211 @@
+/**
+ * @file
+ * tracecheck - trace-invariant checking and golden-trace regression.
+ *
+ * Two modes:
+ *
+ *  1. Validate saved trace files (produced by trace::saveTrace()):
+ *
+ *         tracecheck [--raytracer] <trace.smtr>...
+ *
+ *     Runs the invariant rules over each file and reports every
+ *     violation with the name of the rule that caught it. With
+ *     --raytracer the ray tracer dictionary and activity-sanity
+ *     rules are added.
+ *
+ *  2. Golden-trace regression over the canonical scenarios:
+ *
+ *         tracecheck --scenario <name>|all [--golden-dir DIR]
+ *                    [--update-golden]
+ *         tracecheck --list-scenarios
+ *
+ *     Re-runs each scenario deterministically, validates the
+ *     harvested trace against the full rule set (pinned to the run's
+ *     ground truth), and compares the trace digest with the golden
+ *     file <golden-dir>/<scenario>.golden. --update-golden rewrites
+ *     the golden files instead (after an intentional behaviour
+ *     change; commit the diff).
+ *
+ * Exit status: 0 all good, 1 violations or digest mismatch, 2 usage.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "trace/io.hh"
+#include "validate/golden.hh"
+#include "validate/rules.hh"
+#include "validate/scenarios.hh"
+
+using namespace supmon;
+
+namespace
+{
+
+int
+usage(const char *argv0)
+{
+    std::fprintf(
+        stderr,
+        "usage: %s [--raytracer] <trace.smtr>...\n"
+        "       %s --scenario <name>|all [--golden-dir DIR] "
+        "[--update-golden]\n"
+        "       %s --list-scenarios\n",
+        argv0, argv0, argv0);
+    return 2;
+}
+
+int
+checkFiles(const std::vector<std::string> &paths, bool raytracer)
+{
+    int status = 0;
+    for (const auto &path : paths) {
+        const auto events = trace::loadTrace(path);
+        if (!events) {
+            std::fprintf(stderr, "%s: cannot read trace file\n",
+                         path.c_str());
+            status = 1;
+            continue;
+        }
+        const auto validator =
+            raytracer ? validate::TraceValidator::forRayTracer()
+                      : validate::TraceValidator::standard();
+        const auto violations = validator.validate(*events);
+        if (violations.empty()) {
+            std::printf("%s: OK (%zu events, digest %s)\n",
+                        path.c_str(), events->size(),
+                        validate::hashHex(validate::traceHash(*events))
+                            .c_str());
+        } else {
+            std::printf("%s: %zu violation(s)\n%s", path.c_str(),
+                        violations.size(),
+                        validate::formatViolations(violations).c_str());
+            status = 1;
+        }
+    }
+    return status;
+}
+
+int
+checkScenarios(const std::string &which, const std::string &golden_dir,
+               bool update)
+{
+    std::vector<const validate::Scenario *> selected;
+    if (which == "all") {
+        for (const auto &s : validate::goldenScenarios())
+            selected.push_back(&s);
+    } else if (const auto *s = validate::findScenario(which)) {
+        selected.push_back(s);
+    } else {
+        std::fprintf(stderr,
+                     "unknown scenario '%s' (try --list-scenarios)\n",
+                     which.c_str());
+        return 2;
+    }
+
+    int status = 0;
+    for (const auto *scenario : selected) {
+        const auto result = validate::runScenario(*scenario);
+        if (!result.completed) {
+            std::printf("%-16s FAIL: run did not complete\n",
+                        scenario->name.c_str());
+            status = 1;
+            continue;
+        }
+        const auto violations = validate::validateRun(result);
+        if (!violations.empty()) {
+            std::printf("%-16s FAIL: %zu invariant violation(s)\n%s",
+                        scenario->name.c_str(), violations.size(),
+                        validate::formatViolations(violations).c_str());
+            status = 1;
+            continue;
+        }
+        const auto digest = validate::digestOf(result.events);
+        const std::string golden_path =
+            golden_dir + "/" + scenario->goldenFileName();
+        if (update) {
+            if (!validate::saveGolden(golden_path, digest)) {
+                std::fprintf(stderr, "%s: cannot write golden file\n",
+                             golden_path.c_str());
+                status = 1;
+                continue;
+            }
+            std::printf("%-16s UPDATED %s (%llu events)\n",
+                        scenario->name.c_str(),
+                        validate::hashHex(digest.hash).c_str(),
+                        static_cast<unsigned long long>(
+                            digest.eventCount));
+            continue;
+        }
+        const auto golden = validate::loadGolden(golden_path);
+        if (!golden) {
+            std::printf("%-16s FAIL: missing golden file %s "
+                        "(run with --update-golden)\n",
+                        scenario->name.c_str(), golden_path.c_str());
+            status = 1;
+        } else if (!(digest == *golden)) {
+            std::printf(
+                "%-16s FAIL: trace diverged from golden: "
+                "digest %s (%llu events) vs golden %s (%llu events)\n",
+                scenario->name.c_str(),
+                validate::hashHex(digest.hash).c_str(),
+                static_cast<unsigned long long>(digest.eventCount),
+                validate::hashHex(golden->hash).c_str(),
+                static_cast<unsigned long long>(golden->eventCount));
+            status = 1;
+        } else {
+            std::printf("%-16s OK %s (%llu events, 0 violations)\n",
+                        scenario->name.c_str(),
+                        validate::hashHex(digest.hash).c_str(),
+                        static_cast<unsigned long long>(
+                            digest.eventCount));
+        }
+    }
+    return status;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::vector<std::string> files;
+    std::string scenario;
+    std::string golden_dir = "tests/golden";
+    bool update = false;
+    bool raytracer = false;
+    bool list = false;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--scenario" && i + 1 < argc) {
+            scenario = argv[++i];
+        } else if (arg == "--golden-dir" && i + 1 < argc) {
+            golden_dir = argv[++i];
+        } else if (arg == "--update-golden") {
+            update = true;
+        } else if (arg == "--raytracer") {
+            raytracer = true;
+        } else if (arg == "--list-scenarios") {
+            list = true;
+        } else if (!arg.empty() && arg[0] == '-') {
+            return usage(argv[0]);
+        } else {
+            files.push_back(arg);
+        }
+    }
+
+    if (list) {
+        for (const auto &s : validate::goldenScenarios())
+            std::printf("%-16s %s\n", s.name.c_str(),
+                        s.description.c_str());
+        return 0;
+    }
+    if (!scenario.empty())
+        return checkScenarios(scenario, golden_dir, update);
+    if (files.empty())
+        return usage(argv[0]);
+    return checkFiles(files, raytracer);
+}
