@@ -7,8 +7,11 @@
 #ifndef BENCH_COMMON_HH
 #define BENCH_COMMON_HH
 
+#include <cstdint>
 #include <cstdio>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "sim/logging.hh"
 
@@ -38,6 +41,65 @@ pct(double fraction)
 {
     return supmon::sim::strprintf("%.1f %%", 100.0 * fraction);
 }
+
+/**
+ * Machine-readable metric sink: collects name/value pairs and writes
+ * them as one flat JSON object, e.g. BENCH_query.json, so CI and the
+ * experiment scripts can track bench numbers without scraping the
+ * banner output.
+ */
+class JsonReport
+{
+  public:
+    explicit JsonReport(std::string path) : filePath(std::move(path))
+    {
+    }
+
+    void
+    add(const std::string &key, double value)
+    {
+        entries.emplace_back(key,
+                             supmon::sim::strprintf("%.10g", value));
+    }
+
+    void
+    add(const std::string &key, std::uint64_t value)
+    {
+        entries.emplace_back(
+            key, supmon::sim::strprintf(
+                     "%llu", static_cast<unsigned long long>(value)));
+    }
+
+    void
+    add(const std::string &key, const std::string &value)
+    {
+        entries.emplace_back(key, "\"" + value + "\"");
+    }
+
+    /** @return false on I/O failure. */
+    bool
+    write() const
+    {
+        std::FILE *f = std::fopen(filePath.c_str(), "w");
+        if (!f)
+            return false;
+        std::fprintf(f, "{");
+        for (std::size_t i = 0; i < entries.size(); ++i) {
+            std::fprintf(f, "%s\n  \"%s\": %s", i ? "," : "",
+                         entries[i].first.c_str(),
+                         entries[i].second.c_str());
+        }
+        std::fprintf(f, "\n}\n");
+        const bool ok = std::ferror(f) == 0;
+        std::fclose(f);
+        return ok;
+    }
+
+  private:
+    std::string filePath;
+    /** key -> pre-rendered JSON value (keys are plain identifiers). */
+    std::vector<std::pair<std::string, std::string>> entries;
+};
 
 } // namespace bench
 

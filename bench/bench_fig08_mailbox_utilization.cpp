@@ -13,6 +13,7 @@
 
 #include "bench_common.hh"
 #include "partracer/runner.hh"
+#include "query/engine.hh"
 #include "trace/gantt.hh"
 #include "trace/report.hh"
 
@@ -65,6 +66,62 @@ main()
     bench::paperRow("window size / job size", "3 / 1 ray",
                     sim::strprintf("%u / %u ray(s)", cfg.windowSize,
                                    cfg.bundleSize));
+
+    // The same utilization table, re-expressed as a streaming trace
+    // query over the measurement phase, cross-checked against the
+    // batch ActivityMap on the identical event window: every servant
+    // must come out with exactly the same double.
+    const auto parsed = query::parseQuery(sim::strprintf(
+        "filter from=%lluns to=%lluns | utilization state=WORK",
+        static_cast<unsigned long long>(res.phaseBegin),
+        static_cast<unsigned long long>(res.phaseEnd)));
+    if (!parsed.ok) {
+        std::fprintf(stderr, "query error: %s\n",
+                     parsed.error.c_str());
+        return 1;
+    }
+    const query::Table table = query::runQuery(
+        res.events, res.dictionary, parsed.query, res.phaseEnd);
+
+    std::vector<trace::TraceEvent> phaseEvents;
+    for (const auto &ev : res.events) {
+        if (ev.timestamp >= res.phaseBegin &&
+            ev.timestamp < res.phaseEnd)
+            phaseEvents.push_back(ev);
+    }
+    const auto phaseMap = trace::ActivityMap::build(
+        phaseEvents, res.dictionary, res.phaseEnd);
+
+    unsigned exact = 0;
+    unsigned mismatches = 0;
+    for (unsigned stream : res.servantStreams) {
+        const std::string name = res.dictionary.streamName(stream);
+        const double batch = phaseMap.utilization(
+            stream, "WORK", res.phaseBegin, res.phaseEnd);
+        bool found = false;
+        for (const auto &row : table.rows) {
+            if (row[0].text != name)
+                continue;
+            found = true;
+            if (row[2].real == batch)
+                ++exact;
+            else
+                ++mismatches;
+        }
+        if (!found)
+            ++mismatches;
+    }
+    bench::paperRow(
+        "query cross-check (streaming == batch)", "-",
+        mismatches
+            ? sim::strprintf("%u MISMATCH(ES)", mismatches)
+            : sim::strprintf("%u servants exact", exact));
     std::printf("\n");
+    if (mismatches) {
+        std::fprintf(stderr,
+                     "streaming query disagrees with the batch "
+                     "utilization table\n");
+        return 1;
+    }
     return 0;
 }

@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Query engine throughput: stream a saved 1M-event trace through
+ * filter+fold pipelines in a single pass and report events/second.
+ *
+ * The trace is generated deterministically (seeded), written with
+ * saveTrace(), and then only ever touched through the incremental
+ * TraceReader — the trace is never resident in memory during the
+ * timed runs, which is the whole point of the streaming engine.
+ *
+ * Results go to stdout (banner format) and to BENCH_query.json in
+ * the working directory.
+ */
+
+#include <chrono>
+#include <cstdio>
+
+#include "bench_common.hh"
+#include "query/engine.hh"
+#include "sim/random.hh"
+#include "trace/io.hh"
+
+using namespace supmon;
+
+namespace
+{
+
+constexpr std::uint64_t eventCount = 1000000;
+constexpr std::uint16_t tokWork = 1;
+constexpr std::uint16_t tokWait = 2;
+constexpr std::uint16_t tokSend = 3;
+
+trace::EventDictionary
+benchDictionary()
+{
+    trace::EventDictionary dict;
+    dict.defineBegin(tokWork, "Work Begin", "WORK");
+    dict.defineBegin(tokWait, "Wait Begin", "WAIT");
+    dict.definePoint(tokSend, "Job Send");
+    for (unsigned s = 0; s < 32; ++s)
+        dict.nameStream(s, sim::strprintf("SERVANT %u", s));
+    return dict;
+}
+
+bool
+writeBenchTrace(const std::string &path)
+{
+    sim::Random rng(20260805);
+    std::vector<trace::TraceEvent> events;
+    events.reserve(eventCount);
+    sim::Tick ts = 0;
+    for (std::uint64_t i = 0; i < eventCount; ++i) {
+        ts += rng.uniformInt(10, 2000);
+        trace::TraceEvent ev;
+        ev.timestamp = ts;
+        ev.stream = static_cast<unsigned>(rng.uniformInt(0, 31));
+        ev.token = static_cast<std::uint16_t>(
+            rng.uniformInt(tokWork, tokSend));
+        ev.param = static_cast<std::uint32_t>(rng.uniformInt(0, 999));
+        events.push_back(ev);
+    }
+    return trace::saveTrace(path, events);
+}
+
+/** One timed streaming pass; returns events/second (0 on failure). */
+double
+timeQuery(const std::string &path,
+          const trace::EventDictionary &dict, const char *text)
+{
+    const auto parsed = query::parseQuery(text);
+    if (!parsed.ok) {
+        std::fprintf(stderr, "query error: %s\n",
+                     parsed.error.c_str());
+        return 0.0;
+    }
+    const auto start = std::chrono::steady_clock::now();
+    query::Table table;
+    std::string error;
+    if (!query::runQueryFile(path, dict, parsed.query, table,
+                             error)) {
+        std::fprintf(stderr, "%s\n", error.c_str());
+        return 0.0;
+    }
+    const std::chrono::duration<double> elapsed =
+        std::chrono::steady_clock::now() - start;
+    if (table.rows.empty()) {
+        std::fprintf(stderr, "query '%s' produced no rows\n", text);
+        return 0.0;
+    }
+    return static_cast<double>(eventCount) / elapsed.count();
+}
+
+std::string
+eps(double value)
+{
+    return sim::strprintf("%.1f Mevents/s", value * 1e-6);
+}
+
+} // namespace
+
+int
+main()
+{
+    sim::setQuiet(true);
+    bench::banner("Query engine",
+                  "streaming filter+fold throughput over a 1M-event "
+                  "trace file");
+
+    const std::string path = "/tmp/supmon_bench_query.smtr";
+    if (!writeBenchTrace(path)) {
+        std::fprintf(stderr, "cannot write %s\n", path.c_str());
+        return 1;
+    }
+
+    const struct
+    {
+        const char *id;
+        const char *text;
+    } cases[] = {
+        {"filter_count", "filter stream=servant* token=evWork* | "
+                         "count"},
+        {"states", "states"},
+        {"windowed_utilization",
+         "window 100us | utilization state=WORK"},
+        {"rtt", "rtt begin=evJobSend end=evWorkBegin"},
+    };
+
+    bench::JsonReport report("BENCH_query.json");
+    report.add("events", eventCount);
+    const auto dict = benchDictionary();
+    int status = 0;
+    for (const auto &c : cases) {
+        const double rate = timeQuery(path, dict, c.text);
+        if (rate <= 0.0)
+            status = 1;
+        bench::paperRow(c.text, "-", eps(rate));
+        report.add(std::string(c.id) + "_events_per_sec", rate);
+    }
+    std::printf("\n");
+    if (!report.write()) {
+        std::fprintf(stderr, "cannot write BENCH_query.json\n");
+        status = 1;
+    }
+    std::remove(path.c_str());
+    return status;
+}

@@ -59,5 +59,29 @@ rayTracerDictionary()
     return dict;
 }
 
+void
+nameRayTracerStreams(trace::EventDictionary &dict, unsigned nodes)
+{
+    for (unsigned node = 0; node < nodes; ++node) {
+        for (unsigned sub = 0; sub < streamsPerNode; ++sub) {
+            const unsigned stream = node * streamsPerNode + sub;
+            if (sub == 0) {
+                dict.nameStream(stream,
+                                node == 0 ? "MASTER"
+                                          : "NODE " +
+                                                std::to_string(node));
+            } else if (sub == 1) {
+                dict.nameStream(stream,
+                                "SERVANT " + std::to_string(node));
+            } else {
+                dict.nameStream(stream,
+                                "AGENT " + std::to_string(sub - 2) +
+                                    " (node " + std::to_string(node) +
+                                    ")");
+            }
+        }
+    }
+}
+
 } // namespace par
 } // namespace supmon

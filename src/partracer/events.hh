@@ -123,6 +123,14 @@ streamOf(unsigned node_index, TokenClass cls, unsigned agent_index = 0)
  */
 trace::EventDictionary rayTracerDictionary();
 
+/**
+ * Name the logical streams of @p nodes ray tracer nodes by their
+ * conventions (MASTER / NODE n, SERVANT n, AGENT k) in @p dict, for
+ * tools that evaluate saved traces without a RunResult.
+ */
+void nameRayTracerStreams(trace::EventDictionary &dict,
+                          unsigned nodes);
+
 } // namespace par
 } // namespace supmon
 

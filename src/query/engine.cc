@@ -1,0 +1,181 @@
+#include "engine.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+
+#include "trace/io.hh"
+
+namespace supmon
+{
+namespace query
+{
+
+namespace
+{
+
+bool
+allDigits(const std::string &s)
+{
+    return !s.empty() &&
+           std::all_of(s.begin(), s.end(), [](char c) {
+               return std::isdigit(static_cast<unsigned char>(c));
+           });
+}
+
+/** "N" or "a-b" stream id range; false if not numeric. */
+bool
+numericStreamRange(const std::string &pattern, unsigned &lo,
+                   unsigned &hi)
+{
+    const auto dash = pattern.find('-');
+    if (dash == std::string::npos) {
+        if (!allDigits(pattern))
+            return false;
+        lo = hi = static_cast<unsigned>(
+            std::strtoul(pattern.c_str(), nullptr, 10));
+        return true;
+    }
+    const std::string a = pattern.substr(0, dash);
+    const std::string b = pattern.substr(dash + 1);
+    if (!allDigits(a) || !allDigits(b))
+        return false;
+    lo = static_cast<unsigned>(std::strtoul(a.c_str(), nullptr, 10));
+    hi = static_cast<unsigned>(std::strtoul(b.c_str(), nullptr, 10));
+    return lo <= hi;
+}
+
+} // namespace
+
+bool
+QueryEngine::CompiledFilter::accepts(
+    const trace::TraceEvent &ev, const trace::EventDictionary &dict)
+{
+    if (hasFrom && ev.timestamp < from)
+        return false;
+    if (hasTo && ev.timestamp >= to)
+        return false;
+    if (hasParam && (ev.param < paramLo || ev.param > paramHi))
+        return false;
+    if (hasTokenFilter && !tokens.count(ev.token))
+        return false;
+    if (!streamPatterns.empty()) {
+        auto cached = streamMatch.find(ev.stream);
+        if (cached == streamMatch.end()) {
+            bool match = false;
+            for (const auto &pattern : streamPatterns) {
+                unsigned lo = 0;
+                unsigned hi = 0;
+                if (numericStreamRange(pattern, lo, hi)
+                        ? (ev.stream >= lo && ev.stream <= hi)
+                        : globMatch(pattern,
+                                    dict.streamName(ev.stream))) {
+                    match = true;
+                    break;
+                }
+            }
+            cached = streamMatch.emplace(ev.stream, match).first;
+        }
+        if (!cached->second)
+            return false;
+    }
+    return true;
+}
+
+QueryEngine::QueryEngine(const Query &query,
+                         const trace::EventDictionary &dict,
+                         sim::Tick trace_end)
+    : dictionary(dict)
+{
+    FoldContext ctx;
+    ctx.dict = &dict;
+    ctx.window = query.window;
+    ctx.traceEnd = trace_end;
+
+    for (const FilterSpec &spec : query.filters) {
+        CompiledFilter filter;
+        filter.hasTokenFilter = !spec.tokenPatterns.empty();
+        for (const auto &pattern : spec.tokenPatterns) {
+            for (std::uint16_t t :
+                 resolveTokenPattern(pattern, dict))
+                filter.tokens.insert(t);
+        }
+        filter.streamPatterns = spec.streamPatterns;
+        filter.hasFrom = spec.hasFrom;
+        filter.hasTo = spec.hasTo;
+        filter.from = spec.from;
+        filter.to = spec.to;
+        filter.hasParam = spec.hasParam;
+        filter.paramLo = spec.paramLo;
+        filter.paramHi = spec.paramHi;
+        filters.push_back(std::move(filter));
+
+        // The narrowest explicit time range across all filter
+        // stages becomes the fold's evaluation range.
+        if (spec.hasFrom &&
+            (!ctx.hasFrom || spec.from > ctx.from)) {
+            ctx.hasFrom = true;
+            ctx.from = spec.from;
+        }
+        if (spec.hasTo && (!ctx.hasTo || spec.to < ctx.to)) {
+            ctx.hasTo = true;
+            ctx.to = spec.to;
+        }
+    }
+
+    fold = makeFold(query.fold, ctx);
+}
+
+void
+QueryEngine::onEvent(const trace::TraceEvent &ev)
+{
+    ++seen;
+    for (auto &filter : filters) {
+        if (!filter.accepts(ev, dictionary))
+            return;
+    }
+    ++accepted;
+    fold->onEvent(ev);
+}
+
+Table
+QueryEngine::finish()
+{
+    return fold->finish();
+}
+
+Table
+runQuery(const std::vector<trace::TraceEvent> &events,
+         const trace::EventDictionary &dict, const Query &query,
+         sim::Tick trace_end)
+{
+    QueryEngine engine(query, dict, trace_end);
+    for (const auto &ev : events)
+        engine.onEvent(ev);
+    return engine.finish();
+}
+
+bool
+runQueryFile(const std::string &path,
+             const trace::EventDictionary &dict, const Query &query,
+             Table &out, std::string &error, sim::Tick trace_end)
+{
+    trace::TraceReader reader(path);
+    if (!reader.ok()) {
+        error = reader.error();
+        return false;
+    }
+    QueryEngine engine(query, dict, trace_end);
+    trace::TraceEvent ev;
+    while (reader.next(ev))
+        engine.onEvent(ev);
+    if (!reader.error().empty()) {
+        error = reader.error();
+        return false;
+    }
+    out = engine.finish();
+    return true;
+}
+
+} // namespace query
+} // namespace supmon

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * The streaming query engine: binds a parsed Query to an event
+ * dictionary, then consumes a trace one event at a time — from memory
+ * or straight from a trace::TraceReader — applying the filter stages
+ * and feeding the fold sink. Memory use is bounded by the fold's
+ * aggregation state, never by the trace length.
+ */
+
+#ifndef QUERY_ENGINE_HH
+#define QUERY_ENGINE_HH
+
+#include <functional>
+#include <map>
+#include <set>
+
+#include "query/folds.hh"
+#include "query/query.hh"
+#include "query/table.hh"
+#include "trace/dictionary.hh"
+#include "trace/event.hh"
+
+namespace supmon
+{
+namespace query
+{
+
+class QueryEngine
+{
+  public:
+    /**
+     * @param trace_end close still-open activity states at this
+     *        time, like ActivityMap::build(); 0 = last event.
+     */
+    QueryEngine(const Query &query,
+                const trace::EventDictionary &dict,
+                sim::Tick trace_end = 0);
+
+    /** Feed one event (in trace order). */
+    void onEvent(const trace::TraceEvent &ev);
+
+    /** End of stream; call once. */
+    Table finish();
+
+    /** Events that passed every filter stage. */
+    std::uint64_t
+    eventsAccepted() const
+    {
+        return accepted;
+    }
+
+    std::uint64_t
+    eventsSeen() const
+    {
+        return seen;
+    }
+
+  private:
+    /** One compiled `filter` stage. */
+    struct CompiledFilter
+    {
+        bool hasTokenFilter = false;
+        std::set<std::uint16_t> tokens;
+        std::vector<std::string> streamPatterns;
+        /** Lazy glob-vs-stream-name results, per stream id. */
+        std::map<unsigned, bool> streamMatch;
+        bool hasFrom = false;
+        bool hasTo = false;
+        sim::Tick from = 0;
+        sim::Tick to = 0;
+        bool hasParam = false;
+        std::uint32_t paramLo = 0;
+        std::uint32_t paramHi = 0;
+
+        bool accepts(const trace::TraceEvent &ev,
+                     const trace::EventDictionary &dict);
+    };
+
+    const trace::EventDictionary &dictionary;
+    std::vector<CompiledFilter> filters;
+    std::unique_ptr<Fold> fold;
+    std::uint64_t seen = 0;
+    std::uint64_t accepted = 0;
+};
+
+/** Run a query over an in-memory trace. */
+Table runQuery(const std::vector<trace::TraceEvent> &events,
+               const trace::EventDictionary &dict, const Query &query,
+               sim::Tick trace_end = 0);
+
+/**
+ * Run a query over a saved trace file in a single streaming pass
+ * (no full-trace vector).
+ * @return false with @p error set if the file is unreadable or
+ *         truncated.
+ */
+bool runQueryFile(const std::string &path,
+                  const trace::EventDictionary &dict,
+                  const Query &query, Table &out, std::string &error,
+                  sim::Tick trace_end = 0);
+
+} // namespace query
+} // namespace supmon
+
+#endif // QUERY_ENGINE_HH

@@ -1,0 +1,663 @@
+#include "folds.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+#include <map>
+#include <set>
+
+#include "sim/logging.hh"
+#include "sim/stats.hh"
+
+namespace supmon
+{
+namespace query
+{
+
+namespace
+{
+
+std::string
+tokenName(const trace::EventDictionary &dict, std::uint16_t token)
+{
+    const trace::EventDef *def = dict.find(token);
+    return def ? def->name : sim::strprintf("0x%04x", token);
+}
+
+/**
+ * The open-state machine of ActivityMap::build(), streamed: emits
+ * each closed StateInterval-equivalent through a callback instead of
+ * collecting a vector. Feeding it the same events in the same order
+ * produces the same intervals, per stream in the same order, so
+ * per-(stream,state) statistics match the batch path bit for bit.
+ */
+class StateTracker
+{
+  public:
+    explicit StateTracker(const trace::EventDictionary &dict,
+                          sim::Tick trace_end)
+        : dictionary(dict), traceEnd(trace_end)
+    {
+    }
+
+    template <typename Emit>
+    void
+    onEvent(const trace::TraceEvent &ev, Emit &&emit)
+    {
+        if (!sawEvent) {
+            sawEvent = true;
+            firstTs = ev.timestamp;
+        }
+        lastTs = ev.timestamp;
+        const trace::EventDef *def = dictionary.find(ev.token);
+        if (!def || def->kind != trace::EventKind::Begin)
+            return;
+        OpenState &cur = open[ev.stream];
+        if (cur.isOpen && ev.timestamp > cur.since)
+            emit(ev.stream, cur.state, cur.since, ev.timestamp);
+        cur.state = def->state;
+        cur.since = ev.timestamp;
+        cur.isOpen = true;
+    }
+
+    /** Close still-open states; call exactly once, at end of stream. */
+    template <typename Emit>
+    void
+    close(Emit &&emit)
+    {
+        endTs = traceEnd ? std::max(traceEnd, lastTs) : lastTs;
+        for (auto &kv : open) {
+            if (kv.second.isOpen && endTs > kv.second.since)
+                emit(kv.first, kv.second.state, kv.second.since,
+                     endTs);
+        }
+    }
+
+    bool
+    any() const
+    {
+        return sawEvent;
+    }
+
+    sim::Tick
+    traceBegin() const
+    {
+        return firstTs;
+    }
+
+    /** Valid after close(). */
+    sim::Tick
+    traceCloseTime() const
+    {
+        return endTs;
+    }
+
+  private:
+    struct OpenState
+    {
+        std::string state;
+        sim::Tick since = 0;
+        bool isOpen = false;
+    };
+
+    const trace::EventDictionary &dictionary;
+    std::map<unsigned, OpenState> open;
+    sim::Tick traceEnd = 0;
+    sim::Tick firstTs = 0;
+    sim::Tick lastTs = 0;
+    sim::Tick endTs = 0;
+    bool sawEvent = false;
+};
+
+/** Tick window bucketing shared by the windowed folds. */
+struct Windower
+{
+    WindowSpec spec;
+    sim::Tick origin = 0;
+    bool originSet = false;
+
+    void
+    anchor(sim::Tick t)
+    {
+        if (!originSet) {
+            origin = t;
+            originSet = true;
+        }
+    }
+
+    /** Largest window index whose start lies before @p end_time. */
+    std::int64_t
+    lastIndexBefore(sim::Tick end_time) const
+    {
+        if (!originSet || end_time <= origin)
+            return -1;
+        return static_cast<std::int64_t>((end_time - 1 - origin) /
+                                         spec.step);
+    }
+
+    /**
+     * Window index range [lo, hi] covering instant @p t.
+     * @return false for instants before the origin (possible only
+     *         with a non-time-ordered trace).
+     */
+    bool
+    indicesOf(sim::Tick t, std::int64_t &lo, std::int64_t &hi) const
+    {
+        if (t < origin)
+            return false;
+        hi = static_cast<std::int64_t>((t - origin) / spec.step);
+        lo = t >= origin + spec.size
+                 ? static_cast<std::int64_t>(
+                       (t - origin - spec.size) / spec.step + 1)
+                 : 0;
+        return true;
+    }
+
+    sim::Tick
+    startOf(std::int64_t k) const
+    {
+        return origin + static_cast<sim::Tick>(k) * spec.step;
+    }
+};
+
+// ---------------------------------------------------------------- count
+
+class CountFold : public Fold
+{
+  public:
+    explicit CountFold(const FoldContext &ctx) : context(ctx)
+    {
+        if (context.window) {
+            windower.spec = *context.window;
+            if (context.hasFrom)
+                windower.anchor(context.from);
+        }
+    }
+
+    void
+    onEvent(const trace::TraceEvent &ev) override
+    {
+        if (!context.window) {
+            ++counts[{0, ev.stream, ev.token}];
+            return;
+        }
+        windower.anchor(ev.timestamp);
+        std::int64_t lo = 0;
+        std::int64_t hi = 0;
+        if (!windower.indicesOf(ev.timestamp, lo, hi))
+            return;
+        for (std::int64_t k = lo; k <= hi; ++k)
+            ++counts[{k, ev.stream, ev.token}];
+    }
+
+    Table
+    finish() override
+    {
+        Table table;
+        if (context.window)
+            table.columns.push_back("window_ms");
+        table.columns.insert(table.columns.end(),
+                             {"stream", "event", "count"});
+        for (const auto &kv : counts) {
+            const auto &[window, stream, token] = kv.first;
+            std::vector<Value> row;
+            if (context.window) {
+                row.push_back(Value::number(sim::toMilliseconds(
+                    windower.startOf(window))));
+            }
+            row.push_back(
+                Value::str(context.dict->streamName(stream)));
+            row.push_back(Value::str(tokenName(*context.dict, token)));
+            row.push_back(Value::count(kv.second));
+            table.addRow(std::move(row));
+        }
+        return table;
+    }
+
+  private:
+    FoldContext context;
+    Windower windower;
+    std::map<std::tuple<std::int64_t, unsigned, std::uint16_t>,
+             std::uint64_t>
+        counts;
+};
+
+// ---------------------------------------------------------------- states
+
+class StatesFold : public Fold
+{
+  public:
+    explicit StatesFold(const FoldContext &ctx)
+        : context(ctx), tracker(*ctx.dict, ctx.traceEnd)
+    {
+    }
+
+    void
+    onEvent(const trace::TraceEvent &ev) override
+    {
+        tracker.onEvent(ev, [this](unsigned stream,
+                                   const std::string &state,
+                                   sim::Tick begin, sim::Tick end) {
+            addInterval(stream, state, begin, end);
+        });
+    }
+
+    Table
+    finish() override
+    {
+        tracker.close([this](unsigned stream, const std::string &state,
+                             sim::Tick begin, sim::Tick end) {
+            addInterval(stream, state, begin, end);
+        });
+        const sim::Tick t0 =
+            context.hasFrom ? context.from : tracker.traceBegin();
+        const sim::Tick t1 =
+            context.hasTo ? context.to : tracker.traceCloseTime();
+
+        Table table;
+        table.columns = {"stream",  "state",  "count",
+                         "total_ms", "mean_ms", "min_ms",
+                         "max_ms",  "share"};
+        std::set<unsigned> streams;
+        for (const auto &kv : stats)
+            streams.insert(kv.first.first);
+        for (unsigned stream : streams) {
+            for (const auto &state :
+                 context.dict->statesInOrder()) {
+                auto it = stats.find({stream, state});
+                if (it == stats.end())
+                    continue;
+                const sim::SummaryStat &s = it->second;
+                sim::Tick covered = 0;
+                if (auto ov = inState.find({stream, state});
+                    ov != inState.end())
+                    covered = ov->second;
+                const double share =
+                    t1 > t0 ? static_cast<double>(covered) /
+                                  static_cast<double>(t1 - t0)
+                            : 0.0;
+                table.addRow(
+                    {Value::str(context.dict->streamName(stream)),
+                     Value::str(state), Value::count(s.count()),
+                     Value::number(s.sum() * 1e-6),
+                     Value::number(s.mean() * 1e-6),
+                     Value::number(s.min() * 1e-6),
+                     Value::number(s.max() * 1e-6),
+                     Value::number(share)});
+            }
+        }
+        return table;
+    }
+
+  private:
+    void
+    addInterval(unsigned stream, const std::string &state,
+                sim::Tick begin, sim::Tick end)
+    {
+        stats[{stream, state}].push(
+            static_cast<double>(end - begin));
+        // Overlap with the evaluation range, clamped per interval.
+        const sim::Tick lo = context.hasFrom
+                                 ? std::max(begin, context.from)
+                                 : begin;
+        const sim::Tick hi =
+            context.hasTo ? std::min(end, context.to) : end;
+        if (hi > lo)
+            inState[{stream, state}] += hi - lo;
+    }
+
+    FoldContext context;
+    StateTracker tracker;
+    std::map<std::pair<unsigned, std::string>, sim::SummaryStat>
+        stats;
+    std::map<std::pair<unsigned, std::string>, sim::Tick> inState;
+};
+
+// ----------------------------------------------------------- utilization
+
+class UtilizationFold : public Fold
+{
+  public:
+    UtilizationFold(const FoldSpec &spec, const FoldContext &ctx)
+        : context(ctx), state(spec.state),
+          tracker(*ctx.dict, ctx.traceEnd)
+    {
+        if (context.window) {
+            windower.spec = *context.window;
+            if (context.hasFrom)
+                windower.anchor(context.from);
+        }
+    }
+
+    void
+    onEvent(const trace::TraceEvent &ev) override
+    {
+        if (context.window)
+            windower.anchor(ev.timestamp);
+        tracker.onEvent(ev, [this](unsigned stream,
+                                   const std::string &st,
+                                   sim::Tick begin, sim::Tick end) {
+            addInterval(stream, st, begin, end);
+        });
+    }
+
+    Table
+    finish() override
+    {
+        tracker.close([this](unsigned stream, const std::string &st,
+                             sim::Tick begin, sim::Tick end) {
+            addInterval(stream, st, begin, end);
+        });
+        const sim::Tick t0 =
+            context.hasFrom ? context.from : tracker.traceBegin();
+        const sim::Tick t1 =
+            context.hasTo ? context.to : tracker.traceCloseTime();
+
+        Table table;
+        if (!context.window) {
+            table.columns = {"stream", "state", "utilization"};
+            for (unsigned stream : streams) {
+                sim::Tick covered = 0;
+                if (auto it = overlap.find({0, stream});
+                    it != overlap.end())
+                    covered = it->second;
+                const double u =
+                    t1 > t0 ? static_cast<double>(covered) /
+                                  static_cast<double>(t1 - t0)
+                            : 0.0;
+                table.addRow(
+                    {Value::str(context.dict->streamName(stream)),
+                     Value::str(state), Value::number(u)});
+            }
+            return table;
+        }
+
+        table.columns = {"window_ms", "stream", "state",
+                         "utilization"};
+        const std::int64_t last = windower.lastIndexBefore(t1);
+        // Dense rows (a value for every window) unless that would
+        // explode; tiny windows over a long trace fall back to the
+        // windows that actually saw the state.
+        const bool dense =
+            last >= 0 &&
+            (last + 1) * static_cast<std::int64_t>(
+                             std::max<std::size_t>(streams.size(), 1)) <=
+                200000;
+        if (dense) {
+            for (std::int64_t k = 0; k <= last; ++k) {
+                for (unsigned stream : streams) {
+                    sim::Tick covered = 0;
+                    if (auto it = overlap.find({k, stream});
+                        it != overlap.end())
+                        covered = it->second;
+                    addWindowRow(table, k, stream, covered);
+                }
+            }
+        } else {
+            for (const auto &kv : overlap)
+                addWindowRow(table, kv.first.first, kv.first.second,
+                             kv.second);
+        }
+        return table;
+    }
+
+  private:
+    void
+    addWindowRow(Table &table, std::int64_t k, unsigned stream,
+                 sim::Tick covered)
+    {
+        table.addRow(
+            {Value::number(sim::toMilliseconds(windower.startOf(k))),
+             Value::str(context.dict->streamName(stream)),
+             Value::str(state),
+             Value::number(static_cast<double>(covered) /
+                           static_cast<double>(windower.spec.size))});
+    }
+
+    void
+    addInterval(unsigned stream, const std::string &st,
+                sim::Tick begin, sim::Tick end)
+    {
+        streams.insert(stream);
+        if (st != state)
+            return;
+        if (!context.window) {
+            const sim::Tick lo = context.hasFrom
+                                     ? std::max(begin, context.from)
+                                     : begin;
+            const sim::Tick hi =
+                context.hasTo ? std::min(end, context.to) : end;
+            if (hi > lo)
+                overlap[{0, stream}] += hi - lo;
+            return;
+        }
+        const sim::Tick b = std::max(begin, windower.origin);
+        if (end <= b)
+            return;
+        std::int64_t lo = 0;
+        std::int64_t hi = 0;
+        if (!windower.indicesOf(b, lo, hi))
+            return;
+        const std::int64_t lastTouched =
+            windower.lastIndexBefore(end);
+        for (std::int64_t k = lo; k <= lastTouched; ++k) {
+            const sim::Tick wlo = windower.startOf(k);
+            const sim::Tick whi = wlo + windower.spec.size;
+            const sim::Tick a = std::max(begin, wlo);
+            const sim::Tick z = std::min(end, whi);
+            if (z > a)
+                overlap[{k, stream}] += z - a;
+        }
+    }
+
+    FoldContext context;
+    std::string state;
+    StateTracker tracker;
+    Windower windower;
+    std::set<unsigned> streams;
+    std::map<std::pair<std::int64_t, unsigned>, sim::Tick> overlap;
+};
+
+// --------------------------------------------------------------- latency
+
+class LatencyFold : public Fold
+{
+  public:
+    LatencyFold(const FoldSpec &spec, const FoldContext &ctx)
+        : context(ctx), bins(spec.bins), histMax(spec.histMax)
+    {
+    }
+
+    void
+    onEvent(const trace::TraceEvent &ev) override
+    {
+        auto it = lastSeen.find(ev.stream);
+        if (it != lastSeen.end()) {
+            const double gap =
+                static_cast<double>(ev.timestamp - it->second);
+            stats[ev.stream].push(gap);
+            if (bins) {
+                auto h = hists.find(ev.stream);
+                if (h == hists.end()) {
+                    h = hists
+                            .emplace(ev.stream,
+                                     sim::Histogram(
+                                         0.0,
+                                         static_cast<double>(histMax),
+                                         bins))
+                            .first;
+                }
+                h->second.push(gap);
+            }
+            it->second = ev.timestamp;
+        } else {
+            lastSeen[ev.stream] = ev.timestamp;
+        }
+    }
+
+    Table
+    finish() override
+    {
+        Table table;
+        if (!bins) {
+            table.columns = {"stream", "pairs",  "mean_ms",
+                             "min_ms", "max_ms", "stddev_ms"};
+            for (const auto &kv : stats) {
+                const sim::SummaryStat &s = kv.second;
+                table.addRow(
+                    {Value::str(context.dict->streamName(kv.first)),
+                     Value::count(s.count()),
+                     Value::number(s.mean() * 1e-6),
+                     Value::number(s.min() * 1e-6),
+                     Value::number(s.max() * 1e-6),
+                     Value::number(s.stddev() * 1e-6)});
+            }
+            return table;
+        }
+        table.columns = {"stream", "bin", "lo_ms", "count"};
+        for (const auto &kv : hists) {
+            const std::string name =
+                context.dict->streamName(kv.first);
+            const sim::Histogram &h = kv.second;
+            for (std::size_t b = 0; b < h.bins(); ++b) {
+                table.addRow({Value::str(name),
+                              Value::str(std::to_string(b)),
+                              Value::number(h.binLower(b) * 1e-6),
+                              Value::count(h.binCount(b))});
+            }
+            table.addRow(
+                {Value::str(name), Value::str("overflow"),
+                 Value::number(sim::toMilliseconds(histMax)),
+                 Value::count(h.overflow())});
+        }
+        return table;
+    }
+
+  private:
+    FoldContext context;
+    std::size_t bins = 0;
+    sim::Tick histMax = 0;
+    std::map<unsigned, sim::Tick> lastSeen;
+    std::map<unsigned, sim::SummaryStat> stats;
+    std::map<unsigned, sim::Histogram> hists;
+};
+
+// ------------------------------------------------------------------- rtt
+
+class RttFold : public Fold
+{
+  public:
+    RttFold(const FoldSpec &spec, const FoldContext &ctx)
+    {
+        for (std::uint16_t t :
+             resolveTokenPattern(spec.beginPattern, *ctx.dict))
+            beginTokens.insert(t);
+        for (std::uint16_t t :
+             resolveTokenPattern(spec.endPattern, *ctx.dict))
+            endTokens.insert(t);
+    }
+
+    void
+    onEvent(const trace::TraceEvent &ev) override
+    {
+        if (beginTokens.count(ev.token)) {
+            // Key on the parameter (the job id in the ray tracer's
+            // protocol); the first begin wins.
+            if (!pending.emplace(ev.param, ev.timestamp).second)
+                ++duplicateBegins;
+        } else if (endTokens.count(ev.token)) {
+            auto it = pending.find(ev.param);
+            if (it == pending.end()) {
+                ++unmatchedEnds;
+                return;
+            }
+            stats.push(
+                static_cast<double>(ev.timestamp - it->second));
+            pending.erase(it);
+        }
+    }
+
+    Table
+    finish() override
+    {
+        Table table;
+        table.columns = {"pairs",   "unmatched_begin",
+                         "unmatched_end", "mean_ms", "min_ms",
+                         "max_ms",  "stddev_ms"};
+        table.addRow(
+            {Value::count(stats.count()),
+             Value::count(pending.size() + duplicateBegins),
+             Value::count(unmatchedEnds),
+             Value::number(stats.mean() * 1e-6),
+             Value::number(stats.min() * 1e-6),
+             Value::number(stats.max() * 1e-6),
+             Value::number(stats.stddev() * 1e-6)});
+        return table;
+    }
+
+  private:
+    std::set<std::uint16_t> beginTokens;
+    std::set<std::uint16_t> endTokens;
+    std::map<std::uint32_t, sim::Tick> pending;
+    sim::SummaryStat stats;
+    std::uint64_t duplicateBegins = 0;
+    std::uint64_t unmatchedEnds = 0;
+};
+
+} // namespace
+
+std::vector<std::uint16_t>
+resolveTokenPattern(const std::string &pattern,
+                    const trace::EventDictionary &dict)
+{
+    std::vector<std::uint16_t> tokens;
+    if (pattern.empty())
+        return tokens;
+    const bool hex = pattern.size() > 2 && pattern[0] == '0' &&
+                     (pattern[1] == 'x' || pattern[1] == 'X');
+    const bool digits =
+        !hex && std::all_of(pattern.begin(), pattern.end(), [](char c) {
+            return std::isdigit(static_cast<unsigned char>(c));
+        });
+    if (hex || digits) {
+        char *end = nullptr;
+        const unsigned long value =
+            std::strtoul(pattern.c_str(), &end, hex ? 16 : 10);
+        if (end && *end == '\0' && value <= 0xffff)
+            tokens.push_back(static_cast<std::uint16_t>(value));
+        return tokens;
+    }
+    for (const auto &def : dict.definitions()) {
+        // Match the display name ("Work Begin") and the enum-style
+        // identifier ("evWorkBegin") the instrumentation uses.
+        std::string ident = "ev";
+        for (char c : def.name) {
+            if (c != ' ')
+                ident += c;
+        }
+        if (globMatch(pattern, def.name) || globMatch(pattern, ident))
+            tokens.push_back(def.token);
+    }
+    return tokens;
+}
+
+std::unique_ptr<Fold>
+makeFold(const FoldSpec &spec, const FoldContext &ctx)
+{
+    switch (spec.kind) {
+      case FoldKind::States:
+        return std::make_unique<StatesFold>(ctx);
+      case FoldKind::Utilization:
+        return std::make_unique<UtilizationFold>(spec, ctx);
+      case FoldKind::Latency:
+        return std::make_unique<LatencyFold>(spec, ctx);
+      case FoldKind::Rtt:
+        return std::make_unique<RttFold>(spec, ctx);
+      case FoldKind::Count:
+        break;
+    }
+    return std::make_unique<CountFold>(ctx);
+}
+
+} // namespace query
+} // namespace supmon

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Fold sinks of the streaming query pipeline: each consumes filtered
+ * events one at a time with bounded memory and produces a result
+ * Table at the end of the stream.
+ *
+ * The state-based folds (`states`, `utilization`) run the same
+ * open-state machine as trace::ActivityMap::build(), so on identical
+ * input they reproduce the batch evaluation's numbers exactly — the
+ * cross-check tests assert bit-equality against
+ * trace::ActivityMap results for the golden scenarios.
+ */
+
+#ifndef QUERY_FOLDS_HH
+#define QUERY_FOLDS_HH
+
+#include <memory>
+#include <string>
+
+#include "query/query.hh"
+#include "query/table.hh"
+#include "trace/dictionary.hh"
+#include "trace/event.hh"
+
+namespace supmon
+{
+namespace query
+{
+
+/** Everything a fold needs besides the events. */
+struct FoldContext
+{
+    const trace::EventDictionary *dict = nullptr;
+    std::optional<WindowSpec> window;
+    /** Explicit evaluation range (from the filter stages). */
+    bool hasFrom = false;
+    bool hasTo = false;
+    sim::Tick from = 0;
+    sim::Tick to = 0;
+    /**
+     * Close still-open states at this time, like the trace_end
+     * argument of ActivityMap::build(); 0 = last event's timestamp.
+     */
+    sim::Tick traceEnd = 0;
+};
+
+class Fold
+{
+  public:
+    virtual ~Fold() = default;
+
+    /** Consume one (already filtered) event. */
+    virtual void onEvent(const trace::TraceEvent &ev) = 0;
+
+    /** End of stream: close open state and build the result. */
+    virtual Table finish() = 0;
+};
+
+/** Instantiate the fold sink a query asks for. */
+std::unique_ptr<Fold> makeFold(const FoldSpec &spec,
+                               const FoldContext &ctx);
+
+/**
+ * Resolve a token pattern (event name glob, decimal, or 0x-hex
+ * literal) against a dictionary.
+ */
+std::vector<std::uint16_t> resolveTokenPattern(
+    const std::string &pattern, const trace::EventDictionary &dict);
+
+} // namespace query
+} // namespace supmon
+
+#endif // QUERY_FOLDS_HH

@@ -1,0 +1,188 @@
+#include "table.hh"
+
+#include <algorithm>
+#include <sstream>
+
+#include "sim/logging.hh"
+#include "trace/report.hh"
+
+namespace supmon
+{
+namespace query
+{
+
+namespace
+{
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 2);
+    for (char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\r':
+            out += "\\r";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20)
+                out += sim::strprintf("\\u%04x", c);
+            else
+                out += c;
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+std::string
+Value::toString() const
+{
+    switch (kind) {
+      case Kind::Int:
+        return sim::strprintf(
+            "%llu", static_cast<unsigned long long>(integer));
+      case Kind::Real:
+        return sim::strprintf("%.6g", real);
+      case Kind::Text:
+        break;
+    }
+    return text;
+}
+
+bool
+parseOutputFormat(const std::string &name, OutputFormat &fmt)
+{
+    if (name == "text")
+        fmt = OutputFormat::Text;
+    else if (name == "csv")
+        fmt = OutputFormat::Csv;
+    else if (name == "json")
+        fmt = OutputFormat::Json;
+    else
+        return false;
+    return true;
+}
+
+std::string
+Table::toText() const
+{
+    std::vector<std::size_t> widths(columns.size());
+    for (std::size_t c = 0; c < columns.size(); ++c)
+        widths[c] = columns[c].size();
+    std::vector<std::vector<std::string>> cells;
+    cells.reserve(rows.size());
+    for (const auto &row : rows) {
+        std::vector<std::string> line;
+        for (std::size_t c = 0; c < columns.size(); ++c) {
+            line.push_back(c < row.size() ? row[c].toString() : "");
+            widths[c] = std::max(widths[c], line.back().size());
+        }
+        cells.push_back(std::move(line));
+    }
+
+    std::ostringstream os;
+    auto emit = [&](const std::vector<std::string> &line,
+                    const std::vector<Value> *row) {
+        for (std::size_t c = 0; c < columns.size(); ++c) {
+            const bool numeric =
+                row && c < row->size() &&
+                (*row)[c].kind != Value::Kind::Text;
+            os << sim::strprintf(numeric ? "%*s" : "%-*s",
+                                 static_cast<int>(widths[c]),
+                                 line[c].c_str());
+            os << (c + 1 < columns.size() ? "  " : "\n");
+        }
+    };
+    emit(columns, nullptr);
+    for (std::size_t r = 0; r < cells.size(); ++r)
+        emit(cells[r], &rows[r]);
+    return os.str();
+}
+
+std::string
+Table::toCsv() const
+{
+    std::ostringstream os;
+    for (std::size_t c = 0; c < columns.size(); ++c) {
+        os << trace::csvField(columns[c])
+           << (c + 1 < columns.size() ? "," : "");
+    }
+    os << "\n";
+    for (const auto &row : rows) {
+        for (std::size_t c = 0; c < columns.size(); ++c) {
+            if (c < row.size()) {
+                if (row[c].kind == Value::Kind::Real)
+                    os << sim::strprintf("%.10g", row[c].real);
+                else
+                    os << trace::csvField(row[c].toString());
+            }
+            os << (c + 1 < columns.size() ? "," : "");
+        }
+        os << "\n";
+    }
+    return os.str();
+}
+
+std::string
+Table::toJson() const
+{
+    std::ostringstream os;
+    os << "[";
+    for (std::size_t r = 0; r < rows.size(); ++r) {
+        os << (r ? ",\n " : "\n ") << "{";
+        for (std::size_t c = 0; c < columns.size(); ++c) {
+            if (c >= rows[r].size())
+                break;
+            const Value &v = rows[r][c];
+            os << (c ? ", " : "") << "\"" << jsonEscape(columns[c])
+               << "\": ";
+            switch (v.kind) {
+              case Value::Kind::Int:
+                os << sim::strprintf(
+                    "%llu",
+                    static_cast<unsigned long long>(v.integer));
+                break;
+              case Value::Kind::Real:
+                os << sim::strprintf("%.10g", v.real);
+                break;
+              case Value::Kind::Text:
+                os << "\"" << jsonEscape(v.text) << "\"";
+                break;
+            }
+        }
+        os << "}";
+    }
+    os << "\n]\n";
+    return os.str();
+}
+
+std::string
+Table::render(OutputFormat fmt) const
+{
+    switch (fmt) {
+      case OutputFormat::Csv:
+        return toCsv();
+      case OutputFormat::Json:
+        return toJson();
+      case OutputFormat::Text:
+        break;
+    }
+    return toText();
+}
+
+} // namespace query
+} // namespace supmon

@@ -1,8 +1,8 @@
 #include "io.hh"
 
-#include <cstdio>
 #include <cstring>
-#include <memory>
+
+#include "sim/logging.hh"
 
 namespace supmon
 {
@@ -22,6 +22,10 @@ struct DiskRecord
     std::uint8_t flags;
     std::uint8_t pad = 0;
 };
+
+/** Magic + version + count. */
+constexpr long headerBytes = 4 + sizeof(std::uint32_t) +
+                             sizeof(std::uint64_t);
 
 struct FileCloser
 {
@@ -54,6 +58,8 @@ saveTrace(const std::string &path,
         return false;
     for (const auto &ev : events) {
         DiskRecord rec;
+        // Zero padding bytes so the file bytes are reproducible.
+        std::memset(&rec, 0, sizeof(rec));
         rec.timestamp = ev.timestamp;
         rec.param = ev.param;
         rec.stream = ev.stream;
@@ -65,38 +71,96 @@ saveTrace(const std::string &path,
     return true;
 }
 
+TraceReader::TraceReader(const std::string &path)
+    : file(std::fopen(path.c_str(), "rb")), pathName(path)
+{
+    if (!file) {
+        errorMessage = "cannot open '" + path + "'";
+        return;
+    }
+    char magic[4];
+    if (std::fread(magic, 1, 4, file.get()) != 4 ||
+        std::memcmp(magic, traceFileMagic, 4) != 0) {
+        errorMessage = "'" + path + "' is not a trace file (bad magic)";
+        return;
+    }
+    std::uint32_t version = 0;
+    if (std::fread(&version, sizeof(version), 1, file.get()) != 1) {
+        errorMessage = "'" + path + "': truncated header";
+        return;
+    }
+    if (version != traceFileVersion) {
+        errorMessage = sim::strprintf(
+            "'%s': unsupported trace version %u (expected %u)",
+            path.c_str(), version, traceFileVersion);
+        return;
+    }
+    if (std::fread(&count, sizeof(count), 1, file.get()) != 1) {
+        errorMessage = "'" + path + "': truncated header";
+        return;
+    }
+    // Validate the declared count against the real file size before
+    // anyone trusts it (a flipped count byte must not over-read the
+    // file or drive a multi-gigabyte reserve in loadTrace()).
+    if (std::fseek(file.get(), 0, SEEK_END) != 0) {
+        errorMessage = "'" + path + "': cannot seek";
+        return;
+    }
+    const long size = std::ftell(file.get());
+    if (size < 0 ||
+        std::fseek(file.get(), headerBytes, SEEK_SET) != 0) {
+        errorMessage = "'" + path + "': cannot seek";
+        return;
+    }
+    const std::uint64_t payload =
+        static_cast<std::uint64_t>(size - headerBytes);
+    if (count > payload / sizeof(DiskRecord)) {
+        errorMessage = sim::strprintf(
+            "'%s': header declares %llu records but only %llu fit in "
+            "the file (truncated or corrupt)",
+            path.c_str(), static_cast<unsigned long long>(count),
+            static_cast<unsigned long long>(payload /
+                                            sizeof(DiskRecord)));
+    }
+}
+
+bool
+TraceReader::next(TraceEvent &ev)
+{
+    if (!ok() || read == count)
+        return false;
+    DiskRecord rec;
+    if (std::fread(&rec, sizeof(rec), 1, file.get()) != 1) {
+        errorMessage = sim::strprintf(
+            "'%s': truncated mid-record: record %llu of %llu",
+            pathName.c_str(), static_cast<unsigned long long>(read),
+            static_cast<unsigned long long>(count));
+        return false;
+    }
+    ev.timestamp = rec.timestamp;
+    ev.param = rec.param;
+    ev.stream = rec.stream;
+    ev.token = rec.token;
+    ev.flags = rec.flags;
+    ++read;
+    return true;
+}
+
 std::optional<std::vector<TraceEvent>>
 loadTrace(const std::string &path)
 {
-    File f(std::fopen(path.c_str(), "rb"));
-    if (!f)
+    TraceReader reader(path);
+    if (!reader.ok())
         return std::nullopt;
-    char magic[4];
-    if (std::fread(magic, 1, 4, f.get()) != 4 ||
-        std::memcmp(magic, traceFileMagic, 4) != 0)
-        return std::nullopt;
-    std::uint32_t version = 0;
-    if (std::fread(&version, sizeof(version), 1, f.get()) != 1 ||
-        version != traceFileVersion)
-        return std::nullopt;
-    std::uint64_t count = 0;
-    if (std::fread(&count, sizeof(count), 1, f.get()) != 1)
-        return std::nullopt;
-
     std::vector<TraceEvent> events;
-    events.reserve(static_cast<std::size_t>(count));
-    for (std::uint64_t i = 0; i < count; ++i) {
-        DiskRecord rec;
-        if (std::fread(&rec, sizeof(rec), 1, f.get()) != 1)
-            return std::nullopt; // truncated
-        TraceEvent ev;
-        ev.timestamp = rec.timestamp;
-        ev.param = rec.param;
-        ev.stream = rec.stream;
-        ev.token = rec.token;
-        ev.flags = rec.flags;
+    // The reader has validated the count against the file size, so
+    // this reserve is bounded by the actual bytes on disk.
+    events.reserve(static_cast<std::size_t>(reader.declaredCount()));
+    TraceEvent ev;
+    while (reader.next(ev))
         events.push_back(ev);
-    }
+    if (!reader.error().empty())
+        return std::nullopt; // truncated mid-record
     return events;
 }
 

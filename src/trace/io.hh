@@ -13,6 +13,8 @@
 #ifndef TRACE_IO_HH
 #define TRACE_IO_HH
 
+#include <cstdio>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -44,6 +46,96 @@ bool saveTrace(const std::string &path,
  */
 std::optional<std::vector<TraceEvent>> loadTrace(
     const std::string &path);
+
+/**
+ * Incremental trace file reader: decodes a saveTrace() file
+ * record-by-record in a single forward pass with O(1) memory, so
+ * traces that do not fit in memory can still be evaluated (the
+ * streaming query engine in src/query/ runs on top of this).
+ *
+ * The header is validated on construction (magic, version, and the
+ * declared record count against the actual file size, so a corrupt
+ * count can neither over-read nor drive a huge allocation); every
+ * next() bounds-checks the record read, and a file truncated
+ * mid-record surfaces as an error message instead of a short trace.
+ *
+ * @code
+ * trace::TraceReader reader(path);
+ * if (!reader.ok())
+ *     fail(reader.error());
+ * trace::TraceEvent ev;
+ * while (reader.next(ev))
+ *     consume(ev);
+ * if (!reader.error().empty())
+ *     fail(reader.error()); // truncated mid-record
+ * @endcode
+ */
+class TraceReader
+{
+  public:
+    explicit TraceReader(const std::string &path);
+    TraceReader(TraceReader &&) = default;
+    TraceReader &operator=(TraceReader &&) = default;
+
+    /** Header parsed successfully and no read error so far. */
+    bool
+    ok() const
+    {
+        return errorMessage.empty();
+    }
+
+    /** Human-readable failure description; empty while healthy. */
+    const std::string &
+    error() const
+    {
+        return errorMessage;
+    }
+
+    /** Record count declared in the (validated) header. */
+    std::uint64_t
+    declaredCount() const
+    {
+        return count;
+    }
+
+    /** Records decoded so far. */
+    std::uint64_t
+    recordsRead() const
+    {
+        return read;
+    }
+
+    /** All declared records have been consumed. */
+    bool
+    atEnd() const
+    {
+        return read == count;
+    }
+
+    /**
+     * Decode the next record into @p ev.
+     * @return false at the end of the trace or on error; distinguish
+     *         with error() (empty string = clean end).
+     */
+    bool next(TraceEvent &ev);
+
+  private:
+    struct FileCloser
+    {
+        void
+        operator()(std::FILE *f) const
+        {
+            if (f)
+                std::fclose(f);
+        }
+    };
+
+    std::unique_ptr<std::FILE, FileCloser> file;
+    std::string pathName;
+    std::string errorMessage;
+    std::uint64_t count = 0;
+    std::uint64_t read = 0;
+};
 
 } // namespace trace
 } // namespace supmon

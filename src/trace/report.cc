@@ -39,6 +39,21 @@ stateStatisticsReport(const ActivityMap &map, const EventDictionary &dict,
 }
 
 std::string
+csvField(const std::string &field)
+{
+    if (field.find_first_of(",\"\n\r") == std::string::npos)
+        return field;
+    std::string quoted = "\"";
+    for (char c : field) {
+        if (c == '"')
+            quoted += '"';
+        quoted += c;
+    }
+    quoted += '"';
+    return quoted;
+}
+
+std::string
 intervalsCsv(const ActivityMap &map, const EventDictionary &dict)
 {
     std::ostringstream os;
@@ -46,7 +61,8 @@ intervalsCsv(const ActivityMap &map, const EventDictionary &dict)
     for (const auto &iv : map.intervals()) {
         os << sim::strprintf(
             "%s,%s,%llu,%llu,%llu\n",
-            dict.streamName(iv.stream).c_str(), iv.state.c_str(),
+            csvField(dict.streamName(iv.stream)).c_str(),
+            csvField(iv.state).c_str(),
             static_cast<unsigned long long>(iv.begin),
             static_cast<unsigned long long>(iv.end),
             static_cast<unsigned long long>(iv.duration()));
@@ -65,8 +81,9 @@ eventsCsv(const std::vector<TraceEvent> &events,
         os << sim::strprintf(
             "%llu,%s,0x%04x,%s,%u,%u\n",
             static_cast<unsigned long long>(ev.timestamp),
-            dict.streamName(ev.stream).c_str(), ev.token,
-            def ? def->name.c_str() : "?", ev.param, ev.flags);
+            csvField(dict.streamName(ev.stream)).c_str(), ev.token,
+            def ? csvField(def->name).c_str() : "?", ev.param,
+            ev.flags);
     }
     return os.str();
 }

@@ -27,6 +27,13 @@ std::string stateStatisticsReport(const ActivityMap &map,
                                   const EventDictionary &dict,
                                   sim::Tick t0, sim::Tick t1);
 
+/**
+ * Quote @p field for CSV if needed (RFC 4180: fields containing a
+ * comma, quote, or newline are wrapped in quotes, embedded quotes
+ * doubled). Plain fields pass through unchanged.
+ */
+std::string csvField(const std::string &field);
+
 /** CSV with one row per state interval. */
 std::string intervalsCsv(const ActivityMap &map,
                          const EventDictionary &dict);

@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Tests of the textual query syntax: parsing of every stage kind,
+ * glob matching, time literals, and rejection of malformed queries.
+ */
+
+#include <gtest/gtest.h>
+
+#include "query/query.hh"
+
+using namespace supmon;
+using query::parseQuery;
+
+TEST(QueryParser, ParsesFullPipeline)
+{
+    const auto res = parseQuery(
+        "filter stream=servant.* token=evWork* | window 10ms | "
+        "utilization");
+    ASSERT_TRUE(res.ok) << res.error;
+    ASSERT_EQ(res.query.filters.size(), 1u);
+    ASSERT_EQ(res.query.filters[0].streamPatterns.size(), 1u);
+    EXPECT_EQ(res.query.filters[0].streamPatterns[0], "servant.*");
+    ASSERT_EQ(res.query.filters[0].tokenPatterns.size(), 1u);
+    EXPECT_EQ(res.query.filters[0].tokenPatterns[0], "evWork*");
+    ASSERT_TRUE(res.query.window.has_value());
+    EXPECT_EQ(res.query.window->size, sim::milliseconds(10));
+    EXPECT_EQ(res.query.window->step, sim::milliseconds(10));
+    EXPECT_EQ(res.query.fold.kind, query::FoldKind::Utilization);
+    EXPECT_EQ(res.query.fold.state, "WORK");
+}
+
+TEST(QueryParser, ParsesSlidingWindow)
+{
+    const auto res = parseQuery("window 10ms slide 2ms | count");
+    ASSERT_TRUE(res.ok) << res.error;
+    ASSERT_TRUE(res.query.window.has_value());
+    EXPECT_EQ(res.query.window->size, sim::milliseconds(10));
+    EXPECT_EQ(res.query.window->step, sim::milliseconds(2));
+}
+
+TEST(QueryParser, ParsesTimeAndParamPredicates)
+{
+    const auto res = parseQuery(
+        "filter from=1ms to=2.5ms param=3-7 | count");
+    ASSERT_TRUE(res.ok) << res.error;
+    const auto &f = res.query.filters[0];
+    EXPECT_TRUE(f.hasFrom);
+    EXPECT_EQ(f.from, sim::milliseconds(1));
+    EXPECT_TRUE(f.hasTo);
+    EXPECT_EQ(f.to, sim::Tick(2500000));
+    EXPECT_TRUE(f.hasParam);
+    EXPECT_EQ(f.paramLo, 3u);
+    EXPECT_EQ(f.paramHi, 7u);
+}
+
+TEST(QueryParser, RepeatedKeysAndStagesAccumulate)
+{
+    const auto res = parseQuery(
+        "filter token=a token=b | filter stream=0-3 | states");
+    ASSERT_TRUE(res.ok) << res.error;
+    ASSERT_EQ(res.query.filters.size(), 2u);
+    EXPECT_EQ(res.query.filters[0].tokenPatterns.size(), 2u);
+    EXPECT_EQ(res.query.filters[1].streamPatterns.size(), 1u);
+    EXPECT_EQ(res.query.fold.kind, query::FoldKind::States);
+}
+
+TEST(QueryParser, ParsesFoldOptions)
+{
+    auto res = parseQuery("utilization state=WAIT");
+    ASSERT_TRUE(res.ok) << res.error;
+    EXPECT_EQ(res.query.fold.state, "WAIT");
+
+    res = parseQuery("latency bins=8 max=5ms");
+    ASSERT_TRUE(res.ok) << res.error;
+    EXPECT_EQ(res.query.fold.bins, 8u);
+    EXPECT_EQ(res.query.fold.histMax, sim::milliseconds(5));
+
+    res = parseQuery("rtt begin=evJobSend end=evResult*");
+    ASSERT_TRUE(res.ok) << res.error;
+    EXPECT_EQ(res.query.fold.beginPattern, "evJobSend");
+    EXPECT_EQ(res.query.fold.endPattern, "evResult*");
+}
+
+TEST(QueryParser, DefaultsToCountFold)
+{
+    const auto res = parseQuery("filter stream=1");
+    ASSERT_TRUE(res.ok) << res.error;
+    EXPECT_EQ(res.query.fold.kind, query::FoldKind::Count);
+}
+
+TEST(QueryParser, RejectsMalformedQueries)
+{
+    EXPECT_FALSE(parseQuery("").ok);
+    EXPECT_FALSE(parseQuery("count | filter stream=1").ok);
+    EXPECT_FALSE(parseQuery("window 1ms | window 1ms | count").ok);
+    EXPECT_FALSE(parseQuery("window 0ms | count").ok);
+    EXPECT_FALSE(parseQuery("bogus").ok);
+    EXPECT_FALSE(parseQuery("filter").ok);
+    EXPECT_FALSE(parseQuery("filter stream").ok);
+    EXPECT_FALSE(parseQuery("filter when=now").ok);
+    EXPECT_FALSE(parseQuery("filter from=xyz").ok);
+    EXPECT_FALSE(parseQuery("filter param=7-3").ok);
+    EXPECT_FALSE(parseQuery("count extra").ok);
+    EXPECT_FALSE(parseQuery("rtt begin=evJobSend").ok);
+    EXPECT_FALSE(parseQuery("latency bins=0").ok);
+    EXPECT_FALSE(parseQuery("filter stream=1 | ").ok);
+    const auto res = parseQuery("count | count");
+    EXPECT_FALSE(res.ok);
+    EXPECT_FALSE(res.error.empty());
+}
+
+TEST(QueryParser, GlobMatchSemantics)
+{
+    EXPECT_TRUE(query::globMatch("servant.*", "SERVANT 3"));
+    EXPECT_TRUE(query::globMatch("evWork*", "evWorkBegin"));
+    EXPECT_TRUE(query::globMatch("*", ""));
+    EXPECT_TRUE(query::globMatch("*", "anything"));
+    EXPECT_TRUE(query::globMatch("a?c", "abc"));
+    EXPECT_TRUE(query::globMatch("a*c*e", "abcde"));
+    EXPECT_TRUE(query::globMatch("WORK", "work"));
+    EXPECT_FALSE(query::globMatch("a?c", "ac"));
+    EXPECT_FALSE(query::globMatch("abc", "abcd"));
+    EXPECT_FALSE(query::globMatch("", "x"));
+    EXPECT_TRUE(query::globMatch("", ""));
+}
+
+TEST(QueryParser, TimeLiterals)
+{
+    sim::Tick t = 0;
+    EXPECT_TRUE(query::parseTime("100", t));
+    EXPECT_EQ(t, 100u);
+    EXPECT_TRUE(query::parseTime("7us", t));
+    EXPECT_EQ(t, 7000u);
+    EXPECT_TRUE(query::parseTime("10ms", t));
+    EXPECT_EQ(t, sim::milliseconds(10));
+    EXPECT_TRUE(query::parseTime("2.5s", t));
+    EXPECT_EQ(t, 2500000000u);
+    EXPECT_FALSE(query::parseTime("", t));
+    EXPECT_FALSE(query::parseTime("ms", t));
+    EXPECT_FALSE(query::parseTime("10m", t));
+    EXPECT_FALSE(query::parseTime("-5ms", t));
+}

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Tests of the CSV report emitters: RFC 4180 field quoting, the
+ * empty-map and single-event edge cases, and stream/state names that
+ * need escaping.
+ */
+
+#include <gtest/gtest.h>
+
+#include "trace/activity.hh"
+#include "trace/report.hh"
+
+using namespace supmon;
+using trace::TraceEvent;
+
+namespace
+{
+
+TraceEvent
+ev(sim::Tick ts, std::uint16_t token, unsigned stream = 0,
+   std::uint32_t param = 0)
+{
+    TraceEvent e;
+    e.timestamp = ts;
+    e.token = token;
+    e.stream = stream;
+    e.param = param;
+    return e;
+}
+
+} // namespace
+
+TEST(CsvField, PlainFieldsPassThrough)
+{
+    EXPECT_EQ(trace::csvField("WORK"), "WORK");
+    EXPECT_EQ(trace::csvField(""), "");
+    EXPECT_EQ(trace::csvField("SERVANT 3"), "SERVANT 3");
+}
+
+TEST(CsvField, SpecialCharactersQuoted)
+{
+    EXPECT_EQ(trace::csvField("a,b"), "\"a,b\"");
+    EXPECT_EQ(trace::csvField("say \"hi\""), "\"say \"\"hi\"\"\"");
+    EXPECT_EQ(trace::csvField("two\nlines"), "\"two\nlines\"");
+    EXPECT_EQ(trace::csvField("cr\rhere"), "\"cr\rhere\"");
+}
+
+TEST(ReportCsv, EmptyInputsEmitHeaderOnly)
+{
+    trace::EventDictionary dict;
+    dict.defineBegin(1, "Work Begin", "WORK");
+    const auto map = trace::ActivityMap::build({}, dict);
+    EXPECT_EQ(trace::intervalsCsv(map, dict),
+              "stream,state,begin_ns,end_ns,duration_ns\n");
+    EXPECT_EQ(trace::eventsCsv({}, dict),
+              "timestamp_ns,stream,token,name,param,flags\n");
+}
+
+TEST(ReportCsv, SingleEventStream)
+{
+    trace::EventDictionary dict;
+    dict.defineBegin(1, "Work Begin", "WORK");
+    const std::vector<TraceEvent> events = {ev(100, 1)};
+
+    // One Begin event and an explicit trace end: exactly one
+    // interval, closed at the trace end.
+    const auto map = trace::ActivityMap::build(events, dict, 600);
+    EXPECT_EQ(trace::intervalsCsv(map, dict),
+              "stream,state,begin_ns,end_ns,duration_ns\n"
+              "STREAM 0,WORK,100,600,500\n");
+    EXPECT_EQ(trace::eventsCsv(events, dict),
+              "timestamp_ns,stream,token,name,param,flags\n"
+              "100,STREAM 0,0x0001,Work Begin,0,0\n");
+}
+
+TEST(ReportCsv, NamesNeedingQuotingAreEscaped)
+{
+    trace::EventDictionary dict;
+    dict.defineBegin(1, "Start \"critical\", phase A", "RUN,STOP");
+    dict.nameStream(0, "NODE 0, PIPE");
+    const std::vector<TraceEvent> events = {ev(100, 1, 0, 7)};
+
+    const auto map = trace::ActivityMap::build(events, dict, 200);
+    EXPECT_EQ(trace::intervalsCsv(map, dict),
+              "stream,state,begin_ns,end_ns,duration_ns\n"
+              "\"NODE 0, PIPE\",\"RUN,STOP\",100,200,100\n");
+    EXPECT_EQ(
+        trace::eventsCsv(events, dict),
+        "timestamp_ns,stream,token,name,param,flags\n"
+        "100,\"NODE 0, PIPE\",0x0001,"
+        "\"Start \"\"critical\"\", phase A\",7,0\n");
+}
+
+TEST(ReportCsv, UnknownTokensKeepTheRowParseable)
+{
+    trace::EventDictionary dict;
+    const std::vector<TraceEvent> events = {ev(42, 999, 3, 1)};
+    EXPECT_EQ(trace::eventsCsv(events, dict),
+              "timestamp_ns,stream,token,name,param,flags\n"
+              "42,STREAM 3,0x03e7,?,1,0\n");
+}

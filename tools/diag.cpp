@@ -8,6 +8,8 @@
  * Runs the configured version and prints the headline metrics plus a
  * SIMPLE-style state statistics report - the workflow the paper's
  * authors used to find their bottlenecks.
+ *
+ * Exit status: 0 ok, 1 failed run, 2 usage error.
  */
 
 #include <cstdio>
@@ -25,9 +27,17 @@ main(int argc, char **argv)
 {
     sim::setQuiet(true);
 
+    const int version = argc > 1 ? std::atoi(argv[1]) : 1;
+    if (version < 1 || version > 4) {
+        std::fprintf(stderr,
+                     "usage: %s [version 1-4] [image edge] "
+                     "[pixel queue limit] [moderate|pyramid]\n",
+                     argv[0]);
+        return 2;
+    }
+
     par::RunConfig cfg;
-    cfg.version = static_cast<par::Version>(
-        argc > 1 ? std::atoi(argv[1]) : 1);
+    cfg.version = static_cast<par::Version>(version);
     cfg.imageWidth = cfg.imageHeight =
         argc > 2 ? static_cast<unsigned>(std::atoi(argv[2])) : 96;
     cfg.applyVersionDefaults();

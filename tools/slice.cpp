@@ -1,30 +1,114 @@
 /**
  * @file
- * slice - dump a raw time window of a ray tracer run's event trace.
+ * slice - dump a raw time window of an event trace.
  *
- * Usage: slice [version 1-4] [t0 seconds] [t1 seconds] [image edge]
+ * Usage:
+ *   slice <version 1-4> [t0 seconds] [t1 seconds] [image edge]
+ *   slice <trace.smtr> [t0 seconds] [t1 seconds]
  *
- * Prints every recorded event in [t0, t1) with its stream name -
- * useful for following the exact interleaving of master, servants
- * and agents (the microscope view the Gantt charts summarize).
+ * With a version number, runs the ray tracer and prints every
+ * recorded event in [t0, t1) with its stream name - useful for
+ * following the exact interleaving of master, servants and agents
+ * (the microscope view the Gantt charts summarize). With a trace
+ * file, streams the saved trace record-by-record through the shared
+ * TraceReader (bounded memory, arbitrary trace size).
+ *
+ * Exit status: 0 ok, 1 unreadable/invalid input or failed run,
+ * 2 usage error.
  */
 
+#include <cctype>
 #include <cstdio>
 #include <cstdlib>
+#include <string>
 
 #include "partracer/runner.hh"
 #include "sim/logging.hh"
+#include "trace/io.hh"
 
 using namespace supmon;
+
+namespace
+{
+
+int
+usage(const char *argv0)
+{
+    std::fprintf(stderr,
+                 "usage: %s <version 1-4> [t0 s] [t1 s] [image edge]\n"
+                 "       %s <trace.smtr> [t0 s] [t1 s]\n",
+                 argv0, argv0);
+    return 2;
+}
+
+void
+printEvent(const trace::TraceEvent &ev,
+           const trace::EventDictionary &dict)
+{
+    const auto *def = dict.find(ev.token);
+    std::printf("%.6f  %-24s %-28s %u\n",
+                sim::toSeconds(ev.timestamp),
+                dict.streamName(ev.stream).c_str(),
+                def ? def->name.c_str() : "?", ev.param);
+}
+
+int
+sliceFile(const std::string &path, double t0, double t1)
+{
+    trace::TraceReader reader(path);
+    if (!reader.ok()) {
+        std::fprintf(stderr, "%s\n", reader.error().c_str());
+        return 1;
+    }
+    trace::EventDictionary dict = par::rayTracerDictionary();
+    par::nameRayTracerStreams(dict, 32);
+    trace::TraceEvent ev;
+    while (reader.next(ev)) {
+        const double ts = sim::toSeconds(ev.timestamp);
+        if (ts < t0 || ts >= t1)
+            continue;
+        printEvent(ev, dict);
+    }
+    if (!reader.error().empty()) {
+        std::fprintf(stderr, "%s\n", reader.error().c_str());
+        return 1;
+    }
+    return 0;
+}
+
+bool
+isRunVersion(const std::string &arg, int &version)
+{
+    if (arg.size() != 1 ||
+        !std::isdigit(static_cast<unsigned char>(arg[0])))
+        return false;
+    version = arg[0] - '0';
+    return true;
+}
+
+} // namespace
 
 int
 main(int argc, char **argv)
 {
     sim::setQuiet(true);
+    if (argc < 2)
+        return usage(argv[0]);
+
+    const std::string first = argv[1];
+    int version = 0;
+    if (!isRunVersion(first, version)) {
+        // Trace file mode: default to the whole trace.
+        const double t0 = argc > 2 ? std::atof(argv[2]) : 0.0;
+        const double t1 =
+            argc > 3 ? std::atof(argv[3]) : 1e18;
+        return sliceFile(first, t0, t1);
+    }
+    if (version < 1 || version > 4)
+        return usage(argv[0]);
 
     par::RunConfig cfg;
-    cfg.version = static_cast<par::Version>(
-        argc > 1 ? std::atoi(argv[1]) : 2);
+    cfg.version = static_cast<par::Version>(version);
     cfg.imageWidth = cfg.imageHeight =
         argc > 4 ? static_cast<unsigned>(std::atoi(argv[4])) : 64;
     cfg.applyVersionDefaults();
@@ -41,10 +125,7 @@ main(int argc, char **argv)
         const double ts = sim::toSeconds(ev.timestamp);
         if (ts < t0 || ts >= t1)
             continue;
-        const auto *def = res.dictionary.find(ev.token);
-        std::printf("%.6f  %-24s %-28s %u\n", ts,
-                    res.dictionary.streamName(ev.stream).c_str(),
-                    def ? def->name.c_str() : "?", ev.param);
+        printEvent(ev, res.dictionary);
     }
     return 0;
 }

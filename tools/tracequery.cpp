@@ -1,0 +1,205 @@
+/**
+ * @file
+ * tracequery - declarative streaming queries over event traces, in
+ * the spirit of the TDL/POET companions of the SIMPLE package.
+ *
+ * Usage:
+ *   tracequery [options] "<query>" <trace.smtr>...
+ *   tracequery [options] "<query>" --scenario <name>|all
+ *   tracequery --list-scenarios
+ *
+ * Options:
+ *   --format text|csv|json   output format (default text)
+ *   --trace-end TIME         close open states at TIME (saved traces)
+ *   --nodes N                name streams for N nodes (default 32)
+ *   --phase                  scenario mode: evaluate only the
+ *                            measurement phase window
+ *
+ * Query syntax (see src/query/query.hh):
+ *   filter stream=servant.* token=evWork* | window 10ms | utilization
+ *
+ * Saved trace files are evaluated in a single streaming pass with
+ * bounded memory, so traces far larger than RAM work. Exit status:
+ * 0 ok, 1 unreadable/invalid input or failed run, 2 usage or query
+ * parse error.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "partracer/events.hh"
+#include "query/engine.hh"
+#include "sim/logging.hh"
+#include "validate/scenarios.hh"
+
+using namespace supmon;
+
+namespace
+{
+
+int
+usage(const char *argv0)
+{
+    std::fprintf(
+        stderr,
+        "usage: %s [options] \"<query>\" <trace.smtr>...\n"
+        "       %s [options] \"<query>\" --scenario <name>|all\n"
+        "       %s --list-scenarios\n"
+        "options: --format text|csv|json  --trace-end TIME\n"
+        "         --nodes N  --phase\n"
+        "query:   filter stream=PAT token=PAT from=T to=T param=N |\n"
+        "         window SIZE [slide STEP] |\n"
+        "         count|states|utilization [state=S]|latency "
+        "[bins=N] [max=T]|rtt begin=PAT end=PAT\n",
+        argv0, argv0, argv0);
+    return 2;
+}
+
+int
+queryFiles(const std::vector<std::string> &paths,
+           const query::Query &parsed, query::OutputFormat format,
+           sim::Tick trace_end, unsigned nodes)
+{
+    trace::EventDictionary dict = par::rayTracerDictionary();
+    par::nameRayTracerStreams(dict, nodes);
+    int status = 0;
+    for (const auto &path : paths) {
+        query::Table table;
+        std::string error;
+        if (!query::runQueryFile(path, dict, parsed, table, error,
+                                 trace_end)) {
+            std::fprintf(stderr, "%s\n", error.c_str());
+            status = 1;
+            continue;
+        }
+        if (paths.size() > 1 &&
+            format == query::OutputFormat::Text)
+            std::printf("== %s\n", path.c_str());
+        std::printf("%s", table.render(format).c_str());
+    }
+    return status;
+}
+
+int
+queryScenarios(const std::string &which, const query::Query &parsed,
+               query::OutputFormat format, bool phase_only)
+{
+    std::vector<const validate::Scenario *> selected;
+    if (which == "all") {
+        for (const auto &s : validate::goldenScenarios())
+            selected.push_back(&s);
+    } else if (const auto *s = validate::findScenario(which)) {
+        selected.push_back(s);
+    } else {
+        std::fprintf(stderr,
+                     "unknown scenario '%s' (try --list-scenarios)\n",
+                     which.c_str());
+        return 2;
+    }
+
+    for (const auto *scenario : selected) {
+        const auto result = validate::runScenario(*scenario);
+        if (!result.completed) {
+            std::fprintf(stderr, "%s: run did not complete\n",
+                         scenario->name.c_str());
+            return 1;
+        }
+        query::Query effective = parsed;
+        sim::Tick trace_end = 0;
+        if (phase_only) {
+            query::FilterSpec window;
+            window.hasFrom = true;
+            window.from = result.phaseBegin;
+            window.hasTo = true;
+            window.to = result.phaseEnd;
+            effective.filters.push_back(window);
+            trace_end = result.phaseEnd;
+        }
+        if (selected.size() > 1 &&
+            format == query::OutputFormat::Text)
+            std::printf("== %s\n", scenario->name.c_str());
+        const query::Table table = query::runQuery(
+            result.events, result.dictionary, effective, trace_end);
+        std::printf("%s", table.render(format).c_str());
+    }
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    sim::setQuiet(true);
+
+    std::string queryText;
+    std::vector<std::string> files;
+    std::string scenario;
+    query::OutputFormat format = query::OutputFormat::Text;
+    sim::Tick trace_end = 0;
+    unsigned nodes = 32;
+    bool phase_only = false;
+    bool list = false;
+    bool haveQuery = false;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--format" && i + 1 < argc) {
+            if (!query::parseOutputFormat(argv[++i], format)) {
+                std::fprintf(stderr, "unknown format '%s'\n",
+                             argv[i]);
+                return 2;
+            }
+        } else if (arg == "--trace-end" && i + 1 < argc) {
+            if (!query::parseTime(argv[++i], trace_end)) {
+                std::fprintf(stderr, "bad time '%s'\n", argv[i]);
+                return 2;
+            }
+        } else if (arg == "--nodes" && i + 1 < argc) {
+            nodes = static_cast<unsigned>(std::atoi(argv[++i]));
+            if (nodes == 0 || nodes > 4096) {
+                std::fprintf(stderr, "bad node count '%s'\n",
+                             argv[i]);
+                return 2;
+            }
+        } else if (arg == "--scenario" && i + 1 < argc) {
+            scenario = argv[++i];
+        } else if (arg == "--phase") {
+            phase_only = true;
+        } else if (arg == "--list-scenarios") {
+            list = true;
+        } else if (!arg.empty() && arg[0] == '-') {
+            return usage(argv[0]);
+        } else if (!haveQuery) {
+            queryText = arg;
+            haveQuery = true;
+        } else {
+            files.push_back(arg);
+        }
+    }
+
+    if (list) {
+        for (const auto &s : validate::goldenScenarios())
+            std::printf("%-16s %s\n", s.name.c_str(),
+                        s.description.c_str());
+        return 0;
+    }
+    if (!haveQuery)
+        return usage(argv[0]);
+
+    const query::ParseResult parsed = query::parseQuery(queryText);
+    if (!parsed.ok) {
+        std::fprintf(stderr, "query error: %s\n",
+                     parsed.error.c_str());
+        return 2;
+    }
+
+    if (!scenario.empty())
+        return queryScenarios(scenario, parsed.query, format,
+                              phase_only);
+    if (files.empty())
+        return usage(argv[0]);
+    return queryFiles(files, parsed.query, format, trace_end, nodes);
+}

@@ -8,9 +8,12 @@
  *   traceview <trace.smtr> [gantt [t0_ms t1_ms] | stats | csv |
  *                           hist <stream> <STATE>]
  *
- * The trace file is produced by trace::saveTrace(); the ray tracer
+ * The trace file is produced by trace::saveTrace() and decoded
+ * through the shared incremental TraceReader; the ray tracer
  * dictionary is used for interpretation (tokens outside it are
  * counted as unknown).
+ *
+ * Exit status: 0 ok, 1 unreadable/invalid trace, 2 usage error.
  */
 
 #include <cstdio>
@@ -27,20 +30,40 @@
 
 using namespace supmon;
 
+namespace
+{
+
+int
+usage(const char *argv0)
+{
+    std::fprintf(stderr,
+                 "usage: %s <trace.smtr> [gantt [t0_ms t1_ms] | "
+                 "stats | csv | hist <stream> <STATE>]\n",
+                 argv0);
+    return 2;
+}
+
+} // namespace
+
 int
 main(int argc, char **argv)
 {
-    if (argc < 2) {
-        std::fprintf(stderr,
-                     "usage: %s <trace.smtr> [gantt [t0_ms t1_ms] | "
-                     "stats | csv | hist <stream> <STATE>]\n",
-                     argv[0]);
-        return 2;
-    }
+    if (argc < 2)
+        return usage(argv[0]);
 
-    const auto events = trace::loadTrace(argv[1]);
-    if (!events) {
-        std::fprintf(stderr, "cannot read trace '%s'\n", argv[1]);
+    trace::TraceReader reader(argv[1]);
+    if (!reader.ok()) {
+        std::fprintf(stderr, "%s\n", reader.error().c_str());
+        return 1;
+    }
+    std::vector<trace::TraceEvent> events;
+    events.reserve(
+        static_cast<std::size_t>(reader.declaredCount()));
+    trace::TraceEvent record;
+    while (reader.next(record))
+        events.push_back(record);
+    if (!reader.error().empty()) {
+        std::fprintf(stderr, "%s\n", reader.error().c_str());
         return 1;
     }
 
@@ -49,37 +72,26 @@ main(int argc, char **argv)
         // Name the logical streams by the ray tracer's conventions
         // (8 streams per node: master-class, servant-class, agents).
         unsigned max_stream = 0;
-        for (const auto &ev : *events)
+        for (const auto &ev : events)
             max_stream = std::max(max_stream, ev.stream);
-        for (unsigned stream = 0; stream <= max_stream; ++stream) {
-            const unsigned node = stream / par::streamsPerNode;
-            const unsigned sub = stream % par::streamsPerNode;
-            if (sub == 0) {
-                dict.nameStream(stream, node == 0
-                                            ? "MASTER"
-                                            : "NODE " +
-                                                  std::to_string(node));
-            } else if (sub == 1) {
-                dict.nameStream(stream,
-                                "SERVANT " + std::to_string(node));
-            } else {
-                dict.nameStream(stream,
-                                "AGENT " + std::to_string(sub - 2) +
-                                    " (node " + std::to_string(node) +
-                                    ")");
-            }
-        }
+        par::nameRayTracerStreams(
+            dict, max_stream / par::streamsPerNode + 1);
     }
-    const auto activity = trace::ActivityMap::build(*events, dict);
+    const auto activity = trace::ActivityMap::build(events, dict);
     const std::string mode = argc > 2 ? argv[2] : "stats";
+    if (mode != "gantt" && mode != "csv" && mode != "hist" &&
+        mode != "stats")
+        return usage(argv[0]);
+    if (mode == "hist" && argc <= 4)
+        return usage(argv[0]);
 
     std::printf("trace '%s': %zu events, %zu streams, "
                 "%.3f s .. %.3f s%s\n\n",
-                argv[1], events->size(), activity.streams().size(),
+                argv[1], events.size(), activity.streams().size(),
                 sim::toSeconds(activity.traceBegin()),
                 sim::toSeconds(activity.traceEnd()),
-                trace::isTimeOrdered(*events) ? ""
-                                              : " (NOT time-ordered!)");
+                trace::isTimeOrdered(events) ? ""
+                                             : " (NOT time-ordered!)");
 
     if (mode == "gantt") {
         sim::Tick t0 = activity.traceBegin();
@@ -93,8 +105,8 @@ main(int argc, char **argv)
         trace::GanttChart chart(activity, dict);
         std::printf("%s\n", chart.render(t0, t1).c_str());
     } else if (mode == "csv") {
-        std::printf("%s", trace::eventsCsv(*events, dict).c_str());
-    } else if (mode == "hist" && argc > 4) {
+        std::printf("%s", trace::eventsCsv(events, dict).c_str());
+    } else if (mode == "hist") {
         const unsigned stream =
             static_cast<unsigned>(std::atoi(argv[3]));
         std::printf("%s\n",
