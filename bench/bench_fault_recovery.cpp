@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Fault-recovery experiment: the faulty-moderate scenario (one
+ * servant killed mid-run plus 1% bus message loss) against the same
+ * configuration with the fault plan emptied.
+ *
+ * The fault-tolerant protocol must complete the full image in both
+ * runs; the comparison prices the recovery work (resends, duplicate
+ * echoes, a dead servant's share redistributed over the survivors)
+ * as a completion-time overhead. Recovery latency is measured from
+ * the trace: the gap between the kill injection token and the
+ * master's Servant Dead verdict, i.e. how long the liveness tracker
+ * takes to notice the silence.
+ */
+
+#include <cstdio>
+
+#include "bench_common.hh"
+#include "partracer/events.hh"
+#include "validate/scenarios.hh"
+
+using namespace supmon;
+
+int
+main()
+{
+    sim::setQuiet(true);
+    bench::banner("Fault recovery",
+                  "servant kill + bus loss vs fault-free baseline");
+
+    const auto *scenario = validate::findScenario("faulty-moderate");
+    if (!scenario) {
+        std::fprintf(stderr, "faulty-moderate scenario not found\n");
+        return 1;
+    }
+
+    validate::Scenario faultFree = *scenario;
+    faultFree.config.faultPlanText.clear();
+
+    const par::RunResult healthy = validate::runScenario(faultFree);
+    const par::RunResult faulty = validate::runScenario(*scenario);
+    if (!healthy.completed || !faulty.completed) {
+        std::fprintf(stderr, "a run did not complete the image\n");
+        return 1;
+    }
+
+    const double healthy_ms = sim::toSeconds(healthy.applicationTime) * 1e3;
+    const double faulty_ms = sim::toSeconds(faulty.applicationTime) * 1e3;
+    const double overhead =
+        healthy_ms > 0.0 ? (faulty_ms - healthy_ms) / healthy_ms : 0.0;
+
+    // Kill -> Servant Dead gap out of the faulty trace.
+    double kill_ms = -1.0;
+    double dead_ms = -1.0;
+    for (const auto &ev : faulty.events) {
+        const double t = sim::toSeconds(ev.timestamp) * 1e3;
+        if (ev.token == par::evInjectKill && kill_ms < 0.0)
+            kill_ms = t;
+        if (ev.token == par::evFaultServantDead && dead_ms < 0.0)
+            dead_ms = t;
+    }
+    const double recovery_ms =
+        (kill_ms >= 0.0 && dead_ms >= kill_ms) ? dead_ms - kill_ms
+                                               : -1.0;
+
+    std::printf("  %-24s %14s %14s\n", "", "fault-free", "faulty");
+    std::printf("  %-24s %12.1f ms %12.1f ms\n", "completion",
+                healthy_ms, faulty_ms);
+    std::printf("  %-24s %14llu %14llu\n", "pixels written",
+                static_cast<unsigned long long>(
+                    healthy.config.totalPixels()),
+                static_cast<unsigned long long>(
+                    faulty.config.totalPixels()));
+    std::printf("\n");
+    bench::paperRow("completion overhead", "-", bench::pct(overhead));
+    bench::paperRow("kill -> declared dead", "-",
+                    sim::strprintf("%.1f ms", recovery_ms));
+    bench::paperRow(
+        "retries / reassigned", "-",
+        sim::strprintf("%llu / %llu",
+                       static_cast<unsigned long long>(
+                           faulty.recovery.retries),
+                       static_cast<unsigned long long>(
+                           faulty.recovery.reassigned)));
+    bench::paperRow("duplicate results suppressed", "-",
+                    sim::strprintf("%llu",
+                                   static_cast<unsigned long long>(
+                                       faulty.recovery
+                                           .duplicatesSuppressed)));
+    bench::paperRow("messages dropped by the bus", "-",
+                    sim::strprintf("%llu",
+                                   static_cast<unsigned long long>(
+                                       faulty.faults.messagesDropped)));
+    std::printf("\n");
+
+    bench::JsonReport report("BENCH_faults.json");
+    report.add("completion_ms_faultfree", healthy_ms);
+    report.add("completion_ms_faulty", faulty_ms);
+    report.add("overhead_pct", 100.0 * overhead);
+    report.add("recovery_latency_ms", recovery_ms);
+    report.add("retries", faulty.recovery.retries);
+    report.add("reassigned", faulty.recovery.reassigned);
+    report.add("duplicates_suppressed",
+               faulty.recovery.duplicatesSuppressed);
+    report.add("drops_injected", faulty.faults.messagesDropped);
+    if (!report.write()) {
+        std::fprintf(stderr, "cannot write BENCH_faults.json\n");
+        return 1;
+    }
+    return 0;
+}

@@ -50,7 +50,8 @@ main(int argc, char **argv)
         // toolchain).
         const std::string trace_path =
             "/tmp/supmon_v" + std::to_string(v) + ".smtr";
-        if (trace::saveTrace(trace_path, res.events))
+        if (trace::saveTrace(trace_path, res.events,
+                             res.config.seed))
             std::printf("    trace archived: %s\n", trace_path.c_str());
         std::printf(
             "%-32s servant utilization %5.1f%%  "

@@ -1,0 +1,208 @@
+#include "injector.hh"
+
+#include "sim/logging.hh"
+
+namespace supmon
+{
+namespace faults
+{
+
+namespace
+{
+
+/** Flat processing-node index of @p id, or noTarget for disk nodes. */
+unsigned
+flatIndexOf(suprenum::NodeId id, const suprenum::MachineParams &par)
+{
+    if (id.node >= par.nodesPerCluster)
+        return FaultSpec::noTarget;
+    return id.cluster * par.nodesPerCluster + id.node;
+}
+
+} // namespace
+
+FaultInjector::FaultInjector(suprenum::Machine &machine, FaultPlan p,
+                             std::uint64_t seed)
+    : mach(machine), plan(std::move(p)), rng(seed)
+{
+}
+
+void
+FaultInjector::arm()
+{
+    for (const FaultSpec &spec : plan.faults) {
+        if (spec.isTransport()) {
+            // p=0 specs can never fire; pruning them keeps a
+            // "disabled" plan from installing the hook at all.
+            if (spec.probability > 0.0)
+                transportSpecs.push_back(spec);
+            continue;
+        }
+        if (spec.node == FaultSpec::noTarget) {
+            sim::warn("fault plan: %s with unresolved target ignored",
+                      faultKindName(spec.kind));
+            continue;
+        }
+        armed = true;
+        mach.sim().scheduleAt(spec.at, [this, spec] { fire(spec); });
+    }
+    if (!transportSpecs.empty()) {
+        armed = true;
+        mach.setTransportFault(
+            [this](const suprenum::Message &msg, bool is_ack) {
+                return transportFault(msg, is_ack);
+            });
+    }
+}
+
+void
+FaultInjector::fire(const FaultSpec &spec)
+{
+    switch (spec.kind) {
+      case FaultKind::KillLwp:
+        killTarget(spec);
+        break;
+      case FaultKind::CrashNode:
+        crashNode(spec);
+        break;
+      case FaultKind::StallNode:
+        stallNode(spec);
+        break;
+      default:
+        sim::panic("fault injector: '%s' is not a timed fault",
+                   faultKindName(spec.kind));
+    }
+}
+
+void
+FaultInjector::killTarget(const FaultSpec &spec)
+{
+    suprenum::NodeKernel &kern = mach.nodeByIndex(spec.node);
+    suprenum::Lwp *victim = kern.find(spec.lwp);
+    if (!victim) {
+        sim::warn("fault injector: no lwp %u on node %u to kill",
+                  spec.lwp, spec.node);
+        return;
+    }
+    if (!kern.killLwp(victim))
+        return;
+    ++counters.kills;
+    notice(FaultKind::KillLwp, spec.node, spec.lwp,
+           (spec.node << 8) | spec.lwp);
+}
+
+void
+FaultInjector::crashNode(const FaultSpec &spec)
+{
+    suprenum::NodeKernel &kern = mach.nodeByIndex(spec.node);
+    std::vector<std::uint32_t> killed;
+    for (std::uint32_t i = 0;; ++i) {
+        suprenum::Lwp *l = kern.find(i);
+        if (!l)
+            break;
+        if (kern.killLwp(l))
+            killed.push_back(i);
+    }
+    ++counters.crashes;
+    notice(FaultKind::CrashNode, spec.node, 0, spec.node);
+    if (spec.duration > 0) {
+        mach.sim().scheduleAfter(
+            spec.duration,
+            [this, node = spec.node, ids = std::move(killed)] {
+                restartNode(node, ids);
+            });
+    }
+}
+
+void
+FaultInjector::restartNode(unsigned flat_node,
+                           std::vector<std::uint32_t> lwp_ids)
+{
+    suprenum::NodeKernel &kern = mach.nodeByIndex(flat_node);
+    for (std::uint32_t id : lwp_ids)
+        kern.restartLwp(kern.find(id));
+    ++counters.restarts;
+    notice(FaultKind::RestartNode, flat_node, 0, flat_node);
+}
+
+void
+FaultInjector::stallNode(const FaultSpec &spec)
+{
+    suprenum::NodeKernel &kern = mach.nodeByIndex(spec.node);
+    kern.stallUntil(spec.at + spec.duration);
+    ++counters.stalls;
+    notice(FaultKind::StallNode, spec.node, 0, spec.node);
+}
+
+bool
+FaultInjector::matchesNode(const FaultSpec &spec,
+                           const suprenum::Message &msg) const
+{
+    if (spec.node == FaultSpec::noTarget)
+        return true;
+    const auto &par = mach.params();
+    return flatIndexOf(msg.src.node, par) == spec.node ||
+           flatIndexOf(msg.dst.node, par) == spec.node;
+}
+
+suprenum::TransportFault
+FaultInjector::transportFault(const suprenum::Message &msg, bool is_ack)
+{
+    suprenum::TransportFault result;
+    // Acks and node-local deliveries never touch a bus; the fault
+    // model perturbs bus transfers only.
+    if (is_ack || msg.src.node == msg.dst.node)
+        return result;
+    const unsigned dst =
+        flatIndexOf(msg.dst.node, mach.params());
+    for (const FaultSpec &spec : transportSpecs) {
+        if (!matchesNode(spec, msg))
+            continue;
+        if (!rng.bernoulli(spec.probability))
+            continue;
+        switch (spec.kind) {
+          case FaultKind::DropMessages:
+            ++counters.messagesDropped;
+            notice(FaultKind::DropMessages, dst, msg.dst.lwp,
+                   static_cast<std::uint32_t>(
+                       counters.messagesDropped));
+            result.action = suprenum::TransportFault::Action::Drop;
+            return result;
+          case FaultKind::CorruptMessages:
+            ++counters.messagesCorrupted;
+            notice(FaultKind::CorruptMessages, dst, msg.dst.lwp,
+                   static_cast<std::uint32_t>(
+                       counters.messagesCorrupted));
+            result.action = suprenum::TransportFault::Action::Corrupt;
+            return result;
+          case FaultKind::DelayMessages:
+            ++counters.messagesDelayed;
+            notice(FaultKind::DelayMessages, dst, msg.dst.lwp,
+                   static_cast<std::uint32_t>(
+                       counters.messagesDelayed));
+            result.extraDelay += spec.duration;
+            break;
+          default:
+            break;
+        }
+    }
+    return result;
+}
+
+void
+FaultInjector::notice(FaultKind kind, unsigned node, unsigned lwp,
+                      std::uint32_t param)
+{
+    FaultNotice n;
+    n.kind = kind;
+    n.at = mach.sim().now();
+    n.node = node;
+    n.lwp = lwp;
+    n.param = param;
+    notices.push_back(n);
+    if (noticeSink)
+        noticeSink(n);
+}
+
+} // namespace faults
+} // namespace supmon

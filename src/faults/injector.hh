@@ -1,0 +1,149 @@
+/**
+ * @file
+ * FaultInjector: executes a FaultPlan against a simulated machine.
+ *
+ * Timed faults (kill, crash, stall) are scheduled as simulation
+ * events at their trigger time; probabilistic transport faults (drop,
+ * corrupt, delay) are implemented as a Machine transport-fault hook
+ * consulted once per routed bus message. All randomness comes from
+ * one private xoshiro256** stream, so a run is reproduced exactly by
+ * its (seed, plan) pair.
+ *
+ * The injector never touches application state directly: it uses the
+ * kernel's kill/restart/stall primitives and records a FaultNotice
+ * for every injection. The embedding application can observe notices
+ * through a sink callback (the ray tracer's fault daemon turns them
+ * into hybrid_mon tokens so the ZM4 trace shows the fault timeline).
+ *
+ * Zero-cost when disabled: an empty plan arms nothing - no scheduled
+ * events, no transport hook - and a plan whose probabilistic specs
+ * all have p=0 is pruned down to the same no-op.
+ */
+
+#ifndef FAULTS_INJECTOR_HH
+#define FAULTS_INJECTOR_HH
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "faults/plan.hh"
+#include "sim/random.hh"
+#include "suprenum/machine.hh"
+
+namespace supmon
+{
+namespace faults
+{
+
+/** One injected fault, as it happened. */
+struct FaultNotice
+{
+    FaultKind kind = FaultKind::DropMessages;
+    /** Simulation time of the injection. */
+    sim::Tick at = 0;
+    /** Flat node index of the target (transport: destination). */
+    unsigned node = 0;
+    /** LWP id for kills; 0 otherwise. */
+    unsigned lwp = 0;
+    /** Compact parameter for trace emission (see injector.cc). */
+    std::uint32_t param = 0;
+};
+
+/** Counters of everything the injector actually did. */
+struct FaultStats
+{
+    std::uint64_t kills = 0;
+    std::uint64_t crashes = 0;
+    std::uint64_t restarts = 0;
+    std::uint64_t messagesDropped = 0;
+    std::uint64_t messagesCorrupted = 0;
+    std::uint64_t messagesDelayed = 0;
+    std::uint64_t stalls = 0;
+
+    std::uint64_t
+    injectedTotal() const
+    {
+        return kills + crashes + restarts + messagesDropped +
+               messagesCorrupted + messagesDelayed + stalls;
+    }
+};
+
+class FaultInjector
+{
+  public:
+    using NoticeSink = std::function<void(const FaultNotice &)>;
+
+    /**
+     * @param machine the machine to perturb.
+     * @param plan resolved plan (servant sugar already turned into
+     *        node/lwp targets by the embedding application).
+     * @param seed dedicated RNG seed for the transport-fault stream.
+     */
+    FaultInjector(suprenum::Machine &machine, FaultPlan plan,
+                  std::uint64_t seed);
+
+    FaultInjector(const FaultInjector &) = delete;
+    FaultInjector &operator=(const FaultInjector &) = delete;
+
+    /** Install @p sink; called synchronously at each injection. */
+    void
+    setNoticeSink(NoticeSink sink)
+    {
+        noticeSink = std::move(sink);
+    }
+
+    /**
+     * Schedule the timed faults and install the transport hook.
+     * Call once, before the simulation runs.
+     */
+    void arm();
+
+    /** Whether arm() installed anything at all. */
+    bool
+    active() const
+    {
+        return armed;
+    }
+
+    const FaultStats &
+    stats() const
+    {
+        return counters;
+    }
+
+    /** Every notice so far, in injection order. */
+    const std::vector<FaultNotice> &
+    log() const
+    {
+        return notices;
+    }
+
+  private:
+    void fire(const FaultSpec &spec);
+    void killTarget(const FaultSpec &spec);
+    void crashNode(const FaultSpec &spec);
+    void restartNode(unsigned flat_node,
+                     std::vector<std::uint32_t> lwp_ids);
+    void stallNode(const FaultSpec &spec);
+    suprenum::TransportFault transportFault(const suprenum::Message &msg,
+                                            bool is_ack);
+    bool matchesNode(const FaultSpec &spec,
+                     const suprenum::Message &msg) const;
+    void notice(FaultKind kind, unsigned node, unsigned lwp,
+                std::uint32_t param);
+
+    suprenum::Machine &mach;
+    FaultPlan plan;
+    sim::Random rng;
+    FaultStats counters;
+    std::vector<FaultNotice> notices;
+    NoticeSink noticeSink;
+    std::vector<FaultSpec> transportSpecs;
+    bool armed = false;
+};
+
+} // namespace faults
+} // namespace supmon
+
+#endif // FAULTS_INJECTOR_HH

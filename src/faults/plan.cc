@@ -1,0 +1,277 @@
+#include "plan.hh"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace supmon
+{
+namespace faults
+{
+
+const char *
+faultKindName(FaultKind kind)
+{
+    switch (kind) {
+      case FaultKind::KillLwp:
+        return "kill";
+      case FaultKind::CrashNode:
+        return "crash";
+      case FaultKind::RestartNode:
+        return "restart";
+      case FaultKind::DropMessages:
+        return "drop";
+      case FaultKind::CorruptMessages:
+        return "corrupt";
+      case FaultKind::DelayMessages:
+        return "delay";
+      case FaultKind::StallNode:
+        return "stall";
+    }
+    return "?";
+}
+
+namespace
+{
+
+/** Split the plan text into statements at newlines and ';'. */
+std::vector<std::string>
+splitStatements(const std::string &text)
+{
+    std::vector<std::string> out;
+    std::string cur;
+    for (char c : text) {
+        if (c == '\n' || c == ';') {
+            out.push_back(cur);
+            cur.clear();
+        } else if (c == '#') {
+            // Comment runs to end of line; the '\n' still closes the
+            // statement above.
+            cur.push_back('\0');
+        } else if (!cur.empty() && cur.back() == '\0') {
+            // Inside a comment: swallow.
+        } else {
+            cur.push_back(c);
+        }
+    }
+    out.push_back(cur);
+    for (auto &s : out) {
+        const auto hash = s.find('\0');
+        if (hash != std::string::npos)
+            s.erase(hash);
+    }
+    return out;
+}
+
+std::vector<std::string>
+splitWords(const std::string &line)
+{
+    std::vector<std::string> words;
+    std::string cur;
+    for (char c : line) {
+        if (std::isspace(static_cast<unsigned char>(c))) {
+            if (!cur.empty()) {
+                words.push_back(cur);
+                cur.clear();
+            }
+        } else {
+            cur.push_back(c);
+        }
+    }
+    if (!cur.empty())
+        words.push_back(cur);
+    return words;
+}
+
+bool
+splitKeyValue(const std::string &word, std::string &key,
+              std::string &value)
+{
+    const auto eq = word.find('=');
+    if (eq == std::string::npos || eq == 0 || eq + 1 >= word.size())
+        return false;
+    key = word.substr(0, eq);
+    value = word.substr(eq + 1);
+    return true;
+}
+
+bool
+parseUnsigned(const std::string &text, unsigned &out)
+{
+    if (text.empty())
+        return false;
+    char *end = nullptr;
+    const unsigned long v = std::strtoul(text.c_str(), &end, 10);
+    if (end != text.c_str() + text.size())
+        return false;
+    out = static_cast<unsigned>(v);
+    return true;
+}
+
+/** Time with optional unit suffix; bare numbers are nanoseconds. */
+bool
+parseTime(const std::string &text, sim::Tick &out)
+{
+    if (text.empty())
+        return false;
+    char *end = nullptr;
+    const unsigned long long v = std::strtoull(text.c_str(), &end, 10);
+    if (end == text.c_str())
+        return false;
+    const std::string unit(end);
+    if (unit.empty() || unit == "ns")
+        out = v;
+    else if (unit == "us")
+        out = sim::microseconds(v);
+    else if (unit == "ms")
+        out = sim::milliseconds(v);
+    else if (unit == "s")
+        out = sim::seconds(v);
+    else
+        return false;
+    return true;
+}
+
+bool
+parseProbability(const std::string &text, double &out)
+{
+    if (text.empty())
+        return false;
+    char *end = nullptr;
+    const double v = std::strtod(text.c_str(), &end);
+    if (end != text.c_str() + text.size())
+        return false;
+    if (v < 0.0 || v > 1.0)
+        return false;
+    out = v;
+    return true;
+}
+
+struct Parser
+{
+    FaultPlan plan;
+    std::string error;
+    unsigned lineNo = 0;
+
+    bool
+    fail(const std::string &msg)
+    {
+        error = "fault plan, statement " + std::to_string(lineNo) +
+                ": " + msg;
+        return false;
+    }
+
+    bool
+    statement(const std::string &line)
+    {
+        const auto words = splitWords(line);
+        if (words.empty())
+            return true;
+
+        FaultSpec spec;
+        const std::string &verb = words[0];
+        if (verb == "kill")
+            spec.kind = FaultKind::KillLwp;
+        else if (verb == "crash")
+            spec.kind = FaultKind::CrashNode;
+        else if (verb == "drop")
+            spec.kind = FaultKind::DropMessages;
+        else if (verb == "corrupt")
+            spec.kind = FaultKind::CorruptMessages;
+        else if (verb == "delay")
+            spec.kind = FaultKind::DelayMessages;
+        else if (verb == "stall")
+            spec.kind = FaultKind::StallNode;
+        else
+            return fail("unknown fault kind '" + verb + "'");
+
+        bool have_at = false, have_p = false, have_dur = false;
+        for (std::size_t i = 1; i < words.size(); ++i) {
+            std::string key, value;
+            if (!splitKeyValue(words[i], key, value))
+                return fail("expected key=value, got '" + words[i] +
+                            "'");
+            if (key == "at") {
+                if (!parseTime(value, spec.at))
+                    return fail("bad time '" + value + "'");
+                have_at = true;
+            } else if (key == "p") {
+                if (!parseProbability(value, spec.probability))
+                    return fail("bad probability '" + value +
+                                "' (want a real in [0, 1])");
+                have_p = true;
+            } else if (key == "node") {
+                if (!parseUnsigned(value, spec.node))
+                    return fail("bad node index '" + value + "'");
+            } else if (key == "lwp") {
+                if (!parseUnsigned(value, spec.lwp))
+                    return fail("bad lwp id '" + value + "'");
+            } else if (key == "servant") {
+                if (!parseUnsigned(value, spec.servant))
+                    return fail("bad servant index '" + value + "'");
+            } else if (key == "restart-after" || key == "for" ||
+                       key == "by") {
+                if (!parseTime(value, spec.duration))
+                    return fail("bad duration '" + value + "'");
+                have_dur = true;
+            } else {
+                return fail("unknown key '" + key + "'");
+            }
+        }
+
+        const bool have_target = spec.node != FaultSpec::noTarget ||
+                                 spec.servant != FaultSpec::noTarget;
+        switch (spec.kind) {
+          case FaultKind::KillLwp:
+            if (!have_at)
+                return fail("kill needs at=<time>");
+            if (!have_target)
+                return fail("kill needs servant=<k> or node=<n>");
+            if (spec.servant == FaultSpec::noTarget &&
+                spec.lwp == FaultSpec::noTarget)
+                return fail("kill node=<n> also needs lwp=<l>");
+            break;
+          case FaultKind::CrashNode:
+          case FaultKind::StallNode:
+            if (!have_at)
+                return fail(std::string(faultKindName(spec.kind)) +
+                            " needs at=<time>");
+            if (!have_target)
+                return fail(std::string(faultKindName(spec.kind)) +
+                            " needs servant=<k> or node=<n>");
+            if (spec.kind == FaultKind::StallNode && !have_dur)
+                return fail("stall needs for=<time>");
+            break;
+          case FaultKind::DropMessages:
+          case FaultKind::CorruptMessages:
+          case FaultKind::DelayMessages:
+            if (!have_p)
+                return fail(std::string(faultKindName(spec.kind)) +
+                            " needs p=<prob>");
+            if (spec.kind == FaultKind::DelayMessages && !have_dur)
+                return fail("delay needs by=<time>");
+            break;
+          case FaultKind::RestartNode:
+            return fail("restart is not a plannable fault");
+        }
+
+        plan.faults.push_back(spec);
+        return true;
+    }
+};
+
+} // namespace
+
+PlanParseResult
+parseFaultPlan(const std::string &text)
+{
+    Parser p;
+    for (const auto &line : splitStatements(text)) {
+        ++p.lineNo;
+        if (!p.statement(line))
+            return {FaultPlan{}, p.error};
+    }
+    return {std::move(p.plan), std::string()};
+}
+
+} // namespace faults
+} // namespace supmon

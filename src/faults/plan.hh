@@ -1,0 +1,125 @@
+/**
+ * @file
+ * FaultPlan: a small, textual specification of the faults to inject
+ * into a simulated SUPRENUM run.
+ *
+ * SUPRENUM's buses were "duplicated for bandwidth and fault
+ * tolerance" (bus.hh), yet the healthy-run simulator never exercised
+ * the fault half. A FaultPlan describes a reproducible set of
+ * perturbations; together with a 64-bit seed it fully determines
+ * which messages are dropped/corrupted/delayed and when processes
+ * die. Reruns with the same (seed, plan) pair are bit-identical.
+ *
+ * Grammar (one fault per line; lines may also be separated by ';';
+ * '#' starts a comment):
+ *
+ *   kill at=<time> servant=<k>            kill servant k's LWP
+ *   kill at=<time> node=<n> lwp=<l>       kill an explicit LWP
+ *   crash at=<time> node=<n> [restart-after=<time>]
+ *   crash at=<time> servant=<k> [restart-after=<time>]
+ *   drop p=<prob> [node=<n>]              lose bus messages
+ *   corrupt p=<prob> [node=<n>]           deliver garbled payloads
+ *   delay p=<prob> by=<time> [node=<n>]   late bus delivery
+ *   stall at=<time> for=<time> node=<n>   freeze a node's scheduler
+ *   stall at=<time> for=<time> servant=<k>
+ *
+ * Times take the query-language units (ns, us, ms, s; bare numbers
+ * are nanoseconds); probabilities are reals in [0, 1]. node=<n> is a
+ * machine-wide flat processing-node index; servant=<k> is sugar the
+ * embedding application resolves to a (node, lwp) pair before the
+ * plan is armed.
+ */
+
+#ifndef FAULTS_PLAN_HH
+#define FAULTS_PLAN_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace supmon
+{
+namespace faults
+{
+
+enum class FaultKind
+{
+    KillLwp,         ///< terminate one LWP at a fixed time
+    CrashNode,       ///< terminate every LWP on a node
+    RestartNode,     ///< revive a crashed node (notice only)
+    DropMessages,    ///< lose a bus message with probability p
+    CorruptMessages, ///< garble a bus message with probability p
+    DelayMessages,   ///< add latency to a bus message with prob. p
+    StallNode,       ///< freeze a node's dispatcher for an interval
+};
+
+const char *faultKindName(FaultKind kind);
+
+struct FaultSpec
+{
+    static constexpr unsigned noTarget = ~0u;
+
+    FaultKind kind = FaultKind::DropMessages;
+    /** Trigger time for kill/crash/stall. */
+    sim::Tick at = 0;
+    /** restart-after (crash), for (stall), by (delay). */
+    sim::Tick duration = 0;
+    /** Per-message probability for drop/corrupt/delay. */
+    double probability = 0.0;
+    /** Flat processing-node index; noTarget = any node. */
+    unsigned node = noTarget;
+    /** LWP id on @c node (kill only). */
+    unsigned lwp = noTarget;
+    /** Servant-index sugar; resolved by the embedding app. */
+    unsigned servant = noTarget;
+
+    bool
+    isTimed() const
+    {
+        return kind == FaultKind::KillLwp ||
+               kind == FaultKind::CrashNode ||
+               kind == FaultKind::StallNode;
+    }
+
+    bool
+    isTransport() const
+    {
+        return kind == FaultKind::DropMessages ||
+               kind == FaultKind::CorruptMessages ||
+               kind == FaultKind::DelayMessages;
+    }
+};
+
+struct FaultPlan
+{
+    std::vector<FaultSpec> faults;
+
+    bool
+    empty() const
+    {
+        return faults.empty();
+    }
+};
+
+/** Result of parsing a plan text: either a plan or an error. */
+struct PlanParseResult
+{
+    FaultPlan plan;
+    std::string error;
+
+    bool
+    ok() const
+    {
+        return error.empty();
+    }
+};
+
+/** Parse the textual plan format described in the file comment. */
+PlanParseResult parseFaultPlan(const std::string &text);
+
+} // namespace faults
+} // namespace supmon
+
+#endif // FAULTS_PLAN_HH

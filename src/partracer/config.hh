@@ -16,6 +16,7 @@
 #define PARTRACER_CONFIG_HH
 
 #include <cstdint>
+#include <string>
 
 #include "hybrid/instrument.hh"
 #include "raytracer/cost.hh"
@@ -155,6 +156,46 @@ struct RunConfig
 
     /** Simulation safety limit. */
     sim::Tick tickLimit = sim::seconds(36000);
+
+    // ----- fault tolerance & injection ---------------------------------
+    /**
+     * Use the fault-tolerant master/servant protocol: per-job ack
+     * timeouts with exponential backoff, jobId-keyed duplicate
+     * suppression, heartbeat liveness tracking and job reassignment.
+     * Off by default - the healthy-run protocol stays byte-identical.
+     */
+    bool faultTolerant = false;
+    /**
+     * Fault plan text (faults/plan.hh grammar); empty = no injection.
+     * Together with `seed` it reproduces a faulty run exactly.
+     */
+    std::string faultPlanText;
+    /**
+     * Deadline for the first result of a job. Must exceed the typical
+     * job turnaround (window-depth queueing plus the bundle's compute
+     * time), or healthy jobs are resent spuriously - wasteful, never
+     * wrong (the duplicate suppression catches the echoes).
+     */
+    sim::Tick ackTimeout = sim::milliseconds(700);
+    /** Backoff doubles per attempt; attempts are capped here. */
+    unsigned maxJobAttempts = 5;
+    /** Servant heartbeat period. */
+    sim::Tick heartbeatInterval = sim::milliseconds(25);
+    /**
+     * Silence after which a servant is declared dead. The SUPRENUM
+     * nodes schedule LWPs non-preemptively, so heartbeats pause on
+     * BOTH ends of the channel: the servant's heartbeat LWP cannot be
+     * dispatched while the servant renders a bundle (~bundle compute
+     * time), and the master only *reads* beacons when its mailbox
+     * drains (so its own longest CPU burst, a big Distribute or Write
+     * Pixels stretch, counts too). The timeout must cover the sum of
+     * the two worst bursts, not just a few lost beacons.
+     */
+    sim::Tick heartbeatTimeout = sim::milliseconds(800);
+    /** Master mailbox poll timeout while jobs are outstanding. */
+    sim::Tick recoveryPollInterval = sim::milliseconds(5);
+    /** CPU cost of processing one heartbeat on the master. */
+    sim::Tick heartbeatProcessCost = sim::microseconds(50);
 
     /** Total pixels of the image. */
     std::size_t

@@ -41,6 +41,15 @@ rayTracerDictionary()
     dict.definePoint(evMasterStart, "Master Start");
     dict.definePoint(evMasterDone, "Master Done");
 
+    // Master recovery actions (fault-tolerant protocol).
+    dict.definePoint(evFaultTimeout, "Fault Timeout");
+    dict.definePoint(evFaultRetry, "Fault Retry");
+    dict.definePoint(evFaultJobReassigned, "Fault Job Reassigned");
+    dict.definePoint(evFaultServantDead, "Fault Servant Dead");
+    dict.definePoint(evFaultDuplicateResult, "Fault Duplicate Result");
+    dict.definePoint(evFaultCorruptDiscarded,
+                     "Fault Corrupt Discarded");
+
     // Servant rows.
     dict.defineBegin(evWaitForJobBegin, "Wait for Job Begin",
                      "WAIT FOR JOB");
@@ -49,6 +58,7 @@ rayTracerDictionary()
                      "SEND RESULTS");
     dict.definePoint(evServantStart, "Servant Start");
     dict.definePoint(evServantDone, "Servant Done");
+    dict.definePoint(evServantCorruptJob, "Servant Corrupt Job");
 
     // Agent rows (Figure 9, bottom).
     dict.defineBegin(evAgentWakeUp, "Agent Wake Up", "WAKE UP");
@@ -56,6 +66,15 @@ rayTracerDictionary()
                      "FORWARD MESSAGE");
     dict.defineBegin(evAgentFreed, "Agent Freed", "FREED");
     dict.defineBegin(evAgentSleep, "Agent Sleep", "SLEEP");
+
+    // Injected faults (fault daemon, Figure-style recovery timeline).
+    dict.definePoint(evInjectKill, "Inject Kill");
+    dict.definePoint(evInjectCrash, "Inject Crash");
+    dict.definePoint(evInjectRestart, "Inject Restart");
+    dict.definePoint(evInjectDrop, "Inject Drop");
+    dict.definePoint(evInjectCorrupt, "Inject Corrupt");
+    dict.definePoint(evInjectDelay, "Inject Delay");
+    dict.definePoint(evInjectStall, "Inject Stall");
     return dict;
 }
 
@@ -73,6 +92,10 @@ nameRayTracerStreams(trace::EventDictionary &dict, unsigned nodes)
             } else if (sub == 1) {
                 dict.nameStream(stream,
                                 "SERVANT " + std::to_string(node));
+            } else if (sub == 7 && node == 0) {
+                // Slot shared with overflow agents; on the master
+                // node it carries the fault daemon's timeline.
+                dict.nameStream(stream, "FAULTS");
             } else {
                 dict.nameStream(stream,
                                 "AGENT " + std::to_string(sub - 2) +

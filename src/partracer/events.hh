@@ -44,6 +44,21 @@ enum Token : std::uint16_t
     /** Marker: the complete image has been written. */
     evMasterDone = 0x0111,
 
+    // ----- master recovery actions (fault-tolerant protocol) -----------
+    /** A job's ack deadline expired; param = job id. */
+    evFaultTimeout = 0x0120,
+    /** The job was sent again (exponential backoff); param = job id. */
+    evFaultRetry = 0x0121,
+    /** The job moved to another servant; param = job id. */
+    evFaultJobReassigned = 0x0122,
+    /** Heartbeats stopped; servant declared dead; param = servant. */
+    evFaultServantDead = 0x0123,
+    /** A result for an already-completed job was discarded;
+     *  param = job id. */
+    evFaultDuplicateResult = 0x0124,
+    /** A corrupted message was discarded; param = message tag. */
+    evFaultCorruptDiscarded = 0x0125,
+
     // ----- servant (Figure 6, right) ----------------------------------
     evWaitForJobBegin = 0x0201,
     evWorkBegin = 0x0202,
@@ -52,12 +67,30 @@ enum Token : std::uint16_t
     evSendResultsBegin = 0x0203,
     evServantStart = 0x0210,
     evServantDone = 0x0211,
+    /** A corrupted job message was discarded; param = servant. */
+    evServantCorruptJob = 0x0212,
 
     // ----- communication agent (Figure 9) ------------------------------
     evAgentWakeUp = 0x0301,
     evAgentForward = 0x0302,
     evAgentFreed = 0x0303,
     evAgentSleep = 0x0304,
+
+    // ----- injected faults (emitted by the fault daemon) ---------------
+    /** An LWP was killed; param = (node << 8) | lwp. */
+    evInjectKill = 0x0401,
+    /** A whole node crashed; param = node. */
+    evInjectCrash = 0x0402,
+    /** A crashed node restarted; param = node. */
+    evInjectRestart = 0x0403,
+    /** A bus message was lost; param = running drop count. */
+    evInjectDrop = 0x0404,
+    /** A bus message was garbled; param = running corrupt count. */
+    evInjectCorrupt = 0x0405,
+    /** A bus message was delayed; param = running delay count. */
+    evInjectDelay = 0x0406,
+    /** A node's dispatcher was frozen; param = node. */
+    evInjectStall = 0x0407,
 };
 
 /** Object class encoded in a token's high byte. */
@@ -66,6 +99,7 @@ enum class TokenClass
     Master = 1,
     Servant = 2,
     Agent = 3,
+    Fault = 4,
     Unknown = 0,
 };
 
@@ -79,6 +113,8 @@ tokenClassOf(std::uint16_t token)
         return TokenClass::Servant;
       case 3:
         return TokenClass::Agent;
+      case 4:
+        return TokenClass::Fault;
       default:
         return TokenClass::Unknown;
     }
@@ -109,6 +145,12 @@ streamOf(unsigned node_index, TokenClass cls, unsigned agent_index = 0)
         break;
       case TokenClass::Agent:
         sub = 2 + (agent_index < 6 ? agent_index : 5);
+        break;
+      case TokenClass::Fault:
+        // The fault daemon shares the node's last stream slot; it
+        // only exists on the master node, where agent pools stay
+        // small enough not to collide.
+        sub = 7;
         break;
       default:
         sub = 7;

@@ -26,6 +26,7 @@ namespace par
 /** @{ message tags */
 constexpr int tagJob = 1;
 constexpr int tagResult = 2;
+constexpr int tagHeartbeat = 3;
 /** @} */
 
 struct JobMsg
@@ -49,6 +50,26 @@ struct JobMsg
     wireBytes() const
     {
         return 24;
+    }
+};
+
+/**
+ * Periodic liveness beacon of the fault-tolerant protocol. A servant
+ * node's heartbeat process sends one every heartbeatInterval; the
+ * master declares a servant dead once its beacons stop for longer
+ * than heartbeatTimeout and reassigns its outstanding jobs.
+ */
+struct HeartbeatMsg
+{
+    std::uint16_t servant = 0;
+    /** Sequence number (diagnostics; not used by the master). */
+    std::uint32_t sequence = 0;
+
+    /** Wire size: tiny fixed-size control message. */
+    std::uint32_t
+    wireBytes() const
+    {
+        return 8;
     }
 };
 

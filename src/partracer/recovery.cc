@@ -1,0 +1,443 @@
+/**
+ * @file
+ * The fault-tolerant master/servant protocol processes.
+ *
+ * faultTolerantMasterProcess mirrors masterProcess (workers.cc) phase
+ * for phase - Distribute Jobs, Send Jobs, Wait for/Receive Results,
+ * Write Pixels, with identical cost-model charges - and adds the
+ * recovery machinery around it:
+ *
+ *  - a liveness scan at the top of each cycle: servants whose
+ *    heartbeats stopped are declared dead, their credits revoked and
+ *    their outstanding jobs queued for resend;
+ *  - an ack-deadline scan: jobs whose (exponentially backed-off)
+ *    deadline expired are queued for resend;
+ *  - resends bypass the window flow control (they replace a job that
+ *    already holds a credit) and prefer a different live servant;
+ *  - the receive phase polls with a timeout instead of blocking, so
+ *    the master keeps making recovery progress when results stop;
+ *    heartbeats are drained cheaply, corrupted messages discarded,
+ *    duplicate results (jobId no longer outstanding) suppressed.
+ *
+ * Every recovery action is marked with an evFault* token, so the ZM4
+ * trace shows not only that the run survived but *how*.
+ */
+
+#include <algorithm>
+#include <optional>
+
+#include "partracer/events.hh"
+#include "partracer/recovery.hh"
+#include "partracer/workers.hh"
+#include "sim/logging.hh"
+
+namespace supmon
+{
+namespace par
+{
+
+namespace
+{
+
+/**
+ * Pick the servant a resend goes to: the least loaded live servant,
+ * rotating on ties like the Send Jobs scan, preferring anyone over
+ * the current (suspect) holder. Falls back to the current holder if
+ * it is the only live servant. @return cfg.numServants if none live.
+ */
+unsigned
+pickResendTarget(const RunConfig &cfg, const LivenessTracker &liveness,
+                 const std::vector<unsigned> &credits, unsigned rr_cursor,
+                 unsigned current)
+{
+    unsigned best = cfg.numServants;
+    unsigned best_credits = 0;
+    bool found = false;
+    for (unsigned k = 0; k < cfg.numServants; ++k) {
+        const unsigned cand = (rr_cursor + k) % cfg.numServants;
+        if (liveness.isDead(cand) || cand == current)
+            continue;
+        if (!found || credits[cand] > best_credits) {
+            found = true;
+            best = cand;
+            best_credits = credits[cand];
+        }
+    }
+    if (!found && !liveness.isDead(current))
+        return current;
+    return best;
+}
+
+} // namespace
+
+sim::Task
+faultTolerantMasterProcess(suprenum::ProcessEnv env, RunContext &ctx)
+{
+    const RunConfig &cfg = *ctx.cfg;
+    hybrid::Instrumentor mon(env, cfg.monitorMode);
+    auto &truth = ctx.truth;
+
+    if (cfg.numServants == 0)
+        sim::fatal("the ray tracer needs at least one servant");
+    if (cfg.pixelQueueLimit < cfg.bundleSize)
+        sim::fatal("pixel queue limit (%zu) below the bundle size (%u): "
+                   "no job could ever be formed",
+                   cfg.pixelQueueLimit, cfg.bundleSize);
+
+    // Initialization download, as in the healthy master.
+    co_await env.compute(
+        ctx.machine->downloadTime(262144 + ctx.sceneBytes) +
+        sim::milliseconds(10));
+    co_await mon(evMasterStart, 0);
+
+    const std::size_t total = cfg.totalPixels();
+    std::size_t next_to_enqueue = 0;
+    std::size_t write_frontier = 0;
+    std::deque<std::uint32_t> pixel_queue;
+    std::vector<std::uint8_t> completed(total, 0);
+    std::vector<unsigned> credits(cfg.numServants, cfg.windowSize);
+    std::size_t outstanding_pixels = 0;
+    std::size_t unshipped = 0;
+    std::uint32_t next_job_id = 1;
+    unsigned rr_cursor = 0;
+    sim::Tick cycle_start = env.now();
+
+    JobTracker tracker(
+        BackoffSchedule{cfg.ackTimeout, cfg.maxJobAttempts});
+    LivenessTracker liveness(cfg.numServants, cfg.heartbeatTimeout);
+    liveness.reset(env.now());
+    std::deque<std::uint32_t> resend_queue;
+    bool all_dead = false;
+
+    while (write_frontier < total) {
+        // ---------------- Liveness scan ----------------------------
+        for (unsigned s : liveness.newlyOverdue(env.now())) {
+            liveness.markDead(s);
+            ++truth.recovery.servantsDeclaredDead;
+            co_await mon(evFaultServantDead, s);
+            credits[s] = 0;
+            for (std::uint32_t id : tracker.jobsOn(s)) {
+                tracker.deferForResend(id);
+                resend_queue.push_back(id);
+            }
+        }
+        if (liveness.aliveCount() == 0) {
+            sim::warn("fault-tolerant master: every servant is dead, "
+                      "abandoning the picture at pixel %zu of %zu",
+                      write_frontier, total);
+            all_dead = true;
+            break;
+        }
+
+        // ---------------- Ack-deadline scan ------------------------
+        for (std::uint32_t id : tracker.expired(env.now())) {
+            ++truth.recovery.timeouts;
+            co_await mon(evFaultTimeout, id);
+            tracker.deferForResend(id);
+            resend_queue.push_back(id);
+        }
+
+        // ---------------- Distribute Jobs -------------------------
+        co_await mon(evDistributeJobsBegin,
+                     static_cast<std::uint32_t>(pixel_queue.size()));
+        std::size_t inserted = 0;
+        while (next_to_enqueue < total &&
+               next_to_enqueue - write_frontier < cfg.pixelQueueLimit) {
+            pixel_queue.push_back(
+                static_cast<std::uint32_t>(next_to_enqueue++));
+            ++inserted;
+        }
+        truth.pixelQueueHighWater =
+            std::max(truth.pixelQueueHighWater, pixel_queue.size());
+        co_await env.compute(cfg.adminBase +
+                             (inserted > 0 ? inserted - 1 : 0) *
+                                 cfg.perPixelQueueInsert);
+
+        // ---------------- Resend expired / orphaned jobs -----------
+        // Resends bypass the window: the job still holds the credit
+        // consumed by its original send, so sending it again does not
+        // deepen any window.
+        while (!resend_queue.empty()) {
+            const std::uint32_t id = resend_queue.front();
+            resend_queue.pop_front();
+            const PendingJob *p = tracker.find(id);
+            if (!p)
+                continue; // result arrived while queued
+            const unsigned target = pickResendTarget(
+                cfg, liveness, credits, rr_cursor, p->servant);
+            if (target >= cfg.numServants)
+                break; // nobody left to send to
+            JobMsg job = p->job;
+            job.servant = static_cast<std::uint16_t>(target);
+            ++truth.recovery.retries;
+            co_await mon(evFaultRetry, id);
+            if (target != p->servant) {
+                ++truth.recovery.reassigned;
+                co_await mon(evFaultJobReassigned, id);
+            }
+            co_await env.compute(cfg.perJobSendPrep);
+            if (cfg.instrumentJobSend)
+                co_await mon(evJobSend, id);
+            if (cfg.forwardAgents()) {
+                ctx.masterPool->submit(
+                    ctx.servantMailboxes[target]->pid(),
+                    job.wireBytes(), tagJob, job);
+                co_await env.yield();
+            } else {
+                co_await env.send(ctx.servantMailboxes[target]->pid(),
+                                  job.wireBytes(), tagJob, job);
+            }
+            tracker.reassign(id, target, env.now());
+        }
+
+        // ---------------- Send Jobs -------------------------------
+        bool can_send = !pixel_queue.empty();
+        if (can_send) {
+            bool any_credit = false;
+            for (unsigned s = 0; s < cfg.numServants; ++s)
+                any_credit =
+                    any_credit || (credits[s] > 0 && !liveness.isDead(s));
+            can_send = any_credit;
+        }
+        if (can_send) {
+            co_await mon(evSendJobsBegin, next_job_id);
+            unsigned sends_left = 2;
+            while (!pixel_queue.empty() && sends_left > 0) {
+                unsigned s = cfg.numServants;
+                unsigned best_credits = 0;
+                for (unsigned k = 0; k < cfg.numServants; ++k) {
+                    const unsigned cand =
+                        (rr_cursor + k) % cfg.numServants;
+                    if (liveness.isDead(cand))
+                        continue;
+                    if (credits[cand] > best_credits) {
+                        best_credits = credits[cand];
+                        s = cand;
+                    }
+                }
+                if (s == cfg.numServants)
+                    break; // no credits anywhere
+                JobMsg job;
+                job.jobId = next_job_id++;
+                job.firstPixel = pixel_queue.front();
+                job.count = static_cast<std::uint32_t>(
+                    std::min<std::size_t>(cfg.bundleSize,
+                                          pixel_queue.size()));
+                job.servant = static_cast<std::uint16_t>(s);
+                for (unsigned i = 0; i < job.count; ++i)
+                    pixel_queue.pop_front();
+                co_await env.compute(cfg.perJobSendPrep);
+                if (cfg.instrumentJobSend)
+                    co_await mon(evJobSend, job.jobId);
+                if (cfg.forwardAgents()) {
+                    ctx.masterPool->submit(
+                        ctx.servantMailboxes[s]->pid(),
+                        job.wireBytes(), tagJob, job);
+                    co_await env.yield();
+                } else {
+                    co_await env.send(ctx.servantMailboxes[s]->pid(),
+                                      job.wireBytes(), tagJob, job);
+                }
+                tracker.track(job, s, env.now());
+                --credits[s];
+                outstanding_pixels += job.count;
+                ++truth.jobsSent;
+                rr_cursor = (s + 1) % cfg.numServants;
+                --sends_left;
+            }
+            co_await mon(evSendJobsEnd, next_job_id);
+        }
+
+        // ---------------- Wait for / Receive Results ---------------
+        if (outstanding_pixels > 0) {
+            co_await mon(evWaitForResultsBegin, 0);
+            // Heartbeats and discards are drained within the cycle
+            // (they are cheap); one *result* is processed per cycle,
+            // exactly like the healthy master. The drain bound keeps
+            // a heartbeat flood from starving the send phase.
+            bool got_result = false;
+            unsigned drained = 0;
+            while (!got_result && drained < 32) {
+                std::optional<suprenum::Message> maybe =
+                    co_await ctx.masterMailbox->readFor(
+                        env, cfg.recoveryPollInterval);
+                if (!maybe)
+                    break; // poll timeout: go scan deadlines
+                ++drained;
+                suprenum::Message msg = std::move(*maybe);
+                if (msg.corrupted) {
+                    // A garbled message fails its checksum; pay the
+                    // inspection cost and drop it on the floor.
+                    ++truth.recovery.corruptDiscarded;
+                    co_await mon(evFaultCorruptDiscarded,
+                                 static_cast<std::uint32_t>(msg.tag));
+                    co_await env.compute(cfg.resultProcessBase);
+                    continue;
+                }
+                if (msg.tag == tagHeartbeat) {
+                    const auto &hb =
+                        suprenum::payloadAs<HeartbeatMsg>(msg);
+                    ++truth.recovery.heartbeatsReceived;
+                    liveness.beat(hb.servant, env.now());
+                    co_await env.compute(cfg.heartbeatProcessCost);
+                    continue;
+                }
+                const auto &res = suprenum::payloadAs<ResultMsg>(msg);
+                // Any result is proof of life: a busy servant's beacon
+                // LWP is starved for the whole (non-preemptive) bundle
+                // compute, so its results carry the liveness signal
+                // while the heartbeats cover the idle stretches.
+                liveness.beat(res.servant, env.now());
+                const std::optional<PendingJob> pend =
+                    tracker.accept(res.jobId);
+                if (!pend) {
+                    // Job already completed by another servant (or a
+                    // resend raced its own first copy): suppress.
+                    ++truth.recovery.duplicatesSuppressed;
+                    co_await mon(evFaultDuplicateResult, res.jobId);
+                    co_await env.compute(cfg.resultProcessBase);
+                    continue;
+                }
+                co_await mon(evReceiveResultsBegin, res.jobId);
+                const std::size_t extra_rays =
+                    res.colors.empty() ? 0 : res.colors.size() - 1;
+                co_await env.compute(cfg.resultProcessBase +
+                                     extra_rays *
+                                         cfg.perRayResultProcess);
+                for (std::size_t i = 0; i < res.colors.size(); ++i) {
+                    const std::size_t px =
+                        res.firstPixel + i * res.stride;
+                    ctx.image->setLinear(px, res.colors[i]);
+                    completed[px] = 1;
+                }
+                if (res.servant >= credits.size())
+                    sim::panic("result from unknown servant %u",
+                               res.servant);
+                if (!liveness.isDead(res.servant))
+                    ++credits[res.servant];
+                outstanding_pixels -= res.colors.size();
+                ++truth.resultsReceived;
+                truth.lastResultReceived = env.now();
+                got_result = true;
+            }
+        }
+
+        // ---------------- Write Pixels -----------------------------
+        std::size_t writable = 0;
+        while (write_frontier + writable < total &&
+               completed[write_frontier + writable])
+            ++writable;
+        const bool final_stretch =
+            writable > 0 && write_frontier + writable == total;
+        if (writable >= std::max<std::size_t>(1, cfg.writeBatchMin) ||
+            final_stretch) {
+            co_await mon(evWritePixelsBegin,
+                         static_cast<std::uint32_t>(writable));
+            co_await env.compute(cfg.writePixelsBase +
+                                 (writable - 1) * cfg.perPixelWrite);
+            write_frontier += writable;
+            truth.pixelsWritten += writable;
+            unshipped += writable;
+            if (unshipped >= cfg.diskShipThreshold ||
+                write_frontier == total) {
+                suprenum::DiskWriteRequest req;
+                req.bytes = static_cast<std::uint32_t>(unshipped) * 6;
+                co_await env.send(
+                    ctx.machine->diskService(env.pid().node.cluster),
+                    req.bytes, suprenum::tagDiskWrite, req);
+                unshipped = 0;
+                ++truth.writeOps;
+            }
+            co_await mon(evWritePixelsEnd,
+                         static_cast<std::uint32_t>(writable));
+        }
+
+        const sim::Tick now = env.now();
+        truth.masterCycleMs.push(sim::toMilliseconds(now - cycle_start));
+        cycle_start = now;
+    }
+
+    // Wind down: stop the heartbeat beacons, then ask every servant
+    // to terminate itself (dead ones simply never read their quit).
+    ctx.stopHeartbeats = true;
+    for (unsigned s = 0; s < cfg.numServants; ++s) {
+        JobMsg quit;
+        quit.quit = true;
+        quit.servant = static_cast<std::uint16_t>(s);
+        co_await env.send(ctx.servantMailboxes[s]->pid(),
+                          quit.wireBytes(), tagJob, quit);
+    }
+
+    if (!all_dead) {
+        co_await mon(evMasterDone, 0);
+        truth.masterDoneAt = env.now();
+    }
+}
+
+sim::Task
+heartbeatProcess(suprenum::ProcessEnv env, RunContext &ctx,
+                 unsigned index)
+{
+    const RunConfig &cfg = *ctx.cfg;
+    std::uint32_t sequence = 0;
+    for (;;) {
+        co_await env.sleep(cfg.heartbeatInterval);
+        if (ctx.stopHeartbeats)
+            break;
+        // The beacon speaks for its servant: once the servant process
+        // is gone (killed or terminated), the beacon falls silent and
+        // the master's liveness tracker does the rest.
+        const suprenum::Lwp *servant =
+            env.kernel().find(ctx.servantPids[index].lwp);
+        if (!servant ||
+            servant->state == suprenum::LwpState::Terminated)
+            break;
+        HeartbeatMsg hb;
+        hb.servant = static_cast<std::uint16_t>(index);
+        hb.sequence = ++sequence;
+        co_await env.send(ctx.masterMailbox->pid(), hb.wireBytes(),
+                          tagHeartbeat, hb);
+    }
+}
+
+sim::Task
+faultDaemonProcess(suprenum::ProcessEnv env, RunContext &ctx)
+{
+    const RunConfig &cfg = *ctx.cfg;
+    hybrid::Instrumentor mon(env, cfg.monitorMode);
+    for (;;) {
+        while (ctx.faultNotices && !ctx.faultNotices->empty()) {
+            const faults::FaultNotice n = ctx.faultNotices->front();
+            ctx.faultNotices->pop_front();
+            std::uint16_t token = 0;
+            switch (n.kind) {
+              case faults::FaultKind::KillLwp:
+                token = evInjectKill;
+                break;
+              case faults::FaultKind::CrashNode:
+                token = evInjectCrash;
+                break;
+              case faults::FaultKind::RestartNode:
+                token = evInjectRestart;
+                break;
+              case faults::FaultKind::DropMessages:
+                token = evInjectDrop;
+                break;
+              case faults::FaultKind::CorruptMessages:
+                token = evInjectCorrupt;
+                break;
+              case faults::FaultKind::DelayMessages:
+                token = evInjectDelay;
+                break;
+              case faults::FaultKind::StallNode:
+                token = evInjectStall;
+                break;
+            }
+            co_await mon(token, n.param);
+        }
+        co_await env.wait(*ctx.faultFlag);
+    }
+}
+
+} // namespace par
+} // namespace supmon

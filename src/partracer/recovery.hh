@@ -1,0 +1,270 @@
+/**
+ * @file
+ * Bookkeeping of the fault-tolerant master/servant protocol.
+ *
+ * Three plain (coroutine-free, simulation-free) classes so the logic
+ * is unit-testable in isolation:
+ *
+ *  - BackoffSchedule: per-attempt ack deadlines with exponential
+ *    backoff, capped at maxAttempts doublings;
+ *  - JobTracker: outstanding jobs keyed by jobId - deadline expiry,
+ *    duplicate-result suppression (a result for a job no longer
+ *    tracked is a duplicate), reassignment bookkeeping;
+ *  - LivenessTracker: last-heartbeat times per servant, overdue
+ *    detection, dead-is-dead marking.
+ *
+ * The coroutines that drive them (faultTolerantMasterProcess,
+ * heartbeatProcess, faultDaemonProcess) live in recovery.cc and are
+ * declared in workers.hh next to the healthy-run processes.
+ */
+
+#ifndef PARTRACER_RECOVERY_HH
+#define PARTRACER_RECOVERY_HH
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "partracer/protocol.hh"
+#include "sim/types.hh"
+
+namespace supmon
+{
+namespace par
+{
+
+/** Exponential-backoff deadline schedule for job acks. */
+struct BackoffSchedule
+{
+    /** Deadline distance of a job's first attempt. */
+    sim::Tick ackTimeout = 0;
+    /** Backoff stops doubling after this many attempts. */
+    unsigned maxAttempts = 5;
+
+    /** Deadline for attempt @p attempt (1-based) issued at @p now. */
+    sim::Tick
+    deadlineAfter(unsigned attempt, sim::Tick now) const
+    {
+        unsigned exp = attempt > 0 ? attempt - 1 : 0;
+        const unsigned cap =
+            maxAttempts > 0 ? maxAttempts - 1 : 0;
+        if (exp > cap)
+            exp = cap;
+        if (exp > 20)
+            exp = 20; // keep the shift far from overflow
+        return now + (ackTimeout << exp);
+    }
+};
+
+/** One job the master has sent and not yet seen a result for. */
+struct PendingJob
+{
+    JobMsg job;
+    /** Servant currently responsible. */
+    unsigned servant = 0;
+    /** Send attempts so far (1 = original send). */
+    unsigned attempt = 1;
+    sim::Tick sentAt = 0;
+    sim::Tick deadline = 0;
+    /** Queued for resend; expired() skips it until reassign(). */
+    bool pendingResend = false;
+};
+
+/**
+ * Outstanding-job table of the fault-tolerant master. jobId-keyed:
+ * accepting a job removes it, so a second result with the same id
+ * identifies itself as a duplicate.
+ */
+class JobTracker
+{
+  public:
+    explicit JobTracker(BackoffSchedule schedule) : sched(schedule)
+    {
+    }
+
+    /** Record the original send of @p job to @p servant. */
+    void
+    track(const JobMsg &job, unsigned servant, sim::Tick now)
+    {
+        PendingJob p;
+        p.job = job;
+        p.servant = servant;
+        p.attempt = 1;
+        p.sentAt = now;
+        p.deadline = sched.deadlineAfter(1, now);
+        pending[job.jobId] = p;
+    }
+
+    /**
+     * A result for @p job_id arrived. @return the pending record if
+     * the job was outstanding, std::nullopt if it was not (duplicate
+     * or unknown - the caller must discard the result).
+     */
+    std::optional<PendingJob>
+    accept(std::uint32_t job_id)
+    {
+        const auto it = pending.find(job_id);
+        if (it == pending.end())
+            return std::nullopt;
+        PendingJob p = it->second;
+        pending.erase(it);
+        return p;
+    }
+
+    /** Jobs whose deadline has passed and that are not yet queued
+     *  for resend, in jobId order. */
+    std::vector<std::uint32_t>
+    expired(sim::Tick now) const
+    {
+        std::vector<std::uint32_t> out;
+        for (const auto &[id, p] : pending) {
+            if (!p.pendingResend && p.deadline <= now)
+                out.push_back(id);
+        }
+        return out;
+    }
+
+    /** Mark @p job_id as queued for resend (stops expiry reports). */
+    void
+    deferForResend(std::uint32_t job_id)
+    {
+        const auto it = pending.find(job_id);
+        if (it != pending.end())
+            it->second.pendingResend = true;
+    }
+
+    /** The resend happened: bump the attempt, move the job to
+     *  @p servant and arm the backed-off deadline. */
+    void
+    reassign(std::uint32_t job_id, unsigned servant, sim::Tick now)
+    {
+        const auto it = pending.find(job_id);
+        if (it == pending.end())
+            return;
+        PendingJob &p = it->second;
+        ++p.attempt;
+        p.servant = servant;
+        p.sentAt = now;
+        p.deadline = sched.deadlineAfter(p.attempt, now);
+        p.pendingResend = false;
+    }
+
+    /** Jobs currently assigned to @p servant, in jobId order. */
+    std::vector<std::uint32_t>
+    jobsOn(unsigned servant) const
+    {
+        std::vector<std::uint32_t> out;
+        for (const auto &[id, p] : pending) {
+            if (p.servant == servant && !p.pendingResend)
+                out.push_back(id);
+        }
+        return out;
+    }
+
+    const PendingJob *
+    find(std::uint32_t job_id) const
+    {
+        const auto it = pending.find(job_id);
+        return it == pending.end() ? nullptr : &it->second;
+    }
+
+    bool
+    empty() const
+    {
+        return pending.empty();
+    }
+
+    std::size_t
+    size() const
+    {
+        return pending.size();
+    }
+
+  private:
+    BackoffSchedule sched;
+    std::map<std::uint32_t, PendingJob> pending;
+};
+
+/** Heartbeat-based liveness table of the fault-tolerant master. */
+class LivenessTracker
+{
+  public:
+    LivenessTracker(unsigned servants, sim::Tick timeout)
+        : deadline(timeout), lastBeat(servants, 0),
+          dead(servants, 0)
+    {
+    }
+
+    /** (Re)start the grace period of every live servant at @p now. */
+    void
+    reset(sim::Tick now)
+    {
+        for (std::size_t s = 0; s < lastBeat.size(); ++s) {
+            if (!dead[s])
+                lastBeat[s] = now;
+        }
+    }
+
+    /** A heartbeat from @p servant arrived. Dead stays dead: a
+     *  restarted servant gets no new jobs (its old results would
+     *  be suppressed as duplicates anyway). */
+    void
+    beat(unsigned servant, sim::Tick now)
+    {
+        if (servant < lastBeat.size() && !dead[servant])
+            lastBeat[servant] = now;
+    }
+
+    /** Live servants whose last heartbeat is older than the
+     *  timeout. */
+    std::vector<unsigned>
+    newlyOverdue(sim::Tick now) const
+    {
+        std::vector<unsigned> out;
+        for (std::size_t s = 0; s < lastBeat.size(); ++s) {
+            if (!dead[s] && now > lastBeat[s] &&
+                now - lastBeat[s] > deadline)
+                out.push_back(static_cast<unsigned>(s));
+        }
+        return out;
+    }
+
+    void
+    markDead(unsigned servant)
+    {
+        if (servant < dead.size())
+            dead[servant] = 1;
+    }
+
+    bool
+    isDead(unsigned servant) const
+    {
+        return servant < dead.size() && dead[servant] != 0;
+    }
+
+    unsigned
+    aliveCount() const
+    {
+        unsigned n = 0;
+        for (std::uint8_t d : dead)
+            n += d == 0 ? 1 : 0;
+        return n;
+    }
+
+    sim::Tick
+    lastHeartbeat(unsigned servant) const
+    {
+        return servant < lastBeat.size() ? lastBeat[servant] : 0;
+    }
+
+  private:
+    sim::Tick deadline;
+    std::vector<sim::Tick> lastBeat;
+    std::vector<std::uint8_t> dead;
+};
+
+} // namespace par
+} // namespace supmon
+
+#endif // PARTRACER_RECOVERY_HH

@@ -1,10 +1,13 @@
 #include "runner.hh"
 
 #include <algorithm>
+#include <deque>
 #include <map>
 
+#include "faults/plan.hh"
 #include "raytracer/scenes.hh"
 #include "sim/logging.hh"
+#include "sim/random.hh"
 #include "trace/harness.hh"
 
 namespace supmon
@@ -176,18 +179,93 @@ runRayTracer(const RunConfig &cfg)
     }
 
     for (unsigned s = 0; s < cfg.numServants; ++s) {
-        machine.spawnOn(machine.nodeIdByIndex(s + 1),
-                        "servant-" + std::to_string(s),
-                        [&ctx, s](suprenum::ProcessEnv env) {
-                            return servantProcess(env, ctx, s);
-                        });
+        ctx.servantPids.push_back(
+            machine.spawnOn(machine.nodeIdByIndex(s + 1),
+                            "servant-" + std::to_string(s),
+                            [&ctx, s](suprenum::ProcessEnv env) {
+                                return servantProcess(env, ctx, s);
+                            }));
     }
     const bool static_mode = cfg.assignment != Assignment::Dynamic;
+    if (cfg.faultTolerant && static_mode) {
+        sim::fatal("the fault-tolerant protocol requires dynamic "
+                   "assignment (static partitioning cannot reassign)");
+    }
+    if (cfg.faultTolerant) {
+        // One liveness beacon per servant node; it falls silent when
+        // its servant terminates (or the node crashes with it).
+        for (unsigned s = 0; s < cfg.numServants; ++s) {
+            machine.spawnOn(machine.nodeIdByIndex(s + 1),
+                            "heartbeat-" + std::to_string(s),
+                            [&ctx, s](suprenum::ProcessEnv env) {
+                                return heartbeatProcess(env, ctx, s);
+                            });
+        }
+    }
+
+    // ----- fault injection ---------------------------------------------
+    // Everything here is conditional on a non-empty plan: a healthy
+    // run must not even construct differently (LWP ids and node-0
+    // timing feed the golden traces).
+    std::deque<faults::FaultNotice> fault_notices;
+    suprenum::EventFlag fault_flag(machine.nodeByIndex(0));
+    std::unique_ptr<faults::FaultInjector> injector;
+    if (!cfg.faultPlanText.empty()) {
+        faults::PlanParseResult parsed =
+            faults::parseFaultPlan(cfg.faultPlanText);
+        if (!parsed.ok())
+            sim::fatal("%s", parsed.error.c_str());
+        faults::FaultPlan plan = std::move(parsed.plan);
+        for (faults::FaultSpec &f : plan.faults) {
+            if (f.servant == faults::FaultSpec::noTarget)
+                continue;
+            if (f.servant >= cfg.numServants) {
+                sim::fatal("fault plan: servant %u out of range "
+                           "(%u servants)",
+                           f.servant, cfg.numServants);
+            }
+            f.node = f.servant + 1;
+            if (f.kind == faults::FaultKind::KillLwp)
+                f.lwp = ctx.servantPids[f.servant].lwp;
+        }
+        // Dedicated RNG stream: the injector's coin flips never
+        // disturb the application's (golden-locked) random streams.
+        injector = std::make_unique<faults::FaultInjector>(
+            machine, std::move(plan),
+            sim::deriveSeed(cfg.seed, 0xfau));
+        injector->setNoticeSink(
+            [&ctx, &fault_notices, &fault_flag,
+             &master_mailbox](const faults::FaultNotice &n) {
+                if (n.kind == faults::FaultKind::CrashNode) {
+                    // The node memory is gone: deposited-but-unread
+                    // mailbox messages are lost with it.
+                    if (n.node == 0)
+                        master_mailbox.clearQueue();
+                    else if (n.node - 1 < ctx.servantMailboxes.size())
+                        ctx.servantMailboxes[n.node - 1]->clearQueue();
+                }
+                fault_notices.push_back(n);
+                fault_flag.signalAll();
+            });
+        injector->arm();
+        if (injector->active()) {
+            ctx.faultNotices = &fault_notices;
+            ctx.faultFlag = &fault_flag;
+            machine.spawnOn(machine.nodeIdByIndex(0), "fault-daemon",
+                            [&ctx](suprenum::ProcessEnv env) {
+                                return faultDaemonProcess(env, ctx);
+                            });
+        }
+    }
+
     const suprenum::Pid master_pid = machine.spawnOn(
         machine.nodeIdByIndex(0), "master",
-        [&ctx, static_mode](suprenum::ProcessEnv env) {
-            return static_mode ? staticMasterProcess(env, ctx)
-                               : masterProcess(env, ctx);
+        [&ctx, &cfg, static_mode](suprenum::ProcessEnv env) {
+            if (static_mode)
+                return staticMasterProcess(env, ctx);
+            if (cfg.faultTolerant)
+                return faultTolerantMasterProcess(env, ctx);
+            return masterProcess(env, ctx);
         });
     machine.setInitialProcess(master_pid);
 
@@ -203,6 +281,12 @@ runRayTracer(const RunConfig &cfg)
         result.dictionary.nameStream(
             streamOf(0, TokenClass::Agent, a),
             "AGENT " + std::to_string(a));
+    }
+    if (injector && injector->active()) {
+        // Overrides "AGENT 5" on node 0: the daemon borrows the last
+        // stream slot of the master node (events.hh, streamOf).
+        result.dictionary.nameStream(streamOf(0, TokenClass::Fault),
+                                     "FAULTS");
     }
     for (unsigned s = 0; s < cfg.numServants; ++s) {
         const unsigned stream = streamOf(s + 1, TokenClass::Servant);
@@ -284,6 +368,14 @@ runRayTracer(const RunConfig &cfg)
         result.masterAgentPoolSize = master_pool->poolSize();
     for (const auto &pool : servant_pools)
         result.servantAgentPoolSizes.push_back(pool->poolSize());
+
+    for (unsigned n = 0; n < num_nodes; ++n) {
+        result.messagesDroppedTerminated +=
+            machine.nodeByIndex(n).accounting().messagesDroppedTerminated;
+    }
+    if (injector)
+        result.faults = injector->stats();
+    result.recovery = truth.recovery;
 
     if (cfg.instrumentKernel) {
         for (unsigned n = 0; n < num_nodes; ++n) {

@@ -22,6 +22,7 @@
 #include <memory>
 #include <vector>
 
+#include "faults/injector.hh"
 #include "partracer/config.hh"
 #include "partracer/events.hh"
 #include "partracer/workers.hh"
@@ -80,6 +81,15 @@ struct RunResult
     std::uint64_t eventsRecorded = 0;
     std::uint64_t eventsLost = 0;
     std::uint64_t protocolErrors = 0;
+
+    // ----- fault injection & recovery ------------------------------------
+    /** Messages dropped at delivery because the destination process
+     *  had terminated (all nodes, healthy runs included). */
+    std::uint64_t messagesDroppedTerminated = 0;
+    /** What the injector actually did (all zero without a plan). */
+    faults::FaultStats faults;
+    /** Recovery actions of the fault-tolerant master. */
+    RecoveryStats recovery;
 
     // ----- OS instrumentation (cfg.instrumentKernel) ---------------------
     /** Total kernel probe events across all nodes. */

@@ -436,6 +436,12 @@ servantProcess(suprenum::ProcessEnv env, RunContext &ctx, unsigned index)
         co_await mon(evWaitForJobBegin, index);
         suprenum::Message msg =
             co_await ctx.servantMailboxes[index]->read(env);
+        if (cfg.faultTolerant && msg.corrupted) {
+            // The job arrived garbled; discard it and let the
+            // master's ack timeout resend it.
+            co_await mon(evServantCorruptJob, index);
+            continue;
+        }
         const auto job = suprenum::payloadAs<JobMsg>(msg);
         if (job.quit)
             break;

@@ -17,9 +17,11 @@
 #ifndef PARTRACER_WORKERS_HH
 #define PARTRACER_WORKERS_HH
 
+#include <deque>
 #include <memory>
 #include <vector>
 
+#include "faults/injector.hh"
 #include "partracer/agent.hh"
 #include "partracer/config.hh"
 #include "partracer/protocol.hh"
@@ -33,6 +35,21 @@ namespace supmon
 {
 namespace par
 {
+
+/**
+ * Host-side counters of the fault-tolerant protocol's recovery
+ * actions (mirrored in the trace by the evFault* tokens).
+ */
+struct RecoveryStats
+{
+    std::uint64_t timeouts = 0;
+    std::uint64_t retries = 0;
+    std::uint64_t reassigned = 0;
+    std::uint64_t duplicatesSuppressed = 0;
+    std::uint64_t corruptDiscarded = 0;
+    std::uint64_t servantsDeclaredDead = 0;
+    std::uint64_t heartbeatsReceived = 0;
+};
 
 /**
  * Everything master and servants share during a run: configuration,
@@ -70,7 +87,20 @@ struct RunContext
         sim::SummaryStat masterCycleMs;
         sim::SummaryStat rayCostMs;
         std::size_t pixelQueueHighWater = 0;
+        RecoveryStats recovery;
     } truth;
+
+    // ----- fault tolerance (cfg->faultTolerant) ------------------------
+    /** Servant process pids (liveness checks, kill-target sugar). */
+    std::vector<suprenum::Pid> servantPids;
+    /** Set by the master before sending quit jobs; heartbeat
+     *  processes exit at their next period. */
+    bool stopHeartbeats = false;
+    /** Injected-fault notices awaiting the fault daemon (trace
+     *  emission); filled by the injector's notice sink. */
+    std::deque<faults::FaultNotice> *faultNotices = nullptr;
+    /** Wakes the fault daemon when a notice arrives. */
+    suprenum::EventFlag *faultFlag = nullptr;
 };
 
 /** The master process (the application's initial process). */
@@ -83,6 +113,28 @@ sim::Task staticMasterProcess(suprenum::ProcessEnv env,
 /** Servant process @p index. */
 sim::Task servantProcess(suprenum::ProcessEnv env, RunContext &ctx,
                          unsigned index);
+
+// ----- fault-tolerant protocol (recovery.cc) --------------------------
+
+/**
+ * Master variant implementing the fault-tolerant protocol: ack
+ * timeouts with exponential backoff, duplicate-result suppression,
+ * heartbeat liveness tracking, and reassignment of jobs from dead
+ * servants. Selected by RunConfig::faultTolerant.
+ */
+sim::Task faultTolerantMasterProcess(suprenum::ProcessEnv env,
+                                     RunContext &ctx);
+
+/** Liveness beacon process for servant @p index (its node). */
+sim::Task heartbeatProcess(suprenum::ProcessEnv env, RunContext &ctx,
+                           unsigned index);
+
+/**
+ * Daemon on the master node that turns injector FaultNotices into
+ * evInject* trace tokens (so the ZM4 trace shows the fault timeline
+ * without racing the display's pattern sequences).
+ */
+sim::Task faultDaemonProcess(suprenum::ProcessEnv env, RunContext &ctx);
 
 } // namespace par
 } // namespace supmon

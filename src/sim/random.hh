@@ -32,6 +32,20 @@ splitmix64(std::uint64_t &state)
 }
 
 /**
+ * Derive a subsystem seed from the run's base seed and a fixed tag.
+ * Each subsystem that needs randomness (servant ray jitter, node
+ * clock skew, fault injection, ...) gets its own stream: one run seed
+ * plus per-subsystem tags reproduces every stream independently, so
+ * adding a consumer never perturbs the draws of another.
+ */
+constexpr std::uint64_t
+deriveSeed(std::uint64_t base, std::uint64_t tag)
+{
+    std::uint64_t state = base ^ (tag * 0x9e3779b97f4a7c15ull);
+    return splitmix64(state);
+}
+
+/**
  * xoshiro256** generator with convenience distributions.
  */
 class Random

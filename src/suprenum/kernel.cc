@@ -1,5 +1,6 @@
 #include "kernel.hh"
 
+#include <algorithm>
 #include <sstream>
 
 #include "sim/logging.hh"
@@ -52,18 +53,23 @@ EventFlag::signalAll()
     while (!waiters.empty()) {
         Lwp *l = waiters.front();
         waiters.pop_front();
-        kern.makeReady(l);
+        // A fault may have killed a process while it waited.
+        if (l->state != LwpState::Terminated)
+            kern.makeReady(l);
     }
 }
 
 void
 EventFlag::signalOne()
 {
-    if (waiters.empty())
-        return;
-    Lwp *l = waiters.front();
-    waiters.pop_front();
-    kern.makeReady(l);
+    while (!waiters.empty()) {
+        Lwp *l = waiters.front();
+        waiters.pop_front();
+        if (l->state != LwpState::Terminated) {
+            kern.makeReady(l);
+            return;
+        }
+    }
 }
 
 NodeKernel::NodeKernel(Machine &machine, NodeId node_id)
@@ -221,6 +227,12 @@ NodeKernel::maybeScheduleDispatch()
 void
 NodeKernel::dispatch()
 {
+    if (simulation().now() < freezeUntil) {
+        // Node stalled by fault injection: retry once it thaws
+        // (dispatchPending stays set so nobody double-schedules).
+        simulation().scheduleAt(freezeUntil, [this] { dispatch(); });
+        return;
+    }
     dispatchPending = false;
     if (running)
         sim::panic("dispatch with a running process on node (%u,%u)",
@@ -241,7 +253,7 @@ NodeKernel::dispatch()
         // Software instrumentation of the kernel: the event output
         // delays the dispatched process.
         simulation().scheduleAfter(probe_cost,
-                                   [l] { l->task.resume(); });
+                                   [this, l] { resumeRunning(l); });
     } else {
         l->task.resume();
     }
@@ -274,6 +286,8 @@ NodeKernel::yieldRunning(Lwp *lwp)
 void
 NodeKernel::resumeRunning(Lwp *lwp)
 {
+    if (lwp->state == LwpState::Terminated)
+        return; // killed by a fault while its resume was in flight
     if (running != lwp)
         sim::panic("resumeRunning('%s'): process lost the CPU",
                    lwp->name.c_str());
@@ -294,6 +308,8 @@ NodeKernel::beginSend(Lwp *lwp, Message msg)
     simulation().scheduleAfter(
         params().sendSyscallCost,
         [this, lwp, m = std::move(msg)]() mutable {
+            if (lwp->state == LwpState::Terminated)
+                return; // sender killed mid-syscall; nothing leaves
             blockRunning(lwp, BlockReason::Rendezvous);
             mach.routeMessage(std::move(m), false);
         });
@@ -338,6 +354,10 @@ NodeKernel::deliver(Message msg)
     if (dst->state == LwpState::Terminated) {
         sim::warn("message dropped: destination process '%s' terminated",
                   dst->name.c_str());
+        // The drop is observable: accounted per node and emitted
+        // through the kernel probe, instead of only a warning.
+        ++acct.messagesDroppedTerminated;
+        pendingProbeCost += probeKernelEvent(evKernDrop, dst->pid.lwp);
         // Still complete the sender's rendezvous so it does not hang.
         if (msg.src != nobody)
             mach.sendRendezvousAck(msg);
@@ -360,6 +380,8 @@ NodeKernel::ackArrived(std::uint32_t lwp_id)
     Lwp *l = find(lwp_id);
     if (!l)
         sim::panic("rendezvous ack for unknown process %u", lwp_id);
+    if (l->state == LwpState::Terminated)
+        return; // sender killed while the ack was in flight
     if (l->state != LwpState::Blocked ||
         l->blockReason != BlockReason::Rendezvous) {
         sim::panic("rendezvous ack for process '%s' which is %s/%s",
@@ -454,6 +476,60 @@ NodeKernel::waitOnFlag(Lwp *lwp, EventFlag &flag)
                    "(flags are team-shared memory)", lwp->name.c_str());
     flag.waiters.push_back(lwp);
     blockRunning(lwp, BlockReason::Flag);
+}
+
+bool
+NodeKernel::killLwp(Lwp *lwp)
+{
+    if (!lwp || lwp->state == LwpState::Terminated)
+        return false;
+    // Connection reset: senders whose messages sit unaccepted in the
+    // victim's inbox would otherwise hang in their rendezvous.
+    for (const Message &m : lwp->inbox) {
+        if (m.src != nobody)
+            mach.sendRendezvousAck(m);
+    }
+    lwp->inbox.clear();
+    lwp->waitFilter = nullptr;
+    const auto it =
+        std::find(readyQueue.begin(), readyQueue.end(), lwp);
+    if (it != readyQueue.end())
+        readyQueue.erase(it);
+    const bool was_running = (running == lwp);
+    accountState(lwp, LwpState::Terminated);
+    lwp->blockReason = BlockReason::None;
+    // Destroy the coroutine frame without running onDone: this is an
+    // external fault, not a normal exit, so the exception check and
+    // initial-process bookkeeping of onTerminated must not run.
+    lwp->task = sim::Task();
+    pendingProbeCost += probeKernelEvent(evKernExit, lwp->pid.lwp);
+    if (was_running) {
+        running = nullptr;
+        maybeScheduleDispatch();
+    }
+    mach.notifyTerminated(*lwp);
+    return true;
+}
+
+void
+NodeKernel::restartLwp(Lwp *lwp)
+{
+    if (!lwp)
+        sim::panic("restartLwp(nullptr)");
+    if (lwp->state != LwpState::Terminated)
+        sim::panic("restartLwp('%s'): process is %s, not terminated",
+                   lwp->name.c_str(), lwpStateName(lwp->state));
+    if (!lwp->factory)
+        sim::panic("restartLwp('%s'): no spawn factory",
+                   lwp->name.c_str());
+    lwp->task = lwp->factory();
+    if (!lwp->task.valid())
+        sim::panic("restartLwp('%s'): factory returned an invalid task",
+                   lwp->name.c_str());
+    lwp->task.promise().onDone = [this, lwp] { onTerminated(lwp); };
+    accountState(lwp, LwpState::Created);
+    lwp->blockReason = BlockReason::None;
+    makeReady(lwp);
 }
 
 void

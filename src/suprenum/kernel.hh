@@ -130,6 +130,8 @@ struct NodeAccounting
     std::uint64_t dispatches = 0;
     std::uint64_t contextSwitches = 0;
     std::uint64_t messagesDelivered = 0;
+    /** Messages dropped because their destination had terminated. */
+    std::uint64_t messagesDroppedTerminated = 0;
 };
 
 class NodeKernel
@@ -255,6 +257,38 @@ class NodeKernel
     std::string stateDump() const;
 
     // ------------------------------------------------------------------
+    // Fault-injection interface (used by faults::FaultInjector).
+    // ------------------------------------------------------------------
+
+    /**
+     * Terminate @p lwp immediately, from outside the process (a
+     * hardware fault, not a normal exit). Senders whose messages sit
+     * unaccepted in the victim's inbox get their rendezvous completed
+     * (connection reset); messages still in flight are dropped on
+     * arrival by deliver(). @return false if already terminated.
+     */
+    bool killLwp(Lwp *lwp);
+
+    /**
+     * Revive a killed process: re-create its coroutine from the spawn
+     * factory (the process restarts from its entry point) under the
+     * same Pid and make it ready. Panics if @p lwp is not terminated.
+     */
+    void restartLwp(Lwp *lwp);
+
+    /**
+     * Freeze the dispatcher until @p until: no process is dispatched
+     * while the node is stalled (a currently running process keeps
+     * the CPU - scheduling is non-preemptive even for faults).
+     */
+    void
+    stallUntil(sim::Tick until)
+    {
+        if (until > freezeUntil)
+            freezeUntil = until;
+    }
+
+    // ------------------------------------------------------------------
     // Machine-internal interface (message transport).
     // ------------------------------------------------------------------
 
@@ -322,6 +356,8 @@ class NodeKernel
      *  delaying the next dispatched process (the instrumented kernel
      *  pays for its event output on the scheduling path). */
     sim::Tick pendingProbeCost = 0;
+    /** Dispatcher freeze deadline set by stallUntil(); 0 = no stall. */
+    sim::Tick freezeUntil = 0;
 };
 
 /**

@@ -23,6 +23,8 @@ kernelTokenName(std::uint16_t token)
         return "Yield";
       case evKernExit:
         return "Exit";
+      case evKernDrop:
+        return "Drop";
     }
     return "?";
 }

@@ -46,6 +46,9 @@ enum KernelToken : std::uint16_t
     evKernYield = 0x0706,
     /** A process terminated; param = local process id. */
     evKernExit = 0x0707,
+    /** A message for a terminated process was dropped; param = the
+     *  dead destination's local process id. */
+    evKernDrop = 0x0708,
 };
 
 /** Name of a kernel event token (for dictionaries and reports). */

@@ -266,7 +266,26 @@ void
 Machine::routeMessage(Message msg, bool is_ack)
 {
     ++routedCount;
-    const sim::Tick arrival = transportDelay(msg, is_ack);
+    sim::Tick extra_delay = 0;
+    if (transportFaultFn) {
+        const TransportFault fault = transportFaultFn(msg, is_ack);
+        if (fault.action == TransportFault::Action::Drop && !is_ack) {
+            // The message crosses the bus and is lost at delivery.
+            // The communication units use only link-level handshakes,
+            // so the sender's rendezvous still completes: from the
+            // application's point of view the transfer succeeded.
+            const sim::Tick lost_at = transportDelay(msg, is_ack);
+            simul.scheduleAt(lost_at, [this, m = std::move(msg)] {
+                if (m.src != nobody)
+                    sendRendezvousAck(m);
+            });
+            return;
+        }
+        if (fault.action == TransportFault::Action::Corrupt && !is_ack)
+            msg.corrupted = true;
+        extra_delay = fault.extraDelay;
+    }
+    const sim::Tick arrival = transportDelay(msg, is_ack) + extra_delay;
     NodeKernel &dst = node(msg.dst.node);
     if (is_ack) {
         const std::uint32_t sender = msg.dst.lwp;

@@ -14,6 +14,7 @@
 #ifndef SUPRENUM_MACHINE_HH
 #define SUPRENUM_MACHINE_HH
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -37,6 +38,29 @@ struct DiskWriteRequest
 {
     std::uint32_t bytes = 0;
 };
+
+/**
+ * Verdict of the transport-fault hook for one routed message. The
+ * default value is a clean delivery, so an absent hook and a hook
+ * returning {} behave identically.
+ */
+struct TransportFault
+{
+    enum class Action
+    {
+        Deliver, ///< normal delivery
+        Drop,    ///< message lost on the bus
+        Corrupt, ///< delivered, but flagged corrupted
+    };
+
+    Action action = Action::Deliver;
+    /** Additional transport latency (late delivery faults). */
+    sim::Tick extraDelay = 0;
+};
+
+/** Consulted once per routed message (not per ack) when installed. */
+using TransportFaultFn =
+    std::function<TransportFault(const Message &, bool is_ack)>;
 
 class Machine
 {
@@ -162,6 +186,17 @@ class Machine
      */
     void routeMessage(Message msg, bool is_ack);
 
+    /**
+     * Install a fault-injection hook on the transport fabric. Used by
+     * faults::FaultInjector; normal runs never install one, keeping
+     * routeMessage on the exact healthy-run path.
+     */
+    void
+    setTransportFault(TransportFaultFn fn)
+    {
+        transportFaultFn = std::move(fn);
+    }
+
     /** Issue the rendezvous acknowledgement for an accepted message. */
     void sendRendezvousAck(const Message &accepted);
 
@@ -234,6 +269,7 @@ class Machine
     bool killedByOperator = false;
     sim::Tick exitTick = 0;
     std::uint64_t routedCount = 0;
+    TransportFaultFn transportFaultFn;
 };
 
 } // namespace suprenum

@@ -1,5 +1,7 @@
 #include "mailbox.hh"
 
+#include <algorithm>
+
 #include "sim/logging.hh"
 
 namespace supmon
@@ -35,12 +37,32 @@ Mailbox::push(Message msg)
     queue.push_back(std::move(msg));
     ++total;
     highWater = std::max(highWater, queue.size());
+    // A fault may have killed a reader while it waited.
+    while (!readers.empty() &&
+           readers.front()->state == LwpState::Terminated)
+        readers.pop_front();
     if (!readers.empty()) {
         Lwp *reader = readers.front();
         readers.pop_front();
         ++reserved;
         kern.makeReady(reader);
     }
+}
+
+void
+Mailbox::armTimeout(Lwp *reader, sim::Tick timeout)
+{
+    kern.simulation().scheduleAfter(timeout, [this, reader] {
+        const auto it =
+            std::find(readers.begin(), readers.end(), reader);
+        if (it == readers.end())
+            return; // already woken by a message (or killed)
+        if (reader->state != LwpState::Blocked)
+            return;
+        readers.erase(it);
+        timedOut.insert(reader);
+        kern.makeReady(reader);
+    });
 }
 
 Message

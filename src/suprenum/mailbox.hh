@@ -27,6 +27,8 @@
 
 #include <coroutine>
 #include <deque>
+#include <optional>
+#include <set>
 #include <string>
 
 #include "suprenum/kernel.hh"
@@ -132,6 +134,62 @@ class Mailbox
         return ReadAwaiter{this, &env.self()};
     }
 
+    /**
+     * Bounded-wait read for fault-tolerant owners: completes with a
+     * message like read(), or with std::nullopt once @p timeout has
+     * elapsed without one. The timeout is what lets a master notice
+     * dead servants instead of blocking forever on their results.
+     */
+    struct TimedReadAwaiter
+    {
+        Mailbox *box;
+        Lwp *lwp;
+        sim::Tick timeout;
+        bool suspended = false;
+
+        bool
+        await_ready() const
+        {
+            box->kern.assertRunning(*lwp, "mailbox timed read");
+            return box->queue.size() > box->reserved &&
+                   box->readers.empty();
+        }
+
+        void
+        await_suspend(std::coroutine_handle<>)
+        {
+            suspended = true;
+            box->readers.push_back(lwp);
+            box->kern.blockRunning(lwp, BlockReason::Flag);
+            box->armTimeout(lwp, timeout);
+        }
+
+        std::optional<Message>
+        await_resume()
+        {
+            if (!suspended)
+                return box->pop();
+            if (box->timedOut.erase(lwp) > 0)
+                return std::nullopt;
+            --box->reserved;
+            return box->pop();
+        }
+    };
+
+    TimedReadAwaiter
+    readFor(ProcessEnv &env, sim::Tick timeout)
+    {
+        return TimedReadAwaiter{this, &env.self(), timeout};
+    }
+
+    /** Discard all deposited messages (node crash lost the memory). */
+    void
+    clearQueue()
+    {
+        queue.clear();
+        reserved = 0;
+    }
+
   private:
     /** Body of the mailbox light-weight process. */
     static sim::Task mailboxProcess(ProcessEnv env, Mailbox *self);
@@ -142,10 +200,15 @@ class Mailbox
     /** Take the next deposited message (called by a reader). */
     Message pop();
 
+    /** Schedule the wake-up for a timed read. */
+    void armTimeout(Lwp *reader, sim::Tick timeout);
+
     NodeKernel &kern;
     Pid boxPid;
     std::deque<Message> queue;
     std::deque<Lwp *> readers;
+    /** Timed readers woken by their timeout, not by a message. */
+    std::set<Lwp *> timedOut;
     /** Queue entries earmarked for already-woken readers. */
     std::size_t reserved = 0;
     std::size_t highWater = 0;

@@ -37,6 +37,12 @@ struct Message
     sim::Tick sentAt = 0;
     /** Time at which the message was delivered to the target node. */
     sim::Tick deliveredAt = 0;
+    /**
+     * Set by fault injection when the transfer was garbled on a bus.
+     * The host-side payload is kept intact; receivers that check the
+     * flag model a checksum failure and must discard the message.
+     */
+    bool corrupted = false;
 };
 
 /** Predicate used by selective receive. */

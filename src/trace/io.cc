@@ -23,9 +23,11 @@ struct DiskRecord
     std::uint8_t pad = 0;
 };
 
-/** Magic + version + count. */
-constexpr long headerBytes = 4 + sizeof(std::uint32_t) +
-                             sizeof(std::uint64_t);
+/** Version 1 header: magic + version + count. */
+constexpr long headerBytesV1 = 4 + sizeof(std::uint32_t) +
+                               sizeof(std::uint64_t);
+/** Version 2 header: magic + version + seed + count. */
+constexpr long headerBytesV2 = headerBytesV1 + sizeof(std::uint64_t);
 
 struct FileCloser
 {
@@ -43,7 +45,7 @@ using File = std::unique_ptr<std::FILE, FileCloser>;
 
 bool
 saveTrace(const std::string &path,
-          const std::vector<TraceEvent> &events)
+          const std::vector<TraceEvent> &events, std::uint64_t seed)
 {
     File f(std::fopen(path.c_str(), "wb"));
     if (!f)
@@ -52,6 +54,8 @@ saveTrace(const std::string &path,
         return false;
     const std::uint32_t version = traceFileVersion;
     if (std::fwrite(&version, sizeof(version), 1, f.get()) != 1)
+        return false;
+    if (std::fwrite(&seed, sizeof(seed), 1, f.get()) != 1)
         return false;
     const std::uint64_t count = events.size();
     if (std::fwrite(&count, sizeof(count), 1, f.get()) != 1)
@@ -89,16 +93,26 @@ TraceReader::TraceReader(const std::string &path)
         errorMessage = "'" + path + "': truncated header";
         return;
     }
-    if (version != traceFileVersion) {
+    if (version != 1 && version != traceFileVersion) {
         errorMessage = sim::strprintf(
-            "'%s': unsupported trace version %u (expected %u)",
+            "'%s': unsupported trace version %u (expected %u or 1)",
             path.c_str(), version, traceFileVersion);
+        return;
+    }
+    // Version 2 inserted the run seed between version and count;
+    // version-1 files simply have no seed (reported as 0).
+    if (version >= 2 &&
+        std::fread(&headerSeed, sizeof(headerSeed), 1, file.get()) !=
+            1) {
+        errorMessage = "'" + path + "': truncated header";
         return;
     }
     if (std::fread(&count, sizeof(count), 1, file.get()) != 1) {
         errorMessage = "'" + path + "': truncated header";
         return;
     }
+    const long headerBytes =
+        version >= 2 ? headerBytesV2 : headerBytesV1;
     // Validate the declared count against the real file size before
     // anyone trusts it (a flipped count byte must not over-read the
     // file or drive a multi-gigabyte reserve in loadTrace()).

@@ -29,15 +29,22 @@ namespace trace
 /** Magic bytes at the start of a trace file. */
 constexpr char traceFileMagic[4] = {'S', 'M', 'T', 'R'};
 
-/** Current trace file format version. */
-constexpr std::uint32_t traceFileVersion = 1;
+/**
+ * Current trace file format version. Version 2 added the 64-bit run
+ * seed to the header (the reproducibility half of a (seed, plan)
+ * pair); version-1 files remain readable, reporting seed 0.
+ */
+constexpr std::uint32_t traceFileVersion = 2;
 
 /**
- * Write @p events to @p path in the binary trace format.
+ * Write @p events to @p path in the binary trace format. @p seed is
+ * recorded in the header so a saved trace carries the run's RNG seed
+ * (0 when unknown).
  * @return false on I/O failure.
  */
 bool saveTrace(const std::string &path,
-               const std::vector<TraceEvent> &events);
+               const std::vector<TraceEvent> &events,
+               std::uint64_t seed = 0);
 
 /**
  * Read a trace written by saveTrace().
@@ -98,6 +105,13 @@ class TraceReader
         return count;
     }
 
+    /** Run seed recorded in the header (0 for version-1 files). */
+    std::uint64_t
+    seed() const
+    {
+        return headerSeed;
+    }
+
     /** Records decoded so far. */
     std::uint64_t
     recordsRead() const
@@ -135,6 +149,7 @@ class TraceReader
     std::string errorMessage;
     std::uint64_t count = 0;
     std::uint64_t read = 0;
+    std::uint64_t headerSeed = 0;
 };
 
 } // namespace trace

@@ -120,7 +120,7 @@ ProtocolCausalityRule::check(
         const std::uint32_t job = ev.param;
         switch (ev.token) {
           case par::evJobSend: {
-            if (sent.count(job)) {
+            if (sent.count(job) && !allowRetries) {
                 report(out, *this, i,
                        sim::strprintf("job %u sent twice (first at "
                                       "event %zu)",
@@ -131,10 +131,13 @@ ProtocolCausalityRule::check(
           }
           case par::evWorkBegin: {
             if (worked.count(job)) {
-                report(out, *this, i,
-                       sim::strprintf("job %u worked twice (first at "
-                                      "event %zu)",
-                                      job, worked[job].index));
+                if (!allowRetries) {
+                    report(out, *this, i,
+                           sim::strprintf("job %u worked twice (first "
+                                          "at event %zu)",
+                                          job, worked[job].index));
+                }
+                break; // keep the first Work Begin as the reference
             } else if (!first_send.empty() &&
                        !first_send.count(job)) {
                 report(out, *this, i,
@@ -469,6 +472,10 @@ LwpStateRule::check(const std::vector<trace::TraceEvent> &events,
             }
             break;
           }
+          case suprenum::evKernDrop:
+            // The legal outcome for a terminated destination: the
+            // kernel drops the message at delivery (and says so).
+            break;
           case suprenum::evKernExit: {
             const std::uint32_t lwp = ev.param;
             auto it = node.lwps.find(lwp);
@@ -547,6 +554,181 @@ ActivitySanityRule::check(const std::vector<trace::TraceEvent> &events,
 }
 
 // ---------------------------------------------------------------------
+// fault-observation
+// ---------------------------------------------------------------------
+
+void
+FaultObservationRule::check(const std::vector<trace::TraceEvent> &events,
+                            std::vector<Violation> &out) const
+{
+    std::uint64_t kills = 0, crashes = 0, restarts = 0, drops = 0;
+    std::uint64_t corrupts = 0, delays = 0, stalls = 0;
+    for (const auto &ev : events) {
+        switch (ev.token) {
+          case par::evInjectKill:
+            ++kills;
+            break;
+          case par::evInjectCrash:
+            ++crashes;
+            break;
+          case par::evInjectRestart:
+            ++restarts;
+            break;
+          case par::evInjectDrop:
+            ++drops;
+            break;
+          case par::evInjectCorrupt:
+            ++corrupts;
+            break;
+          case par::evInjectDelay:
+            ++delays;
+            break;
+          case par::evInjectStall:
+            ++stalls;
+            break;
+          default:
+            break;
+        }
+    }
+
+    const std::size_t tail = events.size();
+    auto expect = [&](const char *what, std::uint64_t injected,
+                      std::uint64_t observed) {
+        if (injected != observed) {
+            report(out, *this, tail,
+                   sim::strprintf("injector reports %llu %s but the "
+                                  "trace observes %llu",
+                                  static_cast<unsigned long long>(
+                                      injected),
+                                  what,
+                                  static_cast<unsigned long long>(
+                                      observed)));
+        }
+    };
+    expect("kills", expected.kills, kills);
+    expect("crashes", expected.crashes, crashes);
+    expect("restarts", expected.restarts, restarts);
+    expect("dropped messages", expected.messagesDropped, drops);
+    expect("corrupted messages", expected.messagesCorrupted, corrupts);
+    expect("delayed messages", expected.messagesDelayed, delays);
+    expect("stalls", expected.stalls, stalls);
+}
+
+// ---------------------------------------------------------------------
+// recovery-consistency
+// ---------------------------------------------------------------------
+
+void
+RecoveryConsistencyRule::check(
+    const std::vector<trace::TraceEvent> &events,
+    std::vector<Violation> &out) const
+{
+    std::map<std::uint32_t, std::size_t> accepted; // job -> event
+    std::set<std::uint32_t> retried_here;
+    for (std::size_t i = 0; i < events.size(); ++i) {
+        const auto &ev = events[i];
+        const std::uint32_t job = ev.param;
+        switch (ev.token) {
+          case par::evReceiveResultsBegin: {
+            auto it = accepted.find(job);
+            if (it != accepted.end()) {
+                report(out, *this, i,
+                       sim::strprintf(
+                           "results of job %u accepted twice (first "
+                           "at event %zu) - the duplicate was not "
+                           "suppressed",
+                           job, it->second));
+            } else {
+                accepted[job] = i;
+            }
+            break;
+          }
+          case par::evFaultDuplicateResult: {
+            if (!accepted.count(job)) {
+                report(out, *this, i,
+                       sim::strprintf(
+                           "duplicate result of job %u suppressed "
+                           "but no results were ever accepted",
+                           job));
+            }
+            break;
+          }
+          case par::evFaultRetry:
+            retried_here.insert(job);
+            break;
+          case par::evFaultJobReassigned: {
+            if (!retried_here.count(job)) {
+                report(out, *this, i,
+                       sim::strprintf("job %u reassigned without a "
+                                      "retry marker",
+                                      job));
+            }
+            break;
+          }
+          default:
+            break;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// job-coverage
+// ---------------------------------------------------------------------
+
+void
+JobCoverageRule::check(const std::vector<trace::TraceEvent> &events,
+                       std::vector<Violation> &out) const
+{
+    bool master_done = false;
+    std::set<std::uint32_t> sent_jobs;
+    std::map<std::uint32_t, std::uint64_t> accepted; // job -> count
+    std::uint64_t pixels_written = 0;
+    for (const auto &ev : events) {
+        switch (ev.token) {
+          case par::evMasterDone:
+            master_done = true;
+            break;
+          case par::evJobSend:
+            sent_jobs.insert(ev.param);
+            break;
+          case par::evReceiveResultsBegin:
+            ++accepted[ev.param];
+            break;
+          case par::evWritePixelsBegin:
+            pixels_written += ev.param;
+            break;
+          default:
+            break;
+        }
+    }
+    if (!master_done)
+        return; // the run was abandoned; coverage cannot be expected
+
+    const std::size_t tail = events.size();
+    for (std::uint32_t job : sent_jobs) {
+        const auto it = accepted.find(job);
+        const std::uint64_t n = it == accepted.end() ? 0 : it->second;
+        if (n != 1) {
+            report(out, *this, tail,
+                   sim::strprintf("job %u was sent but its results "
+                                  "were accepted %llu times (expected "
+                                  "exactly once)",
+                                  job,
+                                  static_cast<unsigned long long>(n)));
+        }
+    }
+    if (expectedPixels && pixels_written != *expectedPixels) {
+        report(out, *this, tail,
+               sim::strprintf("the finished run wrote %llu pixels "
+                              "but the image has %llu",
+                              static_cast<unsigned long long>(
+                                  pixels_written),
+                              static_cast<unsigned long long>(
+                                  *expectedPixels)));
+    }
+}
+
+// ---------------------------------------------------------------------
 // TraceValidator
 // ---------------------------------------------------------------------
 
@@ -575,6 +757,25 @@ TraceValidator::forRayTracer(ConservationExpectations expect)
         par::rayTracerDictionary()));
     v.addRule(std::make_unique<ActivitySanityRule>(
         par::rayTracerDictionary()));
+    return v;
+}
+
+TraceValidator
+TraceValidator::forFaultRun(faults::FaultStats expect_faults,
+                            std::optional<std::uint64_t> expected_pixels)
+{
+    TraceValidator v;
+    v.addRule(std::make_unique<StreamMonotonicRule>());
+    v.addRule(std::make_unique<MergeOrderRule>());
+    v.addRule(std::make_unique<ProtocolCausalityRule>(
+        /*allow_retries=*/true));
+    v.addRule(std::make_unique<TokenDictionaryRule>(
+        par::rayTracerDictionary()));
+    v.addRule(std::make_unique<ActivitySanityRule>(
+        par::rayTracerDictionary()));
+    v.addRule(std::make_unique<FaultObservationRule>(expect_faults));
+    v.addRule(std::make_unique<RecoveryConsistencyRule>());
+    v.addRule(std::make_unique<JobCoverageRule>(expected_pixels));
     return v;
 }
 

@@ -35,6 +35,7 @@
 #include <string>
 #include <vector>
 
+#include "faults/injector.hh"
 #include "trace/dictionary.hh"
 #include "trace/event.hh"
 
@@ -116,6 +117,19 @@ class MergeOrderRule : public Rule
 class ProtocolCausalityRule : public Rule
 {
   public:
+    /**
+     * @param allow_retries accept the fault-tolerant protocol's
+     *        resends: a job may be sent and worked more than once
+     *        (results beyond the first are suppressed, which the
+     *        RecoveryConsistencyRule checks). Ordering constraints
+     *        (work after first send, receive after first work) still
+     *        apply.
+     */
+    explicit ProtocolCausalityRule(bool allow_retries = false)
+        : allowRetries(allow_retries)
+    {
+    }
+
     const char *
     name() const override
     {
@@ -124,6 +138,9 @@ class ProtocolCausalityRule : public Rule
 
     void check(const std::vector<trace::TraceEvent> &events,
                std::vector<Violation> &out) const override;
+
+  private:
+    bool allowRetries;
 };
 
 /** Ground-truth counts a trace can be checked against (all
@@ -233,6 +250,85 @@ class ActivitySanityRule : public Rule
 };
 
 /**
+ * Every fault the injector reports must be observed in the trace: the
+ * per-kind counts of the class-4 evInject* tokens (emitted by the
+ * application's fault daemon) must equal the injector's own counters.
+ * This is the "recovery observability" contract - a fault that the
+ * trace cannot show might as well not have been monitored.
+ */
+class FaultObservationRule : public Rule
+{
+  public:
+    explicit FaultObservationRule(faults::FaultStats expect)
+        : expected(expect)
+    {
+    }
+
+    const char *
+    name() const override
+    {
+        return "fault-observation";
+    }
+
+    void check(const std::vector<trace::TraceEvent> &events,
+               std::vector<Violation> &out) const override;
+
+  private:
+    faults::FaultStats expected;
+};
+
+/**
+ * Consistency of the fault-tolerant master's recovery actions:
+ *  - a job's results are accepted (Receive Results) at most once -
+ *    duplicates must be suppressed, never processed;
+ *  - every Duplicate Result marker refers to a job whose results were
+ *    accepted earlier in the trace;
+ *  - every Job Reassigned marker is accompanied by a Retry marker for
+ *    the same job at the same instant.
+ */
+class RecoveryConsistencyRule : public Rule
+{
+  public:
+    const char *
+    name() const override
+    {
+        return "recovery-consistency";
+    }
+
+    void check(const std::vector<trace::TraceEvent> &events,
+               std::vector<Violation> &out) const override;
+};
+
+/**
+ * Coverage conservation under faults: if the master finished
+ * (evMasterDone present), every job it ever sent (evJobSend metadata)
+ * had its results accepted exactly once, and the Write Pixels events
+ * cover the expected pixel count exactly - reassigned jobs conserve
+ * coverage, they must not lose or duplicate pixels.
+ */
+class JobCoverageRule : public Rule
+{
+  public:
+    explicit JobCoverageRule(
+        std::optional<std::uint64_t> expected_pixels = std::nullopt)
+        : expectedPixels(expected_pixels)
+    {
+    }
+
+    const char *
+    name() const override
+    {
+        return "job-coverage";
+    }
+
+    void check(const std::vector<trace::TraceEvent> &events,
+               std::vector<Violation> &out) const override;
+
+  private:
+    std::optional<std::uint64_t> expectedPixels;
+};
+
+/**
  * Runs a pluggable set of invariant rules over an evaluation trace.
  *
  * @code
@@ -263,6 +359,18 @@ class TraceValidator
      */
     static TraceValidator forRayTracer(
         ConservationExpectations expect = {});
+
+    /**
+     * Rule set for fault-injected runs. Conservation and the LWP
+     * state machine are replaced (their healthy-run assumptions -
+     * every job worked exactly once, processes only exit themselves -
+     * are exactly what faults break) by the fault-aware rules:
+     * retry-tolerant causality, fault observation, recovery
+     * consistency and coverage conservation.
+     */
+    static TraceValidator forFaultRun(
+        faults::FaultStats expect_faults,
+        std::optional<std::uint64_t> expected_pixels = std::nullopt);
 
     /** Run all rules; returns every violation found (per rule capped
      *  at maxViolationsPerRule to keep reports readable). */

@@ -54,6 +54,35 @@ makeScenarios()
         s.config = baseConfig(par::Version::V4Tuned, 7, 24);
         list.push_back(std::move(s));
     }
+    {
+        Scenario s;
+        s.name = "faulty-moderate";
+        s.description = "version 4 under fault injection: one servant "
+                        "killed mid-run, 1% bus message loss; the "
+                        "fault-tolerant protocol completes the image";
+        s.config = baseConfig(par::Version::V4Tuned, 7, 32);
+        s.config.faultTolerant = true;
+        // Smaller bundles than the throughput-tuned V4 default: the
+        // nodes schedule non-preemptively, so the bundle compute time
+        // is the latency floor of every liveness/ack signal. 16 pixels
+        // (~85 ms) keeps heartbeats and results flowing well inside
+        // the recovery timeouts; 100-pixel bundles (~530 ms) would
+        // starve them into false servant deaths.
+        s.config.bundleSize = 16;
+        s.config.pixelQueueLimit =
+            static_cast<std::size_t>(s.config.bundleSize) *
+                s.config.windowSize * s.config.numServants +
+            s.config.bundleSize;
+        // Reassignments and resends bypass the window flow control,
+        // so after the kill the surviving servants briefly compute
+        // back-to-back bundles; stretch both timeouts so that burst
+        // neither re-expires healthy jobs nor fakes more deaths.
+        s.config.ackTimeout = sim::milliseconds(1200);
+        s.config.heartbeatTimeout = sim::milliseconds(1600);
+        s.config.faultPlanText = "kill at=1800ms servant=2\n"
+                                 "drop p=0.01\n";
+        list.push_back(std::move(s));
+    }
     return list;
 }
 
@@ -96,6 +125,15 @@ expectationsOf(const par::RunResult &result)
 std::vector<Violation>
 validateRun(const par::RunResult &result)
 {
+    // Fault-injected / fault-tolerant runs break the healthy-run
+    // invariants on purpose (resends, external kills); they get the
+    // fault-aware rule set instead.
+    if (result.config.faultTolerant ||
+        !result.config.faultPlanText.empty()) {
+        return TraceValidator::forFaultRun(
+                   result.faults, result.config.totalPixels())
+            .validate(result.events);
+    }
     return TraceValidator::forRayTracer(expectationsOf(result))
         .validate(result.events);
 }

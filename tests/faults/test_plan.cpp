@@ -1,0 +1,112 @@
+/**
+ * @file
+ * FaultPlan grammar tests: every fault kind, time units, servant
+ * sugar, comments/separators, and the per-statement error reporting.
+ */
+
+#include <gtest/gtest.h>
+
+#include "faults/plan.hh"
+
+using namespace supmon;
+using faults::FaultKind;
+using faults::FaultSpec;
+using faults::parseFaultPlan;
+
+TEST(FaultPlan, EmptyTextParsesToEmptyPlan)
+{
+    const auto res = parseFaultPlan("");
+    ASSERT_TRUE(res.ok());
+    EXPECT_TRUE(res.plan.empty());
+}
+
+TEST(FaultPlan, ParsesEveryKind)
+{
+    const auto res = parseFaultPlan("kill at=5ms servant=2\n"
+                                    "crash at=1s node=3\n"
+                                    "drop p=0.25\n"
+                                    "corrupt p=0.5 node=1\n"
+                                    "delay p=1 by=200us\n"
+                                    "stall at=10ms for=2ms node=0\n");
+    ASSERT_TRUE(res.ok()) << res.error;
+    ASSERT_EQ(res.plan.faults.size(), 6u);
+    EXPECT_EQ(res.plan.faults[0].kind, FaultKind::KillLwp);
+    EXPECT_EQ(res.plan.faults[0].at, sim::milliseconds(5));
+    EXPECT_EQ(res.plan.faults[0].servant, 2u);
+    EXPECT_EQ(res.plan.faults[1].kind, FaultKind::CrashNode);
+    EXPECT_EQ(res.plan.faults[1].at, sim::seconds(1));
+    EXPECT_EQ(res.plan.faults[1].node, 3u);
+    EXPECT_EQ(res.plan.faults[2].kind, FaultKind::DropMessages);
+    EXPECT_DOUBLE_EQ(res.plan.faults[2].probability, 0.25);
+    EXPECT_EQ(res.plan.faults[2].node, FaultSpec::noTarget);
+    EXPECT_EQ(res.plan.faults[3].kind, FaultKind::CorruptMessages);
+    EXPECT_EQ(res.plan.faults[3].node, 1u);
+    EXPECT_EQ(res.plan.faults[4].kind, FaultKind::DelayMessages);
+    EXPECT_EQ(res.plan.faults[4].duration, sim::microseconds(200));
+    EXPECT_EQ(res.plan.faults[5].kind, FaultKind::StallNode);
+    EXPECT_EQ(res.plan.faults[5].duration, sim::milliseconds(2));
+}
+
+TEST(FaultPlan, BareTimesAreNanoseconds)
+{
+    const auto res = parseFaultPlan("kill at=1234 servant=0");
+    ASSERT_TRUE(res.ok());
+    EXPECT_EQ(res.plan.faults[0].at, sim::Tick{1234});
+}
+
+TEST(FaultPlan, SemicolonsAndCommentsSeparateStatements)
+{
+    const auto res = parseFaultPlan(
+        "# a whole-line comment\n"
+        "drop p=0.1; corrupt p=0.2  # trailing comment\n");
+    ASSERT_TRUE(res.ok()) << res.error;
+    ASSERT_EQ(res.plan.faults.size(), 2u);
+    EXPECT_EQ(res.plan.faults[0].kind, FaultKind::DropMessages);
+    EXPECT_EQ(res.plan.faults[1].kind, FaultKind::CorruptMessages);
+}
+
+TEST(FaultPlan, KillAcceptsExplicitNodeLwpTarget)
+{
+    const auto res = parseFaultPlan("kill at=1ms node=4 lwp=7");
+    ASSERT_TRUE(res.ok());
+    EXPECT_EQ(res.plan.faults[0].node, 4u);
+    EXPECT_EQ(res.plan.faults[0].lwp, 7u);
+    EXPECT_EQ(res.plan.faults[0].servant, FaultSpec::noTarget);
+}
+
+TEST(FaultPlan, RejectsUnknownKind)
+{
+    const auto res = parseFaultPlan("explode at=1ms node=0");
+    ASSERT_FALSE(res.ok());
+    EXPECT_NE(res.error.find("unknown fault kind"), std::string::npos);
+}
+
+TEST(FaultPlan, RejectsProbabilityOutOfRange)
+{
+    EXPECT_FALSE(parseFaultPlan("drop p=1.5").ok());
+    EXPECT_FALSE(parseFaultPlan("drop p=-0.1").ok());
+}
+
+TEST(FaultPlan, RejectsMissingRequiredFields)
+{
+    EXPECT_FALSE(parseFaultPlan("kill servant=1").ok());    // no at
+    EXPECT_FALSE(parseFaultPlan("kill at=1ms").ok());       // no target
+    EXPECT_FALSE(parseFaultPlan("kill at=1ms node=2").ok()); // no lwp
+    EXPECT_FALSE(parseFaultPlan("drop node=1").ok());       // no p
+    EXPECT_FALSE(parseFaultPlan("delay p=0.5").ok());       // no by
+    EXPECT_FALSE(parseFaultPlan("stall at=1ms node=0").ok()); // no for
+}
+
+TEST(FaultPlan, ErrorNamesTheStatement)
+{
+    const auto res = parseFaultPlan("drop p=0.1\nbogus\n");
+    ASSERT_FALSE(res.ok());
+    EXPECT_NE(res.error.find("statement 2"), std::string::npos);
+}
+
+TEST(FaultPlan, RejectsBadKeyValueSyntax)
+{
+    EXPECT_FALSE(parseFaultPlan("drop probability").ok());
+    EXPECT_FALSE(parseFaultPlan("drop p=0.1 frequency=often").ok());
+    EXPECT_FALSE(parseFaultPlan("kill at=5lightyears servant=0").ok());
+}

@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Unit tests of the fault-tolerant master's bookkeeping: backoff
+ * deadlines, the jobId-keyed outstanding-job table (timeout expiry,
+ * duplicate suppression, reassignment) and heartbeat liveness.
+ */
+
+#include <gtest/gtest.h>
+
+#include "partracer/recovery.hh"
+
+using namespace supmon;
+using par::BackoffSchedule;
+using par::JobMsg;
+using par::JobTracker;
+using par::LivenessTracker;
+
+namespace
+{
+
+JobMsg
+job(std::uint32_t id)
+{
+    JobMsg j;
+    j.jobId = id;
+    return j;
+}
+
+BackoffSchedule
+schedule(sim::Tick timeout = 100, unsigned max_attempts = 5)
+{
+    BackoffSchedule s;
+    s.ackTimeout = timeout;
+    s.maxAttempts = max_attempts;
+    return s;
+}
+
+} // namespace
+
+TEST(BackoffSchedule, DoublesPerAttempt)
+{
+    const auto s = schedule(100, 5);
+    EXPECT_EQ(s.deadlineAfter(1, 1000), 1000u + 100u);
+    EXPECT_EQ(s.deadlineAfter(2, 1000), 1000u + 200u);
+    EXPECT_EQ(s.deadlineAfter(3, 1000), 1000u + 400u);
+    EXPECT_EQ(s.deadlineAfter(5, 1000), 1000u + 1600u);
+}
+
+TEST(BackoffSchedule, CapsAtMaxAttempts)
+{
+    const auto s = schedule(100, 3);
+    // Attempts beyond maxAttempts keep the last doubling.
+    EXPECT_EQ(s.deadlineAfter(3, 0), s.deadlineAfter(9, 0));
+    EXPECT_EQ(s.deadlineAfter(3, 0), sim::Tick{400});
+}
+
+TEST(BackoffSchedule, ShiftStaysBounded)
+{
+    // A huge maxAttempts must not shift past 64 bits.
+    const auto s = schedule(1, 1000);
+    EXPECT_EQ(s.deadlineAfter(999, 0), sim::Tick{1} << 20);
+}
+
+TEST(JobTracker, AcceptRemovesAndSecondAcceptIsDuplicate)
+{
+    JobTracker t(schedule());
+    t.track(job(7), 2, 50);
+    EXPECT_EQ(t.size(), 1u);
+    const auto first = t.accept(7);
+    ASSERT_TRUE(first.has_value());
+    EXPECT_EQ(first->servant, 2u);
+    EXPECT_EQ(first->sentAt, 50u);
+    EXPECT_TRUE(t.empty());
+    // The same result arriving again identifies itself as a duplicate.
+    EXPECT_FALSE(t.accept(7).has_value());
+}
+
+TEST(JobTracker, UnknownJobIsNotAccepted)
+{
+    JobTracker t(schedule());
+    EXPECT_FALSE(t.accept(99).has_value());
+}
+
+TEST(JobTracker, ExpiredReportsOnlyOverdueJobs)
+{
+    JobTracker t(schedule(100));
+    t.track(job(1), 0, 0);   // deadline 100
+    t.track(job(2), 1, 50);  // deadline 150
+    EXPECT_TRUE(t.expired(99).empty());
+    const auto at120 = t.expired(120); // deadline <= now fires
+    ASSERT_EQ(at120.size(), 1u);
+    EXPECT_EQ(at120[0], 1u);
+    EXPECT_EQ(t.expired(200).size(), 2u);
+}
+
+TEST(JobTracker, DeferStopsExpiryUntilReassign)
+{
+    JobTracker t(schedule(100));
+    t.track(job(1), 0, 0);
+    t.deferForResend(1);
+    EXPECT_TRUE(t.expired(1000).empty());
+    // Reassignment re-arms the (backed-off) deadline on the new
+    // servant and counts the attempt.
+    t.reassign(1, 3, 1000);
+    const auto *p = t.find(1);
+    ASSERT_NE(p, nullptr);
+    EXPECT_EQ(p->servant, 3u);
+    EXPECT_EQ(p->attempt, 2u);
+    EXPECT_FALSE(p->pendingResend);
+    EXPECT_EQ(p->deadline, 1000u + 200u);
+    EXPECT_TRUE(t.expired(1100).empty());
+    EXPECT_EQ(t.expired(1300).size(), 1u);
+}
+
+TEST(JobTracker, JobsOnListsAssignmentsInOrder)
+{
+    JobTracker t(schedule());
+    t.track(job(3), 1, 0);
+    t.track(job(1), 1, 0);
+    t.track(job(2), 0, 0);
+    const auto on1 = t.jobsOn(1);
+    ASSERT_EQ(on1.size(), 2u);
+    EXPECT_EQ(on1[0], 1u);
+    EXPECT_EQ(on1[1], 3u);
+    // A job queued for resend no longer belongs to the servant.
+    t.deferForResend(3);
+    EXPECT_EQ(t.jobsOn(1).size(), 1u);
+}
+
+TEST(Liveness, OverdueAfterTimeout)
+{
+    LivenessTracker l(3, 100);
+    l.reset(0);
+    l.beat(0, 50);
+    l.beat(1, 90);
+    // At t=120: servant 2 last beat 0 -> overdue; 0 and 1 fresh.
+    const auto overdue = l.newlyOverdue(120);
+    ASSERT_EQ(overdue.size(), 1u);
+    EXPECT_EQ(overdue[0], 2u);
+}
+
+TEST(Liveness, DeadStaysDead)
+{
+    LivenessTracker l(2, 100);
+    l.reset(0);
+    l.markDead(1);
+    EXPECT_TRUE(l.isDead(1));
+    EXPECT_EQ(l.aliveCount(), 1u);
+    // A heartbeat from a restarted servant does not resurrect it,
+    // and the dead servant is never reported overdue again.
+    l.beat(1, 500);
+    EXPECT_TRUE(l.isDead(1));
+    const auto overdue = l.newlyOverdue(1000);
+    ASSERT_EQ(overdue.size(), 1u);
+    EXPECT_EQ(overdue[0], 0u);
+}
+
+TEST(Liveness, ResetRestartsOnlyLiveGracePeriods)
+{
+    LivenessTracker l(2, 100);
+    l.reset(0);
+    l.markDead(0);
+    l.reset(500);
+    EXPECT_EQ(l.lastHeartbeat(0), 0u);
+    EXPECT_EQ(l.lastHeartbeat(1), 500u);
+}
+
+TEST(Liveness, OutOfRangeServantIsHarmless)
+{
+    LivenessTracker l(2, 100);
+    l.beat(9, 10);
+    l.markDead(9);
+    EXPECT_FALSE(l.isDead(9));
+    EXPECT_EQ(l.lastHeartbeat(9), 0u);
+}

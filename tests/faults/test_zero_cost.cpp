@@ -1,0 +1,62 @@
+/**
+ * @file
+ * The zero-cost-when-disabled contract: an empty fault plan (or one
+ * whose probabilistic specs are all p=0) must leave a healthy run
+ * bit-identical - same trace digest as the plain configuration and,
+ * for the canonical scenarios, the same checked-in golden digest.
+ */
+
+#include <gtest/gtest.h>
+
+#include "validate/golden.hh"
+#include "validate/scenarios.hh"
+
+using namespace supmon;
+
+namespace
+{
+
+validate::TraceDigest
+digestWithPlan(const validate::Scenario &scenario,
+               const std::string &plan)
+{
+    validate::Scenario copy = scenario;
+    copy.config.faultPlanText = plan;
+    const auto result = validate::runScenario(copy);
+    EXPECT_TRUE(result.completed) << scenario.name;
+    EXPECT_EQ(result.faults.injectedTotal(), 0u) << scenario.name;
+    return validate::digestOf(result.events);
+}
+
+} // namespace
+
+TEST(ZeroCost, EmptyAndZeroProbabilityPlansLeaveTracesBitIdentical)
+{
+    for (const auto &scenario : validate::goldenScenarios()) {
+        if (scenario.config.faultTolerant)
+            continue; // the faulty scenario is exercised elsewhere
+        const auto plain = digestWithPlan(scenario, "");
+        EXPECT_EQ(plain, digestWithPlan(scenario, "drop p=0\n"))
+            << scenario.name << ": p=0 plan perturbed the trace";
+        EXPECT_EQ(plain,
+                  digestWithPlan(scenario,
+                                 "# comment only\ncorrupt p=0\n"))
+            << scenario.name << ": pruned plan perturbed the trace";
+    }
+}
+
+TEST(ZeroCost, HealthyScenariosStillMatchTheirGoldenDigests)
+{
+    // Cross-check against the checked-in snapshots: arming a no-op
+    // injector must not move the canonical traces either.
+    for (const auto &scenario : validate::goldenScenarios()) {
+        if (scenario.config.faultTolerant)
+            continue;
+        const auto golden = validate::loadGolden(
+            std::string(SUPMON_GOLDEN_DIR) + "/" +
+            scenario.goldenFileName());
+        ASSERT_TRUE(golden.has_value()) << scenario.name;
+        EXPECT_EQ(digestWithPlan(scenario, "drop p=0\n"), *golden)
+            << scenario.name << " diverged from its golden digest";
+    }
+}

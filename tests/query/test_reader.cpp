@@ -198,11 +198,12 @@ TEST(TraceReader, CorruptCountCannotOverRead)
     std::string bytes = fileBytes(tmpPath);
     // Blow up the declared count to ~4 billion; the validated reader
     // must reject it instead of over-reading (or letting loadTrace
-    // reserve gigabytes).
-    bytes[8] = '\xff';
-    bytes[9] = '\xff';
-    bytes[10] = '\xff';
-    bytes[11] = '\xff';
+    // reserve gigabytes). The count sits at offset 16 in the v2
+    // header (after magic, version and the 64-bit seed).
+    bytes[16] = '\xff';
+    bytes[17] = '\xff';
+    bytes[18] = '\xff';
+    bytes[19] = '\xff';
     writeBytes(tmpPath, bytes);
     trace::TraceReader reader(tmpPath);
     EXPECT_FALSE(reader.ok());

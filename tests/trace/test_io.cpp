@@ -68,6 +68,68 @@ TEST(TraceIo, RoundTripsEveryField)
     std::remove(tmpPath);
 }
 
+TEST(TraceIo, SeedRoundTripsInHeader)
+{
+    const auto original = randomTrace(10, 3);
+    ASSERT_TRUE(trace::saveTrace(tmpPath, original, 0xdeadbeefcafeull));
+    trace::TraceReader reader(tmpPath);
+    ASSERT_TRUE(reader.ok());
+    EXPECT_EQ(reader.seed(), 0xdeadbeefcafeull);
+    EXPECT_EQ(reader.declaredCount(), original.size());
+    std::remove(tmpPath);
+}
+
+TEST(TraceIo, SeedDefaultsToZero)
+{
+    ASSERT_TRUE(trace::saveTrace(tmpPath, randomTrace(3, 1)));
+    trace::TraceReader reader(tmpPath);
+    ASSERT_TRUE(reader.ok());
+    EXPECT_EQ(reader.seed(), 0u);
+    std::remove(tmpPath);
+}
+
+TEST(TraceIo, ReadsVersion1Files)
+{
+    // Hand-craft a version-1 file (no seed field in the header) and
+    // check the reader still decodes it, reporting seed 0.
+    const auto original = randomTrace(4, 9);
+    ASSERT_TRUE(trace::saveTrace(tmpPath, original, 77));
+    std::ifstream in(tmpPath, std::ios::binary);
+    std::string data((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+    in.close();
+    // v2 header: magic(4) version(4) seed(8) count(8). Rewrite the
+    // version to 1 and splice the seed field out.
+    const std::uint32_t v1 = 1;
+    data.replace(4, sizeof(v1),
+                 reinterpret_cast<const char *>(&v1), sizeof(v1));
+    data.erase(8, 8);
+    std::ofstream out(tmpPath, std::ios::binary | std::ios::trunc);
+    out.write(data.data(), static_cast<std::streamsize>(data.size()));
+    out.close();
+    trace::TraceReader reader(tmpPath);
+    ASSERT_TRUE(reader.ok()) << reader.error();
+    EXPECT_EQ(reader.seed(), 0u);
+    const auto loaded = trace::loadTrace(tmpPath);
+    ASSERT_TRUE(loaded.has_value());
+    ASSERT_EQ(loaded->size(), original.size());
+    EXPECT_EQ((*loaded)[2].timestamp, original[2].timestamp);
+    std::remove(tmpPath);
+}
+
+TEST(TraceIo, UnknownVersionRejected)
+{
+    ASSERT_TRUE(trace::saveTrace(tmpPath, randomTrace(2, 5)));
+    std::fstream f(tmpPath,
+                   std::ios::binary | std::ios::in | std::ios::out);
+    const std::uint32_t bad = 99;
+    f.seekp(4);
+    f.write(reinterpret_cast<const char *>(&bad), sizeof(bad));
+    f.close();
+    EXPECT_FALSE(trace::loadTrace(tmpPath).has_value());
+    std::remove(tmpPath);
+}
+
 TEST(TraceIo, MissingFileYieldsNullopt)
 {
     EXPECT_FALSE(

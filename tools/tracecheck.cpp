@@ -26,7 +26,8 @@
  *     the golden files instead (after an intentional behaviour
  *     change; commit the diff).
  *
- * Exit status: 0 all good, 1 violations or digest mismatch, 2 usage.
+ * Exit status: 0 all good, 1 violations or digest mismatch,
+ * 2 unreadable input or usage error.
  */
 
 #include <cstdio>
@@ -62,27 +63,39 @@ checkFiles(const std::vector<std::string> &paths, bool raytracer)
 {
     int status = 0;
     for (const auto &path : paths) {
-        const auto events = trace::loadTrace(path);
-        if (!events) {
-            std::fprintf(stderr, "%s: cannot read trace file\n",
-                         path.c_str());
-            status = 1;
+        // Decode through the shared streaming reader so a corrupt
+        // header or mid-record truncation is reported with its exact
+        // cause (and distinguished, via exit 2, from rule violations).
+        trace::TraceReader reader(path);
+        std::vector<trace::TraceEvent> events;
+        if (reader.ok()) {
+            events.reserve(
+                static_cast<std::size_t>(reader.declaredCount()));
+            trace::TraceEvent ev;
+            while (reader.next(ev))
+                events.push_back(ev);
+        }
+        if (!reader.error().empty()) {
+            std::fprintf(stderr, "%s\n", reader.error().c_str());
+            status = 2;
             continue;
         }
         const auto validator =
             raytracer ? validate::TraceValidator::forRayTracer()
                       : validate::TraceValidator::standard();
-        const auto violations = validator.validate(*events);
+        const auto violations = validator.validate(events);
         if (violations.empty()) {
-            std::printf("%s: OK (%zu events, digest %s)\n",
-                        path.c_str(), events->size(),
-                        validate::hashHex(validate::traceHash(*events))
+            std::printf("%s: OK (%zu events, seed %llu, digest %s)\n",
+                        path.c_str(), events.size(),
+                        static_cast<unsigned long long>(reader.seed()),
+                        validate::hashHex(validate::traceHash(events))
                             .c_str());
         } else {
             std::printf("%s: %zu violation(s)\n%s", path.c_str(),
                         violations.size(),
                         validate::formatViolations(violations).c_str());
-            status = 1;
+            if (status == 0)
+                status = 1;
         }
     }
     return status;
