@@ -1,0 +1,93 @@
+/**
+ * @file
+ * The static-analysis finding model shared by the instrumentation
+ * linter (lint.hh) and the protocol analyzer (protocol.hh).
+ *
+ * A Finding names the check that fired, the *subject* it fired on (a
+ * token, a queue, a graph node - deliberately not a file:line, so the
+ * identity is stable while code moves around), an optional source
+ * location for navigation, and a message. Findings render as text or
+ * JSON and can be suppressed through a baseline file, which is what
+ * lets CI be strict on new findings while a known (intentional)
+ * finding - e.g. the paper's historically mis-sized version 3 pixel
+ * queue - stays documented instead of blocking the build.
+ */
+
+#ifndef ANALYSIS_FINDING_HH
+#define ANALYSIS_FINDING_HH
+
+#include <cstddef>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace supmon
+{
+namespace analysis
+{
+
+enum class Severity
+{
+    /** Informational; never affects the exit code. */
+    Note,
+    /** A latent defect; fails the analysis run. */
+    Warning,
+    /** A certain defect; fails the analysis run. */
+    Error,
+};
+
+const char *severityName(Severity s);
+
+struct Finding
+{
+    /** Stable check slug, e.g. "queue-capacity" or "unused-token". */
+    std::string check;
+    Severity severity = Severity::Warning;
+    /** Stable subject: a token name, queue name or graph node. */
+    std::string object;
+    /** Optional file:line for navigation (not part of the key). */
+    std::string location;
+    std::string message;
+
+    /** Baseline suppression key: stable across unrelated edits. */
+    std::string
+    key() const
+    {
+        return check + ":" + object;
+    }
+};
+
+/** Sort by severity (most severe first), then check, then object. */
+void sortFindings(std::vector<Finding> &findings);
+
+/** Human-readable multi-line report (one finding per line). */
+std::string formatText(const std::vector<Finding> &findings);
+
+/** Machine-readable JSON array of finding objects. */
+std::string formatJson(const std::vector<Finding> &findings);
+
+/**
+ * Parse a baseline file: one key() per line, '#' starts a comment,
+ * blank lines ignored. @return false if the file cannot be read.
+ */
+bool loadBaseline(const std::string &path, std::set<std::string> &keys,
+                  std::string &error);
+
+/**
+ * Remove findings whose key() is in @p baseline.
+ * @return the number of suppressed findings.
+ */
+std::size_t applyBaseline(std::vector<Finding> &findings,
+                          const std::set<std::string> &baseline);
+
+/**
+ * Exit status of an analysis run over @p findings: 0 when nothing
+ * above Note severity remains, 1 otherwise (2 is reserved for
+ * unreadable input and is the caller's business).
+ */
+int exitStatus(const std::vector<Finding> &findings);
+
+} // namespace analysis
+} // namespace supmon
+
+#endif // ANALYSIS_FINDING_HH

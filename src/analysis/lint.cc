@@ -1,0 +1,177 @@
+#include "lint.hh"
+
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+
+namespace supmon
+{
+namespace analysis
+{
+
+namespace
+{
+
+std::string
+loc(const std::string &file, unsigned line)
+{
+    return file + ":" + std::to_string(line);
+}
+
+/** `evSendJobsEnd` -> `evSendJobs`; empty if not an End token. */
+std::string
+endStem(const std::string &name)
+{
+    static const std::string suffix = "End";
+    if (name.size() <= suffix.size())
+        return "";
+    if (name.compare(name.size() - suffix.size(), suffix.size(),
+                     suffix) != 0)
+        return "";
+    return name.substr(0, name.size() - suffix.size());
+}
+
+} // namespace
+
+std::vector<Finding>
+lintInstrumentation(const SourceIndex &index)
+{
+    std::vector<Finding> findings;
+
+    std::map<std::string, const TokenDecl *> decl_by_name;
+    std::map<std::uint16_t, const TokenDecl *> decl_by_value;
+    for (const auto &d : index.declarations) {
+        decl_by_name.emplace(d.name, &d);
+        // token-collision: two names for one 16-bit value.
+        const auto [it, inserted] = decl_by_value.emplace(d.value, &d);
+        if (!inserted && it->second->name != d.name) {
+            std::ostringstream msg;
+            msg << d.name << " reuses value 0x" << std::hex << d.value
+                << std::dec << " already taken by " << it->second->name
+                << " (" << loc(it->second->file, it->second->line)
+                << "); the merged trace could not tell them apart";
+            findings.push_back({"token-collision", Severity::Error,
+                                d.name, loc(d.file, d.line),
+                                msg.str()});
+        }
+    }
+
+    std::map<std::string, const DictionaryDef *> dict_by_name;
+    for (const auto &def : index.dictionaryDefs) {
+        // dictionary-unknown: entry for a token no enum declares.
+        if (!decl_by_name.count(def.token)) {
+            findings.push_back(
+                {"dictionary-unknown", Severity::Error, def.token,
+                 loc(def.file, def.line),
+                 "dictionary defines '" + def.token +
+                     "' but no token enum declares it"});
+        }
+        // dictionary-duplicate: defined twice (runtime would fatal).
+        const auto [it, inserted] =
+            dict_by_name.emplace(def.token, &def);
+        if (!inserted) {
+            findings.push_back(
+                {"dictionary-duplicate", Severity::Error, def.token,
+                 loc(def.file, def.line),
+                 "'" + def.token + "' already defined at " +
+                     loc(it->second->file, it->second->line)});
+        }
+    }
+
+    std::set<std::string> emitted;
+    for (const auto &e : index.emissions) {
+        emitted.insert(e.token);
+        // undeclared-token: emitted but never declared.
+        if (!decl_by_name.count(e.token)) {
+            findings.push_back(
+                {"undeclared-token", Severity::Error, e.token,
+                 loc(e.file, e.line),
+                 "emitted via " + e.via +
+                     "() but not declared in any token enum"});
+        }
+    }
+
+    std::set<std::string> inspected;
+    for (const auto &m : index.validatorMentions)
+        inspected.insert(m.token);
+
+    for (const auto &d : index.declarations) {
+        // unused-token: declared but never emitted.
+        if (!emitted.count(d.name)) {
+            findings.push_back(
+                {"unused-token", Severity::Warning, d.name,
+                 loc(d.file, d.line),
+                 "declared but never emitted by any instrumentation "
+                 "site - stale instrumentation"});
+        }
+        // undocumented-token: in no dictionary, so the evaluation
+        // tools would show raw hex and the token-dictionary trace
+        // rule would reject any trace containing it.
+        const auto dict_it = dict_by_name.find(d.name);
+        if (dict_it == dict_by_name.end()) {
+            findings.push_back(
+                {"undocumented-token", Severity::Warning, d.name,
+                 loc(d.file, d.line),
+                 "declared but defined in no event dictionary - "
+                 "traces containing it fail the token-dictionary "
+                 "rule and render as raw hex"});
+        }
+
+        // unbalanced-token, End side: an End with no Begin.
+        const std::string stem = endStem(d.name);
+        if (!stem.empty() && !decl_by_name.count(stem + "Begin")) {
+            findings.push_back(
+                {"unbalanced-token", Severity::Warning, d.name,
+                 loc(d.file, d.line),
+                 "'" + d.name + "' has no matching '" + stem +
+                     "Begin' declaration"});
+        }
+        // unbalanced-token, kind side: a paired End must be a Point
+        // marker (it closes the state its Begin opened).
+        if (!stem.empty() && dict_it != dict_by_name.end() &&
+            dict_it->second->begin &&
+            decl_by_name.count(stem + "Begin")) {
+            findings.push_back(
+                {"unbalanced-token", Severity::Warning, d.name,
+                 loc(d.file, d.line),
+                 "'" + d.name + "' is defined as a state-entering "
+                 "Begin event; an End marker must be a Point"});
+        }
+
+        // unchecked-token: no validator rule ever inspects it. Begin
+        // tokens are exempt - the dictionary-driven state and
+        // activity rules inspect every Begin generically.
+        const bool is_begin_kind =
+            dict_it != dict_by_name.end() && dict_it->second->begin;
+        if (!is_begin_kind && !inspected.count(d.name)) {
+            findings.push_back(
+                {"unchecked-token", Severity::Warning, d.name,
+                 loc(d.file, d.line),
+                 "no validator rule inspects this token - a trace "
+                 "could silently misuse it (coverage gap)"});
+        }
+    }
+
+    sortFindings(findings);
+    return findings;
+}
+
+bool
+lintSourceTree(const std::string &src_root,
+               std::vector<Finding> &findings, std::string &error)
+{
+    const std::vector<std::string> files = listSourceFiles(src_root);
+    if (files.empty()) {
+        error = src_root + ": no C++ sources found";
+        return false;
+    }
+    SourceIndex index;
+    if (!scanFiles(files, index, error))
+        return false;
+    findings = lintInstrumentation(index);
+    return true;
+}
+
+} // namespace analysis
+} // namespace supmon

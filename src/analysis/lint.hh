@@ -1,0 +1,67 @@
+/**
+ * @file
+ * The instrumentation linter: cross-checks the facts harvested by
+ * sourcescan.hh the way the paper's authors had to do by reading
+ * traces after the fact - except statically, before a run executes.
+ *
+ * Checks (the slug is the Finding::check value):
+ *
+ *  - undeclared-token      (error)   a site emits an `ev*` identifier
+ *                                    that no token enum declares;
+ *  - unused-token          (warning) a declared token is never
+ *                                    emitted anywhere - stale
+ *                                    instrumentation that rots;
+ *  - undocumented-token    (warning) a declared token is missing from
+ *                                    every event dictionary, so the
+ *                                    evaluation tools would render it
+ *                                    as a raw hex number and the
+ *                                    token-dictionary rule would
+ *                                    reject any trace containing it;
+ *  - dictionary-unknown    (error)   a dictionary entry names a token
+ *                                    that no enum declares;
+ *  - dictionary-duplicate  (error)   a token is defined twice across
+ *                                    the dictionary builders (the
+ *                                    runtime would fatal);
+ *  - token-collision       (error)   two declarations share one
+ *                                    16-bit value - the merged trace
+ *                                    could not tell them apart;
+ *  - unbalanced-token      (warning) an `ev*End` marker without the
+ *                                    matching `ev*Begin`, or a paired
+ *                                    End defined as a state-entering
+ *                                    Begin event (an End must be a
+ *                                    Point: it closes its state);
+ *  - unchecked-token       (warning) a declared Point token that no
+ *                                    validator rule ever inspects
+ *                                    (Begin tokens are covered
+ *                                    generically by the dictionary-
+ *                                    driven state/activity rules).
+ */
+
+#ifndef ANALYSIS_LINT_HH
+#define ANALYSIS_LINT_HH
+
+#include <vector>
+
+#include "analysis/finding.hh"
+#include "analysis/sourcescan.hh"
+
+namespace supmon
+{
+namespace analysis
+{
+
+/** Run every instrumentation check over a scanned source index. */
+std::vector<Finding> lintInstrumentation(const SourceIndex &index);
+
+/**
+ * Convenience: scan the source tree under @p src_root and lint it.
+ * @return false (and set @p error) if the tree cannot be read; the
+ * findings vector is then untouched.
+ */
+bool lintSourceTree(const std::string &src_root,
+                    std::vector<Finding> &findings, std::string &error);
+
+} // namespace analysis
+} // namespace supmon
+
+#endif // ANALYSIS_LINT_HH

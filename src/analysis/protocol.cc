@@ -1,0 +1,354 @@
+#include "protocol.hh"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+namespace supmon
+{
+namespace analysis
+{
+
+void
+CommGraph::declareNode(const std::string &name, NodeKind kind)
+{
+    nodeList.push_back({name, kind});
+}
+
+void
+CommGraph::addSend(const std::string &from, const std::string &to,
+                   bool blocking, const std::string &label)
+{
+    edgeList.push_back({from, to, blocking, label});
+}
+
+void
+CommGraph::addQueue(QueueSpec queue)
+{
+    queueList.push_back(std::move(queue));
+}
+
+namespace
+{
+
+/**
+ * Wait-for cycle search over the blocking edges between Process
+ * nodes. Edges into mailboxes, agent pools and services end the wait
+ * chain: those endpoints are always receptive (the mailbox LWP
+ * returns to its receive no matter what its owner does), which is
+ * exactly why SUPRENUM's effectively-synchronous sends still make
+ * progress - and why a direct Process->Process rendezvous ring does
+ * not.
+ */
+class CycleFinder
+{
+  public:
+    CycleFinder(const std::vector<ProtoNode> &nodes,
+                const std::vector<ProtoEdge> &edges)
+    {
+        for (const auto &n : nodes) {
+            if (n.kind == NodeKind::Process)
+                adjacency[n.name]; // ensure every process has an entry
+        }
+        for (const auto &e : edges) {
+            if (!e.blocking)
+                continue;
+            const auto from = adjacency.find(e.from);
+            if (from == adjacency.end())
+                continue; // non-process senders never wait
+            if (!adjacency.count(e.to))
+                continue; // always-receptive target: chain ends
+            from->second.push_back(e.to);
+        }
+        for (auto &[name, next] : adjacency) {
+            std::sort(next.begin(), next.end());
+            next.erase(std::unique(next.begin(), next.end()),
+                       next.end());
+        }
+    }
+
+    /** Each distinct cycle, canonicalized (rotated to its smallest
+     *  member) so one cycle reports once however it is entered. */
+    std::vector<std::vector<std::string>>
+    cycles()
+    {
+        for (const auto &[name, next] : adjacency) {
+            (void)next;
+            if (!state.count(name))
+                visit(name);
+        }
+        return found;
+    }
+
+  private:
+    void
+    visit(const std::string &node)
+    {
+        state[node] = OnStack;
+        stack.push_back(node);
+        for (const auto &next : adjacency[node]) {
+            const auto it = state.find(next);
+            if (it == state.end()) {
+                visit(next);
+            } else if (it->second == OnStack) {
+                recordCycle(next);
+            }
+        }
+        stack.pop_back();
+        state[node] = Done;
+    }
+
+    void
+    recordCycle(const std::string &entry)
+    {
+        const auto start =
+            std::find(stack.begin(), stack.end(), entry);
+        if (start == stack.end())
+            return;
+        std::vector<std::string> cycle(start, stack.end());
+        const auto min =
+            std::min_element(cycle.begin(), cycle.end());
+        std::rotate(cycle.begin(), min, cycle.end());
+        if (std::find(found.begin(), found.end(), cycle) ==
+            found.end())
+            found.push_back(cycle);
+    }
+
+    enum State
+    {
+        OnStack,
+        Done,
+    };
+
+    std::map<std::string, std::vector<std::string>> adjacency;
+    std::map<std::string, State> state;
+    std::vector<std::string> stack;
+    std::vector<std::vector<std::string>> found;
+};
+
+std::string
+joinCycle(const std::vector<std::string> &cycle)
+{
+    std::string out;
+    for (const auto &node : cycle) {
+        if (!out.empty())
+            out += "->";
+        out += node;
+    }
+    return out;
+}
+
+} // namespace
+
+std::vector<Finding>
+CommGraph::analyze() const
+{
+    std::vector<Finding> findings;
+
+    std::map<std::string, NodeKind> declared;
+    for (const auto &n : nodeList)
+        declared.emplace(n.name, n.kind);
+
+    // no-receiver / no-sender: every edge endpoint must be declared.
+    for (const auto &e : edgeList) {
+        if (!declared.count(e.to)) {
+            findings.push_back(
+                {"no-receiver", Severity::Error, e.to, "",
+                 e.from + " sends '" + e.label + "' to '" + e.to +
+                     "', which is not a declared endpoint - the "
+                     "message can never be accepted"});
+        }
+        if (!declared.count(e.from)) {
+            findings.push_back(
+                {"no-sender", Severity::Error, e.from, "",
+                 "'" + e.from + "' sends '" + e.label + "' to " +
+                     e.to + " but is not a declared endpoint"});
+        }
+    }
+
+    // wait-cycle: blocking rendezvous rings among processes.
+    CycleFinder finder(nodeList, edgeList);
+    for (const auto &cycle : finder.cycles()) {
+        std::ostringstream msg;
+        msg << "blocking sends form a wait-for cycle ("
+            << joinCycle(cycle) << "->" << cycle.front()
+            << "): every participant waits for the next to accept "
+               "and none ever does; no always-receptive mailbox "
+               "breaks the chain";
+        findings.push_back({"wait-cycle", Severity::Error,
+                            joinCycle(cycle), "", msg.str()});
+    }
+
+    // queue-capacity: worst-case demand must fit the bound.
+    for (const auto &q : queueList) {
+        if (q.worstCaseDemand <= q.capacity)
+            continue;
+        std::ostringstream msg;
+        msg << "capacity " << q.capacity
+            << " is below the worst-case demand of "
+            << q.worstCaseDemand;
+        if (!q.demandNote.empty())
+            msg << " (" << q.demandNote << ")";
+        msg << " - the queue throttles the producer and starves the "
+               "consumers, the paper's version 1-3 pixel-queue bug";
+        findings.push_back({"queue-capacity", Severity::Warning,
+                            q.name, "", msg.str()});
+    }
+
+    sortFindings(findings);
+    return findings;
+}
+
+CommGraph
+buildCommGraph(const par::RunConfig &cfg)
+{
+    CommGraph g;
+
+    g.declareNode("master", NodeKind::Process);
+    g.declareNode("master-mailbox", NodeKind::Mailbox);
+    g.declareNode("disk-service", NodeKind::Service);
+    g.addSend("master", "disk-service", true, "picture-file");
+
+    if (cfg.forwardAgents())
+        g.declareNode("master-agents", NodeKind::AgentPool);
+
+    for (unsigned s = 0; s < cfg.numServants; ++s) {
+        const std::string servant =
+            "servant-" + std::to_string(s + 1);
+        g.declareNode(servant, NodeKind::Process);
+        g.declareNode(servant + "-mailbox", NodeKind::Mailbox);
+
+        // Jobs: master -> servant mailbox, via the agent pool from
+        // V2 on (the pool accepts the submission instantly and the
+        // agent LWP carries the rendezvous).
+        if (cfg.forwardAgents()) {
+            g.addSend("master-agents", servant + "-mailbox", true,
+                      "job");
+        } else {
+            g.addSend("master", servant + "-mailbox", true, "job");
+        }
+
+        // Results: servant -> master mailbox, via the servant's own
+        // pool from V3 on.
+        if (cfg.reverseAgents()) {
+            const std::string pool = servant + "-agents";
+            g.declareNode(pool, NodeKind::AgentPool);
+            g.addSend(servant, pool, false, "result");
+            g.addSend(pool, "master-mailbox", true, "result");
+        } else {
+            g.addSend(servant, "master-mailbox", true, "result");
+        }
+
+        if (cfg.faultTolerant) {
+            const std::string beacon = servant + "-heartbeat";
+            g.declareNode(beacon, NodeKind::Process);
+            g.addSend(beacon, "master-mailbox", true, "heartbeat");
+        }
+    }
+
+    if (cfg.forwardAgents())
+        g.addSend("master", "master-agents", false, "job");
+
+    if (!cfg.faultPlanText.empty())
+        g.declareNode("fault-daemon", NodeKind::Process);
+
+    // The master's pixel queue: one pixel per queued ray plus the
+    // bundle being assembled. Every servant may hold a full window of
+    // outstanding bundles, so the queue must accommodate all of them
+    // or the master stops refilling and the servants starve - the
+    // exact constant version 4 fixed.
+    const std::size_t demand =
+        static_cast<std::size_t>(cfg.numServants) * cfg.windowSize *
+            cfg.bundleSize +
+        cfg.bundleSize;
+    std::ostringstream note;
+    note << cfg.numServants << " servants x window " << cfg.windowSize
+         << " x bundle " << cfg.bundleSize << " + bundle "
+         << cfg.bundleSize << " in assembly";
+    g.addQueue({"pixel-queue", cfg.pixelQueueLimit, demand,
+                note.str()});
+
+    return g;
+}
+
+std::vector<Finding>
+analyzeRunConfig(const par::RunConfig &cfg)
+{
+    std::vector<Finding> findings;
+
+    if (cfg.numServants == 0) {
+        findings.push_back(
+            {"config-bounds", Severity::Error, "numServants", "",
+             "no servant processors: the master would distribute "
+             "jobs to nobody and wait forever"});
+    }
+    if (cfg.bundleSize == 0) {
+        findings.push_back(
+            {"config-bounds", Severity::Error, "bundleSize", "",
+             "zero rays per job: no job can carry work"});
+    }
+    if (cfg.totalPixels() == 0) {
+        findings.push_back({"config-bounds", Severity::Error, "image",
+                            "",
+                            "empty image: nothing to trace"});
+    }
+    if (cfg.windowSize == 0) {
+        findings.push_back(
+            {"wait-cycle", Severity::Error, "window-flow-control", "",
+             "window size 0 issues no credit: the master waits for "
+             "results while every servant waits for a first job - a "
+             "wait-for cycle before the run starts"});
+    }
+    if (cfg.pixelQueueLimit < cfg.bundleSize) {
+        findings.push_back(
+            {"wait-cycle", Severity::Error, "pixel-queue", "",
+             "pixel-queue limit " +
+                 std::to_string(cfg.pixelQueueLimit) +
+                 " cannot hold one bundle of " +
+                 std::to_string(cfg.bundleSize) +
+                 " rays: no job can ever be assembled, master and "
+                 "servants wait on each other forever"});
+    }
+
+    if (cfg.faultTolerant) {
+        if (cfg.assignment != par::Assignment::Dynamic) {
+            findings.push_back(
+                {"config-bounds", Severity::Error, "fault-tolerant",
+                 "",
+                 "fault tolerance requires dynamic assignment: a "
+                 "static partition cannot reassign a dead servant's "
+                 "jobs"});
+        }
+        if (cfg.maxJobAttempts == 0) {
+            findings.push_back(
+                {"config-bounds", Severity::Error, "maxJobAttempts",
+                 "",
+                 "zero job attempts: the recovery path would give a "
+                 "job up before ever sending it"});
+        }
+        if (cfg.heartbeatTimeout <= cfg.heartbeatInterval) {
+            findings.push_back(
+                {"deadline-risk", Severity::Warning, "heartbeat", "",
+                 "heartbeat timeout does not exceed the beacon "
+                 "interval: every servant is declared dead between "
+                 "two beacons even when healthy"});
+        }
+        if (cfg.ackTimeout == 0) {
+            findings.push_back(
+                {"deadline-risk", Severity::Warning, "ack-timeout",
+                 "",
+                 "zero ack timeout: every job is resent immediately, "
+                 "flooding the servants with duplicates"});
+        }
+    }
+
+    const std::vector<Finding> graph =
+        buildCommGraph(cfg).analyze();
+    findings.insert(findings.end(), graph.begin(), graph.end());
+
+    sortFindings(findings);
+    return findings;
+}
+
+} // namespace analysis
+} // namespace supmon

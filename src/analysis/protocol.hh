@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Static protocol analyzer: builds the LWP/mailbox communication
+ * graph a RunConfig would instantiate (master, servants, mailboxes,
+ * agent pools, heartbeat beacons, disk service) and checks it - at
+ * analysis time, before any run executes - for the bug classes the
+ * paper only found by reading traces after the fact:
+ *
+ *  - wait-cycle      (error)   a cycle of blocking sends between
+ *                              processes: every participant waits
+ *                              for the next one to accept, nobody
+ *                              ever does (SUPRENUM's "asynchronous"
+ *                              mailbox was really synchronous - only
+ *                              the always-receptive mailbox LWP
+ *                              breaks such chains);
+ *  - no-receiver     (error)   a send whose destination is not a
+ *                              declared endpoint of the graph;
+ *  - queue-capacity  (warning) a bounded queue whose worst-case
+ *                              in-flight demand exceeds its
+ *                              capacity: the paper's mis-sized
+ *                              master pixel queue (versions 1-3)
+ *                              whose "inadequate constant" starved
+ *                              the servants;
+ *  - config-bounds   (error)   parameters the runtime would reject
+ *                              (zero servants, fault tolerance with
+ *                              static assignment, ...);
+ *  - deadline-risk   (warning) recovery deadlines that cannot work
+ *                              (heartbeat timeout not exceeding the
+ *                              beacon interval, zero ack timeout).
+ */
+
+#ifndef ANALYSIS_PROTOCOL_HH
+#define ANALYSIS_PROTOCOL_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "analysis/finding.hh"
+#include "partracer/config.hh"
+
+namespace supmon
+{
+namespace analysis
+{
+
+enum class NodeKind
+{
+    /** An application LWP that may itself block on sends/reads. */
+    Process,
+    /** A mailbox LWP: always returns to receive, never initiates. */
+    Mailbox,
+    /** A communication agent pool: accepts submissions instantly. */
+    AgentPool,
+    /** A machine service (disk node, ...): always receptive. */
+    Service,
+};
+
+struct ProtoNode
+{
+    std::string name;
+    NodeKind kind = NodeKind::Process;
+};
+
+struct ProtoEdge
+{
+    std::string from;
+    std::string to;
+    /** The sender blocks until the receiver accepts (rendezvous). */
+    bool blocking = false;
+    /** Message class, e.g. "job", "result", "heartbeat". */
+    std::string label;
+};
+
+/** A bounded queue with a statically known worst-case demand. */
+struct QueueSpec
+{
+    /** Stable queue name, e.g. "pixel-queue". */
+    std::string name;
+    std::size_t capacity = 0;
+    /** Worst-case entries in flight at once. */
+    std::size_t worstCaseDemand = 0;
+    /** Where the demand bound comes from (for the message). */
+    std::string demandNote;
+};
+
+/**
+ * The communication structure of a run. Build it by hand (tests,
+ * hypothetical protocols) or from a RunConfig via buildCommGraph().
+ */
+class CommGraph
+{
+  public:
+    void declareNode(const std::string &name, NodeKind kind);
+    void addSend(const std::string &from, const std::string &to,
+                 bool blocking, const std::string &label);
+    void addQueue(QueueSpec queue);
+
+    const std::vector<ProtoNode> &
+    nodes() const
+    {
+        return nodeList;
+    }
+
+    const std::vector<ProtoEdge> &
+    edges() const
+    {
+        return edgeList;
+    }
+
+    const std::vector<QueueSpec> &
+    queues() const
+    {
+        return queueList;
+    }
+
+    /** Run the graph checks (wait-cycle, no-receiver, capacity). */
+    std::vector<Finding> analyze() const;
+
+  private:
+    std::vector<ProtoNode> nodeList;
+    std::vector<ProtoEdge> edgeList;
+    std::vector<QueueSpec> queueList;
+};
+
+/** The graph runRayTracer() would instantiate for @p cfg. */
+CommGraph buildCommGraph(const par::RunConfig &cfg);
+
+/**
+ * Full static analysis of a run configuration: configuration bounds
+ * (config-bounds, deadline-risk, wait-cycle degeneracies) plus the
+ * communication-graph checks of buildCommGraph().analyze().
+ */
+std::vector<Finding> analyzeRunConfig(const par::RunConfig &cfg);
+
+} // namespace analysis
+} // namespace supmon
+
+#endif // ANALYSIS_PROTOCOL_HH

@@ -1,0 +1,320 @@
+#include "sourcescan.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace supmon
+{
+namespace analysis
+{
+
+namespace
+{
+
+bool
+isIdentStart(char c)
+{
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool
+isIdentChar(char c)
+{
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/** Two-character operators the scanner must not split: `==` must not
+ *  look like an assignment followed by an emission. */
+bool
+isTwoCharPunct(char a, char b)
+{
+    static const char *ops[] = {"::", "==", "!=", "<=", ">=", "->",
+                                "<<", ">>", "&&", "||", "+=", "-=",
+                                "*=", "/=", "|=", "&=", "^=", "%=",
+                                "++", "--"};
+    for (const char *op : ops) {
+        if (op[0] == a && op[1] == b)
+            return true;
+    }
+    return false;
+}
+
+} // namespace
+
+std::vector<SourceToken>
+lexCpp(const std::string &text)
+{
+    std::vector<SourceToken> tokens;
+    unsigned line = 1;
+    std::size_t i = 0;
+    const std::size_t n = text.size();
+
+    while (i < n) {
+        const char c = text[i];
+        if (c == '\n') {
+            ++line;
+            ++i;
+            continue;
+        }
+        if (std::isspace(static_cast<unsigned char>(c))) {
+            ++i;
+            continue;
+        }
+        // Comments.
+        if (c == '/' && i + 1 < n && text[i + 1] == '/') {
+            while (i < n && text[i] != '\n')
+                ++i;
+            continue;
+        }
+        if (c == '/' && i + 1 < n && text[i + 1] == '*') {
+            i += 2;
+            while (i + 1 < n &&
+                   !(text[i] == '*' && text[i + 1] == '/')) {
+                if (text[i] == '\n')
+                    ++line;
+                ++i;
+            }
+            i = std::min(n, i + 2);
+            continue;
+        }
+        // Raw string literals: R"delim( ... )delim".
+        if (c == 'R' && i + 1 < n && text[i + 1] == '"') {
+            std::size_t p = i + 2;
+            std::string delim;
+            while (p < n && text[p] != '(')
+                delim += text[p++];
+            const std::string close = ")" + delim + "\"";
+            const std::size_t end = text.find(close, p);
+            const std::size_t stop =
+                end == std::string::npos ? n : end + close.size();
+            tokens.push_back({SourceToken::Kind::Literal, "", line});
+            for (std::size_t k = i; k < stop; ++k) {
+                if (text[k] == '\n')
+                    ++line;
+            }
+            i = stop;
+            continue;
+        }
+        // String and character literals (contents dropped).
+        if (c == '"' || c == '\'') {
+            const char quote = c;
+            ++i;
+            while (i < n && text[i] != quote) {
+                if (text[i] == '\\')
+                    ++i;
+                else if (text[i] == '\n')
+                    ++line; // unterminated; keep the count right
+                ++i;
+            }
+            ++i;
+            tokens.push_back({SourceToken::Kind::Literal, "", line});
+            continue;
+        }
+        // Identifiers and keywords.
+        if (isIdentStart(c)) {
+            std::size_t start = i;
+            while (i < n && isIdentChar(text[i]))
+                ++i;
+            tokens.push_back({SourceToken::Kind::Identifier,
+                              text.substr(start, i - start), line});
+            continue;
+        }
+        // Numbers (enough for `0x0101`, `42`, `1.5e3`).
+        if (std::isdigit(static_cast<unsigned char>(c))) {
+            std::size_t start = i;
+            while (i < n && (isIdentChar(text[i]) || text[i] == '.'))
+                ++i;
+            tokens.push_back({SourceToken::Kind::Number,
+                              text.substr(start, i - start), line});
+            continue;
+        }
+        // Punctuation; two-character operators stay whole.
+        if (i + 1 < n && isTwoCharPunct(c, text[i + 1])) {
+            tokens.push_back({SourceToken::Kind::Punct,
+                              text.substr(i, 2), line});
+            i += 2;
+            continue;
+        }
+        tokens.push_back(
+            {SourceToken::Kind::Punct, std::string(1, c), line});
+        ++i;
+    }
+    return tokens;
+}
+
+bool
+isTokenIdentifier(const std::string &name)
+{
+    return name.size() > 2 && name[0] == 'e' && name[1] == 'v' &&
+           std::isupper(static_cast<unsigned char>(name[2]));
+}
+
+namespace
+{
+
+bool
+isValidatePath(const std::string &path)
+{
+    return path.find("validate/") != std::string::npos ||
+           path.find("validate\\") != std::string::npos;
+}
+
+} // namespace
+
+void
+scanSource(const std::string &path, const std::string &text,
+           SourceIndex &index)
+{
+    const std::vector<SourceToken> toks = lexCpp(text);
+    const bool in_validate = isValidatePath(path);
+
+    // Track enum body depth so `evX = 0x0101` inside an enum reads as
+    // a declaration while `token = evX;` outside reads as an emission.
+    int brace_depth = 0;
+    int enum_body_depth = -1; // depth inside an enum body, else -1
+    bool enum_head = false;   // between `enum` and its `{`
+
+    auto ident = [&toks](std::size_t k) -> const std::string & {
+        static const std::string empty;
+        return toks[k].kind == SourceToken::Kind::Identifier
+                   ? toks[k].text
+                   : empty;
+    };
+    auto punct = [&toks](std::size_t k, const char *p) {
+        return toks[k].kind == SourceToken::Kind::Punct &&
+               toks[k].text == p;
+    };
+
+    for (std::size_t k = 0; k < toks.size(); ++k) {
+        const SourceToken &t = toks[k];
+        if (t.kind == SourceToken::Kind::Punct) {
+            if (t.text == "{") {
+                ++brace_depth;
+                if (enum_head) {
+                    enum_body_depth = brace_depth;
+                    enum_head = false;
+                }
+            } else if (t.text == "}") {
+                if (brace_depth == enum_body_depth)
+                    enum_body_depth = -1;
+                --brace_depth;
+            } else if (t.text == ";") {
+                enum_head = false; // forward declaration
+            }
+            continue;
+        }
+        if (t.kind != SourceToken::Kind::Identifier)
+            continue;
+
+        if (t.text == "enum") {
+            enum_head = true;
+            continue;
+        }
+
+        // Dictionary definitions: defineBegin(evX, / definePoint(evX,
+        if ((t.text == "defineBegin" || t.text == "definePoint") &&
+            k + 2 < toks.size() && punct(k + 1, "(")) {
+            // Skip a namespace qualifier (`par :: evX`).
+            std::size_t a = k + 2;
+            while (a + 1 < toks.size() &&
+                   toks[a].kind == SourceToken::Kind::Identifier &&
+                   punct(a + 1, "::"))
+                a += 2;
+            if (a < toks.size() && isTokenIdentifier(ident(a))) {
+                index.dictionaryDefs.push_back(
+                    {ident(a), t.text == "defineBegin", path,
+                     toks[a].line});
+            }
+            continue;
+        }
+
+        if (!isTokenIdentifier(t.text))
+            continue;
+
+        // Every occurrence in src/validate/ counts as rule coverage.
+        if (in_validate) {
+            index.validatorMentions.push_back({t.text, path, t.line});
+            continue;
+        }
+
+        // Declaration: inside an enum body, followed by `= <number>`.
+        if (enum_body_depth == brace_depth && k + 2 < toks.size() &&
+            punct(k + 1, "=") &&
+            toks[k + 2].kind == SourceToken::Kind::Number) {
+            const unsigned long v =
+                std::strtoul(toks[k + 2].text.c_str(), nullptr, 0);
+            index.declarations.push_back(
+                {t.text, static_cast<std::uint16_t>(v), path, t.line});
+            continue;
+        }
+
+        // Emission idioms.
+        if (k >= 2 && punct(k - 1, "(")) {
+            const std::string &callee = ident(k - 2);
+            if (callee == "mon") {
+                index.emissions.push_back(
+                    {t.text, path, t.line, "mon"});
+                continue;
+            }
+            if (callee == "probeKernelEvent") {
+                index.emissions.push_back(
+                    {t.text, path, t.line, "probeKernelEvent"});
+                continue;
+            }
+        }
+        // The fault daemon's indirection: `token = evX;` later fed to
+        // mon(token, ...). Plain `=` only - the lexer keeps `==` whole.
+        if (k >= 1 && punct(k - 1, "=") &&
+            enum_body_depth != brace_depth) {
+            index.emissions.push_back({t.text, path, t.line, "assign"});
+            continue;
+        }
+    }
+}
+
+bool
+scanFiles(const std::vector<std::string> &paths, SourceIndex &index,
+          std::string &error)
+{
+    for (const auto &path : paths) {
+        std::ifstream in(path, std::ios::binary);
+        if (!in) {
+            error = path + ": cannot open source file";
+            return false;
+        }
+        std::ostringstream buf;
+        buf << in.rdbuf();
+        scanSource(path, buf.str(), index);
+        index.filesScanned.push_back(path);
+    }
+    return true;
+}
+
+std::vector<std::string>
+listSourceFiles(const std::string &src_root)
+{
+    namespace fs = std::filesystem;
+    std::vector<std::string> files;
+    std::error_code ec;
+    fs::recursive_directory_iterator it(src_root, ec);
+    if (ec)
+        return files;
+    for (const auto &entry :
+         fs::recursive_directory_iterator(src_root, ec)) {
+        if (!entry.is_regular_file(ec))
+            continue;
+        const std::string ext = entry.path().extension().string();
+        if (ext == ".cc" || ext == ".hh" || ext == ".cpp" ||
+            ext == ".hpp")
+            files.push_back(entry.path().generic_string());
+    }
+    std::sort(files.begin(), files.end());
+    return files;
+}
+
+} // namespace analysis
+} // namespace supmon

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Lightweight lexical scan of the C++ sources for instrumentation
+ * facts. This is deliberately *not* a C++ parser: the paper's lesson
+ * is that the instrumentation discipline must be checkable, so the
+ * instrumentation idioms are kept regular enough that a lexer finds
+ * every one of them:
+ *
+ *  - token declarations:   enum entries `evName = 0x0101,`;
+ *  - emission sites:       `co_await mon(evName, ...)`,
+ *                          `probeKernelEvent(evName, ...)`, and the
+ *                          fault daemon's `token = evName;` indirection;
+ *  - dictionary entries:   `defineBegin(evName, ...)` /
+ *                          `definePoint(evName, ...)`;
+ *  - validator mentions:   any `ev*` identifier in src/validate/.
+ *
+ * The lexer strips comments and string/char literals (so a token name
+ * inside a diagnostic string is not an emission) and keeps line
+ * numbers for every fact.
+ */
+
+#ifndef ANALYSIS_SOURCESCAN_HH
+#define ANALYSIS_SOURCESCAN_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace supmon
+{
+namespace analysis
+{
+
+struct SourceToken
+{
+    enum class Kind
+    {
+        Identifier,
+        Number,
+        Punct,
+        Literal, // string or char literal, contents dropped
+    };
+
+    Kind kind = Kind::Punct;
+    std::string text;
+    unsigned line = 1;
+};
+
+/** Tokenize C++ source text; comments vanish, literals collapse. */
+std::vector<SourceToken> lexCpp(const std::string &text);
+
+/** An `evX = 0xNNNN` entry of a token enum. */
+struct TokenDecl
+{
+    std::string name;
+    std::uint16_t value = 0;
+    std::string file;
+    unsigned line = 0;
+};
+
+/** A site that records a token into the measurement stream. */
+struct EmissionSite
+{
+    std::string token;
+    std::string file;
+    unsigned line = 0;
+    /** The idiom that emits: "mon", "probeKernelEvent", "assign". */
+    std::string via;
+};
+
+/** A defineBegin()/definePoint() dictionary entry. */
+struct DictionaryDef
+{
+    std::string token;
+    /** true = defineBegin (state-entering), false = definePoint. */
+    bool begin = false;
+    std::string file;
+    unsigned line = 0;
+};
+
+/** Any ev* identifier occurrence (used for validator coverage). */
+struct TokenMention
+{
+    std::string token;
+    std::string file;
+    unsigned line = 0;
+};
+
+struct SourceIndex
+{
+    std::vector<TokenDecl> declarations;
+    std::vector<EmissionSite> emissions;
+    std::vector<DictionaryDef> dictionaryDefs;
+    /** ev* mentions inside src/validate/ (rule coverage). */
+    std::vector<TokenMention> validatorMentions;
+    std::vector<std::string> filesScanned;
+};
+
+/** True for identifiers following the token naming scheme (evFoo). */
+bool isTokenIdentifier(const std::string &name);
+
+/** Scan one file's text into @p index (path classifies validate/). */
+void scanSource(const std::string &path, const std::string &text,
+                SourceIndex &index);
+
+/**
+ * Read and scan files. @return false (and set @p error) on the first
+ * unreadable file.
+ */
+bool scanFiles(const std::vector<std::string> &paths,
+               SourceIndex &index, std::string &error);
+
+/**
+ * The .cc/.hh files under @p src_root (recursively), sorted for
+ * deterministic reports. Empty if the directory does not exist.
+ */
+std::vector<std::string> listSourceFiles(const std::string &src_root);
+
+} // namespace analysis
+} // namespace supmon
+
+#endif // ANALYSIS_SOURCESCAN_HH

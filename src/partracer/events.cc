@@ -1,6 +1,7 @@
 #include "events.hh"
 
 #include "hybrid/event_code.hh"
+#include "suprenum/kernel_events.hh"
 
 namespace supmon
 {
@@ -66,6 +67,18 @@ rayTracerDictionary()
                      "FORWARD MESSAGE");
     dict.defineBegin(evAgentFreed, "Agent Freed", "FREED");
     dict.defineBegin(evAgentSleep, "Agent Sleep", "SLEEP");
+
+    // Kernel probe events (OS instrumentation side channel). Defined
+    // here too so the one dictionary names every token class a run
+    // can record and the kernel trace renders symbolically.
+    dict.definePoint(suprenum::evKernDispatch, "Kernel Dispatch");
+    dict.definePoint(suprenum::evKernBlock, "Kernel Block");
+    dict.definePoint(suprenum::evKernReady, "Kernel Ready");
+    dict.definePoint(suprenum::evKernDeliver, "Kernel Deliver");
+    dict.definePoint(suprenum::evKernSend, "Kernel Send");
+    dict.definePoint(suprenum::evKernYield, "Kernel Yield");
+    dict.definePoint(suprenum::evKernExit, "Kernel Exit");
+    dict.definePoint(suprenum::evKernDrop, "Kernel Drop");
 
     // Injected faults (fault daemon, Figure-style recovery timeline).
     dict.definePoint(evInjectKill, "Inject Kill");

@@ -20,7 +20,9 @@ struct DiskRecord
     std::uint32_t stream;
     std::uint16_t token;
     std::uint8_t flags;
-    std::uint8_t pad = 0;
+    /** Kept trivial (no initializer): writers memset the whole
+     *  record, padding included, so the file bytes reproduce. */
+    std::uint8_t pad;
 };
 
 /** Version 1 header: magic + version + count. */

@@ -232,9 +232,22 @@ ConservationRule::check(const std::vector<trace::TraceEvent> &events,
     std::uint64_t servant_starts = 0;
     std::uint64_t servant_dones = 0;
     std::uint64_t pixels_written = 0;
+    std::uint64_t send_jobs_begins = 0;
+    std::uint64_t send_jobs_ends = 0;
+    std::uint64_t write_begins = 0;
+    std::uint64_t write_ends = 0;
 
     for (const auto &ev : events) {
         switch (ev.token) {
+          case par::evSendJobsBegin:
+            ++send_jobs_begins;
+            break;
+          case par::evSendJobsEnd:
+            ++send_jobs_ends;
+            break;
+          case par::evWritePixelsEnd:
+            ++write_ends;
+            break;
           case par::evJobSend:
             ++job_sends;
             break;
@@ -257,6 +270,7 @@ ConservationRule::check(const std::vector<trace::TraceEvent> &events,
             ++servant_dones;
             break;
           case par::evWritePixelsBegin:
+            ++write_begins;
             pixels_written += ev.param;
             break;
           default:
@@ -283,6 +297,26 @@ ConservationRule::check(const std::vector<trace::TraceEvent> &events,
                                   servant_starts),
                               static_cast<unsigned long long>(
                                   servant_dones)));
+    }
+    if (send_jobs_begins != send_jobs_ends) {
+        report(out, *this, tail,
+               sim::strprintf("%llu Send Jobs Begin but %llu Send "
+                              "Jobs End markers - an activity was "
+                              "left open",
+                              static_cast<unsigned long long>(
+                                  send_jobs_begins),
+                              static_cast<unsigned long long>(
+                                  send_jobs_ends)));
+    }
+    if (write_begins != write_ends) {
+        report(out, *this, tail,
+               sim::strprintf("%llu Write Pixels Begin but %llu "
+                              "Write Pixels End markers - an "
+                              "activity was left open",
+                              static_cast<unsigned long long>(
+                                  write_begins),
+                              static_cast<unsigned long long>(
+                                  write_ends)));
     }
     if (job_sends > 0 && job_sends != work_begins) {
         report(out, *this, tail,
@@ -563,8 +597,13 @@ FaultObservationRule::check(const std::vector<trace::TraceEvent> &events,
 {
     std::uint64_t kills = 0, crashes = 0, restarts = 0, drops = 0;
     std::uint64_t corrupts = 0, delays = 0, stalls = 0;
+    std::uint64_t corrupt_discards = 0;
     for (const auto &ev : events) {
         switch (ev.token) {
+          case par::evFaultCorruptDiscarded:
+          case par::evServantCorruptJob:
+            ++corrupt_discards;
+            break;
           case par::evInjectKill:
             ++kills;
             break;
@@ -612,6 +651,22 @@ FaultObservationRule::check(const std::vector<trace::TraceEvent> &events,
     expect("corrupted messages", expected.messagesCorrupted, corrupts);
     expect("delayed messages", expected.messagesDelayed, delays);
     expect("stalls", expected.stalls, stalls);
+
+    // Checksum failures are observed where the garbled message is
+    // *read* (master: Fault Corrupt Discarded; servant: Servant
+    // Corrupt Job). A corrupted message can also die unread - lost
+    // with a killed receiver or still in flight at the end - so the
+    // observations bound the injections from below, never exceed them.
+    if (corrupt_discards > expected.messagesCorrupted) {
+        report(out, *this, tail,
+               sim::strprintf("the trace discards %llu corrupt "
+                              "messages but the injector corrupted "
+                              "only %llu",
+                              static_cast<unsigned long long>(
+                                  corrupt_discards),
+                              static_cast<unsigned long long>(
+                                  expected.messagesCorrupted)));
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -625,6 +680,8 @@ RecoveryConsistencyRule::check(
 {
     std::map<std::uint32_t, std::size_t> accepted; // job -> event
     std::set<std::uint32_t> retried_here;
+    std::set<std::uint32_t> timed_out;      // jobs with a Timeout
+    std::set<std::uint32_t> dead_servants;  // Servant Dead params
     for (std::size_t i = 0; i < events.size(); ++i) {
         const auto &ev = events[i];
         const std::uint32_t job = ev.param;
@@ -653,9 +710,34 @@ RecoveryConsistencyRule::check(
             }
             break;
           }
-          case par::evFaultRetry:
+          case par::evFaultTimeout:
+            timed_out.insert(job);
+            break;
+          case par::evFaultServantDead: {
+            // Dead stays dead (LivenessTracker): a second marker for
+            // the same servant means the liveness table regressed.
+            if (!dead_servants.insert(job).second) {
+                report(out, *this, i,
+                       sim::strprintf("servant %u declared dead "
+                                      "twice",
+                                      job));
+            }
+            break;
+          }
+          case par::evFaultRetry: {
+            // Every resend has a cause on record: an ack deadline for
+            // this very job, or a dead servant whose orphaned jobs
+            // are requeued without individual timeout markers.
+            if (!timed_out.count(job) && dead_servants.empty()) {
+                report(out, *this, i,
+                       sim::strprintf(
+                           "job %u retried but no Fault Timeout for "
+                           "it and no dead servant precede the retry",
+                           job));
+            }
             retried_here.insert(job);
             break;
+          }
           case par::evFaultJobReassigned: {
             if (!retried_here.count(job)) {
                 report(out, *this, i,

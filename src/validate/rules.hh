@@ -158,8 +158,10 @@ struct ConservationExpectations
 /**
  * Conservation laws over the whole trace: everything sent is worked,
  * everything worked is received, every servant that starts finishes,
- * and the master's start/done markers pair up. With expectations set,
- * the trace counts are additionally checked against the ground truth.
+ * the master's start/done markers pair up, and the Send Jobs /
+ * Write Pixels Begin/End markers balance (no activity left open).
+ * With expectations set, the trace counts are additionally checked
+ * against the ground truth.
  */
 class ConservationRule : public Rule
 {
@@ -252,9 +254,12 @@ class ActivitySanityRule : public Rule
 /**
  * Every fault the injector reports must be observed in the trace: the
  * per-kind counts of the class-4 evInject* tokens (emitted by the
- * application's fault daemon) must equal the injector's own counters.
- * This is the "recovery observability" contract - a fault that the
- * trace cannot show might as well not have been monitored.
+ * application's fault daemon) must equal the injector's own counters,
+ * and the checksum-failure discards observed at the receivers (Fault
+ * Corrupt Discarded, Servant Corrupt Job) must not exceed the number
+ * of messages the injector corrupted. This is the "recovery
+ * observability" contract - a fault that the trace cannot show might
+ * as well not have been monitored.
  */
 class FaultObservationRule : public Rule
 {
@@ -284,7 +289,11 @@ class FaultObservationRule : public Rule
  *  - every Duplicate Result marker refers to a job whose results were
  *    accepted earlier in the trace;
  *  - every Job Reassigned marker is accompanied by a Retry marker for
- *    the same job at the same instant.
+ *    the same job at the same instant;
+ *  - every Retry has a recorded cause: a prior Fault Timeout for the
+ *    same job, or a prior Fault Servant Dead (orphaned jobs are
+ *    requeued without individual timeout markers);
+ *  - a servant is declared dead at most once (dead stays dead).
  */
 class RecoveryConsistencyRule : public Rule
 {

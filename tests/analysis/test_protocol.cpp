@@ -1,0 +1,280 @@
+/**
+ * @file
+ * Static protocol-analyzer tests (analysis/protocol.hh): wait-for
+ * cycle detection on hand-built graphs, undeclared receivers, queue
+ * capacity bounds, and the RunConfig analysis - including the
+ * paper's version 1-3 pixel-queue sizing bug caught statically.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "analysis/protocol.hh"
+#include "validate/scenarios.hh"
+
+using namespace supmon;
+using analysis::CommGraph;
+using analysis::Finding;
+using analysis::NodeKind;
+using analysis::Severity;
+
+namespace
+{
+
+std::vector<Finding>
+withCheck(const std::vector<Finding> &findings,
+          const std::string &check)
+{
+    std::vector<Finding> out;
+    for (const auto &f : findings) {
+        if (f.check == check)
+            out.push_back(f);
+    }
+    return out;
+}
+
+} // namespace
+
+TEST(CommGraph, DirectRendezvousRingIsAWaitCycle)
+{
+    CommGraph g;
+    g.declareNode("a", NodeKind::Process);
+    g.declareNode("b", NodeKind::Process);
+    g.declareNode("c", NodeKind::Process);
+    g.addSend("a", "b", true, "m");
+    g.addSend("b", "c", true, "m");
+    g.addSend("c", "a", true, "m");
+    const auto hits = withCheck(g.analyze(), "wait-cycle");
+    ASSERT_EQ(hits.size(), 1u);
+    EXPECT_EQ(hits[0].object, "a->b->c");
+    EXPECT_EQ(hits[0].severity, Severity::Error);
+}
+
+TEST(CommGraph, SelfSendIsAWaitCycle)
+{
+    CommGraph g;
+    g.declareNode("a", NodeKind::Process);
+    g.addSend("a", "a", true, "m");
+    const auto hits = withCheck(g.analyze(), "wait-cycle");
+    ASSERT_EQ(hits.size(), 1u);
+    EXPECT_EQ(hits[0].object, "a");
+}
+
+TEST(CommGraph, AlwaysReceptiveMailboxBreaksTheCycle)
+{
+    // The SUPRENUM pattern: both directions go through a mailbox LWP
+    // that always returns to its receive, so the mutual sends never
+    // deadlock even though each send is a blocking rendezvous.
+    CommGraph g;
+    g.declareNode("a", NodeKind::Process);
+    g.declareNode("b", NodeKind::Process);
+    g.declareNode("a-mailbox", NodeKind::Mailbox);
+    g.declareNode("b-mailbox", NodeKind::Mailbox);
+    g.addSend("a", "b-mailbox", true, "m");
+    g.addSend("b", "a-mailbox", true, "m");
+    EXPECT_TRUE(g.analyze().empty());
+}
+
+TEST(CommGraph, NonBlockingRingIsNotACycle)
+{
+    CommGraph g;
+    g.declareNode("a", NodeKind::Process);
+    g.declareNode("b", NodeKind::Process);
+    g.addSend("a", "b", false, "m");
+    g.addSend("b", "a", false, "m");
+    EXPECT_TRUE(withCheck(g.analyze(), "wait-cycle").empty());
+}
+
+TEST(CommGraph, TwoEntriesIntoOneCycleReportOnce)
+{
+    CommGraph g;
+    g.declareNode("x", NodeKind::Process);
+    g.declareNode("y", NodeKind::Process);
+    g.declareNode("outsider", NodeKind::Process);
+    g.addSend("x", "y", true, "m");
+    g.addSend("y", "x", true, "m");
+    g.addSend("outsider", "x", true, "m");
+    const auto hits = withCheck(g.analyze(), "wait-cycle");
+    ASSERT_EQ(hits.size(), 1u);
+    EXPECT_EQ(hits[0].object, "x->y");
+}
+
+TEST(CommGraph, SendToUndeclaredEndpointIsFlagged)
+{
+    CommGraph g;
+    g.declareNode("a", NodeKind::Process);
+    g.addSend("a", "nobody", true, "result");
+    const auto hits = withCheck(g.analyze(), "no-receiver");
+    ASSERT_EQ(hits.size(), 1u);
+    EXPECT_EQ(hits[0].object, "nobody");
+    EXPECT_EQ(hits[0].severity, Severity::Error);
+}
+
+TEST(CommGraph, UnderSizedQueueIsFlaggedByName)
+{
+    CommGraph g;
+    g.addQueue({"pixel-queue", 1000, 2300, "demand note"});
+    const auto hits = withCheck(g.analyze(), "queue-capacity");
+    ASSERT_EQ(hits.size(), 1u);
+    EXPECT_EQ(hits[0].object, "pixel-queue");
+    EXPECT_NE(hits[0].message.find("1000"), std::string::npos);
+    EXPECT_NE(hits[0].message.find("2300"), std::string::npos);
+}
+
+TEST(CommGraph, AdequateQueueIsClean)
+{
+    CommGraph g;
+    g.addQueue({"pixel-queue", 2300, 2300, ""});
+    EXPECT_TRUE(g.analyze().empty());
+}
+
+// ---------------------------------------------------------------------
+// RunConfig analysis
+// ---------------------------------------------------------------------
+
+TEST(AnalyzeRunConfig, Version3HasThePaperPixelQueueBug)
+{
+    par::RunConfig cfg;
+    cfg.version = par::Version::V3AgentsBoth;
+    cfg.applyVersionDefaults();
+    const auto hits = withCheck(analysis::analyzeRunConfig(cfg),
+                                "queue-capacity");
+    ASSERT_EQ(hits.size(), 1u);
+    EXPECT_EQ(hits[0].object, "pixel-queue");
+    // 15 servants x window 3 x bundle 50 + one bundle in assembly.
+    EXPECT_NE(hits[0].message.find("2300"), std::string::npos);
+}
+
+TEST(AnalyzeRunConfig, Version4FixIsClean)
+{
+    par::RunConfig cfg;
+    cfg.version = par::Version::V4Tuned;
+    cfg.applyVersionDefaults();
+    const auto findings = analysis::analyzeRunConfig(cfg);
+    EXPECT_TRUE(findings.empty())
+        << analysis::formatText(findings);
+}
+
+TEST(AnalyzeRunConfig, ReintroducedConstantIsCaught)
+{
+    // The acceptance demo: version 4 with the historical constant
+    // put back must fail with a capacity finding naming the queue.
+    par::RunConfig cfg;
+    cfg.version = par::Version::V4Tuned;
+    cfg.applyVersionDefaults();
+    cfg.pixelQueueLimit = 1000;
+    const auto hits = withCheck(analysis::analyzeRunConfig(cfg),
+                                "queue-capacity");
+    ASSERT_EQ(hits.size(), 1u);
+    EXPECT_EQ(hits[0].object, "pixel-queue");
+}
+
+TEST(AnalyzeRunConfig, EveryGoldenScenarioIsClean)
+{
+    for (const auto &scenario : validate::goldenScenarios()) {
+        const auto findings =
+            analysis::analyzeRunConfig(scenario.config);
+        EXPECT_TRUE(findings.empty())
+            << scenario.name << ":\n"
+            << analysis::formatText(findings);
+    }
+}
+
+TEST(AnalyzeRunConfig, ZeroWindowIsAWaitCycle)
+{
+    par::RunConfig cfg;
+    cfg.windowSize = 0;
+    const auto hits =
+        withCheck(analysis::analyzeRunConfig(cfg), "wait-cycle");
+    ASSERT_EQ(hits.size(), 1u);
+    EXPECT_EQ(hits[0].object, "window-flow-control");
+}
+
+TEST(AnalyzeRunConfig, QueueSmallerThanOneBundleIsAWaitCycle)
+{
+    par::RunConfig cfg;
+    cfg.version = par::Version::V3AgentsBoth;
+    cfg.applyVersionDefaults(); // bundle 50
+    cfg.pixelQueueLimit = 10;
+    const auto hits =
+        withCheck(analysis::analyzeRunConfig(cfg), "wait-cycle");
+    ASSERT_EQ(hits.size(), 1u);
+    EXPECT_EQ(hits[0].object, "pixel-queue");
+}
+
+TEST(AnalyzeRunConfig, ZeroServantsIsRejected)
+{
+    par::RunConfig cfg;
+    cfg.numServants = 0;
+    const auto hits =
+        withCheck(analysis::analyzeRunConfig(cfg), "config-bounds");
+    ASSERT_EQ(hits.size(), 1u);
+    EXPECT_EQ(hits[0].object, "numServants");
+}
+
+TEST(AnalyzeRunConfig, FaultToleranceNeedsDynamicAssignment)
+{
+    par::RunConfig cfg;
+    cfg.faultTolerant = true;
+    cfg.assignment = par::Assignment::StaticContiguous;
+    const auto hits =
+        withCheck(analysis::analyzeRunConfig(cfg), "config-bounds");
+    ASSERT_EQ(hits.size(), 1u);
+    EXPECT_EQ(hits[0].object, "fault-tolerant");
+}
+
+TEST(AnalyzeRunConfig, HeartbeatTimeoutBelowIntervalIsADeadlineRisk)
+{
+    par::RunConfig cfg;
+    cfg.faultTolerant = true;
+    cfg.heartbeatTimeout = cfg.heartbeatInterval;
+    const auto hits =
+        withCheck(analysis::analyzeRunConfig(cfg), "deadline-risk");
+    ASSERT_EQ(hits.size(), 1u);
+    EXPECT_EQ(hits[0].object, "heartbeat");
+}
+
+TEST(BuildCommGraph, VersionsShapeTheGraph)
+{
+    par::RunConfig cfg;
+    cfg.numServants = 2;
+
+    cfg.version = par::Version::V1Mailbox;
+    const CommGraph v1 = analysis::buildCommGraph(cfg);
+    bool v1_has_pool = false;
+    for (const auto &n : v1.nodes())
+        v1_has_pool =
+            v1_has_pool || n.kind == NodeKind::AgentPool;
+    EXPECT_FALSE(v1_has_pool);
+
+    cfg.version = par::Version::V3AgentsBoth;
+    const CommGraph v3 = analysis::buildCommGraph(cfg);
+    unsigned v3_pools = 0;
+    for (const auto &n : v3.nodes()) {
+        if (n.kind == NodeKind::AgentPool)
+            ++v3_pools;
+    }
+    // One master pool plus one pool per servant.
+    EXPECT_EQ(v3_pools, 1u + cfg.numServants);
+    ASSERT_EQ(v3.queues().size(), 1u);
+    EXPECT_EQ(v3.queues()[0].name, "pixel-queue");
+}
+
+TEST(BuildCommGraph, FaultToleranceAddsHeartbeatBeacons)
+{
+    par::RunConfig cfg;
+    cfg.numServants = 3;
+    cfg.faultTolerant = true;
+    const CommGraph g = analysis::buildCommGraph(cfg);
+    unsigned beacons = 0;
+    for (const auto &e : g.edges()) {
+        if (e.label == "heartbeat")
+            ++beacons;
+    }
+    EXPECT_EQ(beacons, 3u);
+    // Heartbeats land in the always-receptive master mailbox, so the
+    // extra blocking edges must not create cycles.
+    EXPECT_TRUE(withCheck(g.analyze(), "wait-cycle").empty());
+}

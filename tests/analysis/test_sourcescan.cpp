@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Unit tests of the lightweight C++ lexer and the instrumentation
+ * fact scanner (analysis/sourcescan.hh).
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "analysis/sourcescan.hh"
+
+using namespace supmon;
+using analysis::SourceIndex;
+using analysis::SourceToken;
+
+namespace
+{
+
+bool
+hasIdentifier(const std::vector<SourceToken> &toks,
+              const std::string &name)
+{
+    for (const auto &t : toks) {
+        if (t.kind == SourceToken::Kind::Identifier && t.text == name)
+            return true;
+    }
+    return false;
+}
+
+} // namespace
+
+TEST(LexCpp, StripsLineAndBlockComments)
+{
+    const auto toks = analysis::lexCpp(
+        "int a; // evCommented\n/* evAlso\n evMore */ int b;");
+    EXPECT_FALSE(hasIdentifier(toks, "evCommented"));
+    EXPECT_FALSE(hasIdentifier(toks, "evAlso"));
+    EXPECT_FALSE(hasIdentifier(toks, "evMore"));
+    EXPECT_TRUE(hasIdentifier(toks, "a"));
+    EXPECT_TRUE(hasIdentifier(toks, "b"));
+}
+
+TEST(LexCpp, DropsStringAndCharLiteralContents)
+{
+    const auto toks = analysis::lexCpp(
+        "log(\"evInString failed\"); char c = 'e'; int evReal;");
+    EXPECT_FALSE(hasIdentifier(toks, "evInString"));
+    EXPECT_TRUE(hasIdentifier(toks, "evReal"));
+}
+
+TEST(LexCpp, DropsRawStringContents)
+{
+    const auto toks = analysis::lexCpp(
+        "auto s = R\"(mon(evRawFake, 0))\"; int evAfter;");
+    EXPECT_FALSE(hasIdentifier(toks, "evRawFake"));
+    EXPECT_TRUE(hasIdentifier(toks, "evAfter"));
+}
+
+TEST(LexCpp, KeepsTwoCharOperatorsWhole)
+{
+    const auto toks = analysis::lexCpp("if (t == evX) {}");
+    bool saw_eq = false;
+    for (const auto &t : toks) {
+        if (t.kind == SourceToken::Kind::Punct && t.text == "==")
+            saw_eq = true;
+        // A lone '=' would make `== evX` look like an assignment.
+        EXPECT_FALSE(t.kind == SourceToken::Kind::Punct &&
+                     t.text == "=");
+    }
+    EXPECT_TRUE(saw_eq);
+}
+
+TEST(LexCpp, TracksLineNumbers)
+{
+    const auto toks = analysis::lexCpp("a\nb\n\nc");
+    ASSERT_EQ(toks.size(), 3u);
+    EXPECT_EQ(toks[0].line, 1u);
+    EXPECT_EQ(toks[1].line, 2u);
+    EXPECT_EQ(toks[2].line, 4u);
+}
+
+TEST(TokenIdentifier, MatchesSchemeOnly)
+{
+    EXPECT_TRUE(analysis::isTokenIdentifier("evWorkBegin"));
+    EXPECT_TRUE(analysis::isTokenIdentifier("evX"));
+    EXPECT_FALSE(analysis::isTokenIdentifier("event"));
+    EXPECT_FALSE(analysis::isTokenIdentifier("ev"));
+    EXPECT_FALSE(analysis::isTokenIdentifier("Everest"));
+    EXPECT_FALSE(analysis::isTokenIdentifier("evlower"));
+}
+
+TEST(ScanSource, FindsEnumDeclarations)
+{
+    SourceIndex index;
+    analysis::scanSource("src/x/events.hh",
+                         "enum Token : std::uint16_t {\n"
+                         "    evAlpha = 0x0101,\n"
+                         "    evBeta = 0x0102,\n"
+                         "};\n",
+                         index);
+    ASSERT_EQ(index.declarations.size(), 2u);
+    EXPECT_EQ(index.declarations[0].name, "evAlpha");
+    EXPECT_EQ(index.declarations[0].value, 0x0101u);
+    EXPECT_EQ(index.declarations[0].line, 2u);
+    EXPECT_EQ(index.declarations[1].name, "evBeta");
+    EXPECT_EQ(index.declarations[1].value, 0x0102u);
+    // Enum entries are declarations, not emissions.
+    EXPECT_TRUE(index.emissions.empty());
+}
+
+TEST(ScanSource, FindsEmissionIdioms)
+{
+    SourceIndex index;
+    analysis::scanSource(
+        "src/x/workers.cc",
+        "co_await mon(evAlpha, job);\n"
+        "probeKernelEvent(evKernSend, pid);\n"
+        "token = evGamma;\n",
+        index);
+    ASSERT_EQ(index.emissions.size(), 3u);
+    EXPECT_EQ(index.emissions[0].token, "evAlpha");
+    EXPECT_EQ(index.emissions[0].via, "mon");
+    EXPECT_EQ(index.emissions[1].token, "evKernSend");
+    EXPECT_EQ(index.emissions[1].via, "probeKernelEvent");
+    EXPECT_EQ(index.emissions[2].token, "evGamma");
+    EXPECT_EQ(index.emissions[2].via, "assign");
+}
+
+TEST(ScanSource, ComparisonIsNotAnEmission)
+{
+    SourceIndex index;
+    analysis::scanSource("src/x/a.cc",
+                         "if (ev.token == evAlpha) { count++; }\n",
+                         index);
+    EXPECT_TRUE(index.emissions.empty());
+}
+
+TEST(ScanSource, FindsDictionaryDefsIncludingQualified)
+{
+    SourceIndex index;
+    analysis::scanSource(
+        "src/x/events.cc",
+        "dict.defineBegin(evWork, \"Work\", \"WORK\");\n"
+        "dict.definePoint(par::evDone, \"Done\");\n",
+        index);
+    ASSERT_EQ(index.dictionaryDefs.size(), 2u);
+    EXPECT_EQ(index.dictionaryDefs[0].token, "evWork");
+    EXPECT_TRUE(index.dictionaryDefs[0].begin);
+    EXPECT_EQ(index.dictionaryDefs[1].token, "evDone");
+    EXPECT_FALSE(index.dictionaryDefs[1].begin);
+}
+
+TEST(ScanSource, ValidatePathsCountAsCoverage)
+{
+    SourceIndex index;
+    analysis::scanSource("src/validate/rules.cc",
+                         "case par::evAlpha: ++n; break;\n", index);
+    ASSERT_EQ(index.validatorMentions.size(), 1u);
+    EXPECT_EQ(index.validatorMentions[0].token, "evAlpha");
+    // Mentions in validate/ are coverage, not emissions.
+    EXPECT_TRUE(index.emissions.empty());
+}

@@ -50,7 +50,7 @@ class InjectorTest : public ::testing::Test
     spawnTicker(unsigned node, int *counter, int n)
     {
         return machine->spawnOn(
-            NodeId{0, node}, "ticker",
+            NodeId{0, static_cast<std::uint16_t>(node)}, "ticker",
             [counter, n](ProcessEnv env) -> sim::Task {
                 for (int i = 0; i < n; ++i) {
                     co_await env.sleep(sim::milliseconds(1));

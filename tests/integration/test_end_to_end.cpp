@@ -34,8 +34,12 @@ namespace
 
 enum : std::uint16_t
 {
-    evPhaseA = 0x0101,
-    evPhaseB = 0x0102,
+    // Off the application token ranges (partracer/events.hh), so the
+    // conservation rule never mistakes a phase marker for a protocol
+    // event - the value aliasing the instrumentation linter's
+    // token-collision check exists to prevent.
+    evPhaseA = 0x0181,
+    evPhaseB = 0x0182,
 };
 
 /** Full measurement stack around a machine. */

@@ -134,10 +134,11 @@ TEST(EventQueueProperties, RandomizedScheduleAndCancel)
         // Property: global tick order, FIFO within equal ticks.
         for (std::size_t i = 1; i < fired.size(); ++i) {
             EXPECT_LE(fired[i - 1].when, fired[i].when);
-            if (fired[i - 1].when == fired[i].when)
+            if (fired[i - 1].when == fired[i].when) {
                 EXPECT_LT(fired[i - 1].schedOrder,
                           fired[i].schedOrder)
                     << "FIFO violated at tick " << fired[i].when;
+            }
         }
 
         // Property: each recording event fired at its scheduled tick,

@@ -199,6 +199,7 @@ balancedRun()
         events.insert(events.end(), chain.begin(), chain.end());
     }
     events.push_back(ev(900, par::evWritePixelsBegin, 3, 0));
+    events.push_back(ev(910, par::evWritePixelsEnd, 3, 0));
     events.push_back(ev(950, par::evServantDone, 0, 9));
     events.push_back(ev(999, par::evMasterDone, 0, 0));
     return events;

@@ -1,0 +1,259 @@
+/**
+ * @file
+ * tracelint - static analysis of the instrumentation and of run
+ * configurations, before any run executes.
+ *
+ * Two modes:
+ *
+ *  1. Instrumentation lint over the C++ sources:
+ *
+ *         tracelint lint [--src DIR] [--json] [--baseline FILE]
+ *
+ *     Scans every .cc/.hh under DIR (default: src) with the
+ *     lightweight lexer, extracts token declarations, emission
+ *     sites, dictionary entries and validator mentions, and
+ *     cross-checks them (undeclared/unused/undocumented tokens,
+ *     dictionary drift, value collisions, unbalanced Begin/End
+ *     pairs, validator coverage gaps).
+ *
+ *  2. Static protocol analysis of a run configuration:
+ *
+ *         tracelint protocol [--scenario <name>|all]
+ *                            [--version N] [--servants N]
+ *                            [--window N] [--bundle N]
+ *                            [--pixel-queue N] [--fault-tolerant]
+ *                            [--json] [--baseline FILE]
+ *
+ *     Builds the LWP/mailbox communication graph the configuration
+ *     would instantiate and checks wait-for cycles, sends without a
+ *     declared receiver, queue capacity bounds (the paper's
+ *     version 1-3 pixel-queue bug) and degenerate parameters.
+ *     --scenario analyzes shipped golden scenarios instead of a
+ *     hand-built configuration; the two sources are exclusive.
+ *
+ * A baseline file (one `check:object` key per line, `#` comments)
+ * suppresses known findings, so intentional history - e.g. version
+ * 3's mis-sized pixel queue - stays documented without failing CI.
+ *
+ * Exit status: 0 no findings above Note severity, 1 findings,
+ * 2 unreadable input or usage error.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "analysis/finding.hh"
+#include "analysis/lint.hh"
+#include "analysis/protocol.hh"
+#include "validate/scenarios.hh"
+
+using namespace supmon;
+
+namespace
+{
+
+int
+usage(const char *argv0)
+{
+    std::fprintf(
+        stderr,
+        "usage: %s lint [--src DIR] [--json] [--baseline FILE]\n"
+        "       %s protocol [--scenario <name>|all] [--version N]\n"
+        "                [--servants N] [--window N] [--bundle N]\n"
+        "                [--pixel-queue N] [--fault-tolerant]\n"
+        "                [--json] [--baseline FILE]\n",
+        argv0, argv0);
+    return 2;
+}
+
+struct Options
+{
+    std::string mode;
+    std::string srcDir = "src";
+    std::string baselinePath;
+    std::string scenario;
+    bool json = false;
+    // protocol-mode configuration overrides
+    unsigned version = 1;
+    bool versionSet = false;
+    unsigned servants = 0;
+    bool servantsSet = false;
+    unsigned window = 0;
+    bool windowSet = false;
+    unsigned bundle = 0;
+    bool bundleSet = false;
+    unsigned long pixelQueue = 0;
+    bool pixelQueueSet = false;
+    bool faultTolerant = false;
+};
+
+/** Apply the baseline (if any), print, and map to the exit code. */
+int
+report(std::vector<analysis::Finding> findings, const Options &opt)
+{
+    if (!opt.baselinePath.empty()) {
+        std::set<std::string> keys;
+        std::string error;
+        if (!analysis::loadBaseline(opt.baselinePath, keys, error)) {
+            std::fprintf(stderr, "%s\n", error.c_str());
+            return 2;
+        }
+        const std::size_t suppressed =
+            analysis::applyBaseline(findings, keys);
+        if (suppressed > 0 && !opt.json) {
+            std::printf("%zu finding(s) suppressed by baseline %s\n",
+                        suppressed, opt.baselinePath.c_str());
+        }
+    }
+    if (opt.json) {
+        std::printf("%s\n",
+                    analysis::formatJson(findings).c_str());
+    } else if (findings.empty()) {
+        std::printf("OK: no findings\n");
+    } else {
+        std::printf("%s%zu finding(s)\n",
+                    analysis::formatText(findings).c_str(),
+                    findings.size());
+    }
+    return analysis::exitStatus(findings);
+}
+
+int
+runLint(const Options &opt)
+{
+    std::vector<analysis::Finding> findings;
+    std::string error;
+    if (!analysis::lintSourceTree(opt.srcDir, findings, error)) {
+        std::fprintf(stderr, "%s\n", error.c_str());
+        return 2;
+    }
+    return report(std::move(findings), opt);
+}
+
+par::RunConfig
+configFromOptions(const Options &opt)
+{
+    par::RunConfig cfg;
+    cfg.version = static_cast<par::Version>(opt.version);
+    cfg.applyVersionDefaults();
+    if (opt.servantsSet)
+        cfg.numServants = opt.servants;
+    if (opt.windowSet)
+        cfg.windowSize = opt.window;
+    if (opt.bundleSet)
+        cfg.bundleSize = opt.bundle;
+    if (opt.pixelQueueSet)
+        cfg.pixelQueueLimit = opt.pixelQueue;
+    if (opt.faultTolerant)
+        cfg.faultTolerant = true;
+    return cfg;
+}
+
+int
+runProtocol(const Options &opt)
+{
+    if (!opt.scenario.empty()) {
+        std::vector<const validate::Scenario *> selected;
+        if (opt.scenario == "all") {
+            for (const auto &s : validate::goldenScenarios())
+                selected.push_back(&s);
+        } else if (const auto *s =
+                       validate::findScenario(opt.scenario)) {
+            selected.push_back(s);
+        } else {
+            std::fprintf(stderr, "unknown scenario '%s'\n",
+                         opt.scenario.c_str());
+            return 2;
+        }
+        int status = 0;
+        for (const auto *scenario : selected) {
+            if (!opt.json) {
+                std::printf("== %s ==\n", scenario->name.c_str());
+            }
+            const int s = report(
+                analysis::analyzeRunConfig(scenario->config), opt);
+            if (s > status)
+                status = s;
+        }
+        return status;
+    }
+
+    if (!opt.versionSet && !opt.servantsSet && !opt.windowSet &&
+        !opt.bundleSet && !opt.pixelQueueSet && !opt.faultTolerant) {
+        std::fprintf(stderr,
+                     "protocol mode needs --scenario or at least one "
+                     "of --version/--servants/--window/--bundle/"
+                     "--pixel-queue/--fault-tolerant\n");
+        return 2;
+    }
+    return report(analysis::analyzeRunConfig(configFromOptions(opt)),
+                  opt);
+}
+
+bool
+parseUnsigned(const char *text, unsigned long &out)
+{
+    char *end = nullptr;
+    out = std::strtoul(text, &end, 10);
+    return end != text && *end == '\0';
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2)
+        return usage(argv[0]);
+
+    Options opt;
+    opt.mode = argv[1];
+    if (opt.mode != "lint" && opt.mode != "protocol")
+        return usage(argv[0]);
+
+    for (int i = 2; i < argc; ++i) {
+        const std::string arg = argv[i];
+        unsigned long value = 0;
+        if (arg == "--src" && i + 1 < argc) {
+            opt.srcDir = argv[++i];
+        } else if (arg == "--baseline" && i + 1 < argc) {
+            opt.baselinePath = argv[++i];
+        } else if (arg == "--scenario" && i + 1 < argc) {
+            opt.scenario = argv[++i];
+        } else if (arg == "--json") {
+            opt.json = true;
+        } else if (arg == "--fault-tolerant") {
+            opt.faultTolerant = true;
+        } else if (arg == "--version" && i + 1 < argc &&
+                   parseUnsigned(argv[++i], value)) {
+            if (value < 1 || value > 4) {
+                std::fprintf(stderr, "--version must be 1..4\n");
+                return 2;
+            }
+            opt.version = static_cast<unsigned>(value);
+            opt.versionSet = true;
+        } else if (arg == "--servants" && i + 1 < argc &&
+                   parseUnsigned(argv[++i], value)) {
+            opt.servants = static_cast<unsigned>(value);
+            opt.servantsSet = true;
+        } else if (arg == "--window" && i + 1 < argc &&
+                   parseUnsigned(argv[++i], value)) {
+            opt.window = static_cast<unsigned>(value);
+            opt.windowSet = true;
+        } else if (arg == "--bundle" && i + 1 < argc &&
+                   parseUnsigned(argv[++i], value)) {
+            opt.bundle = static_cast<unsigned>(value);
+            opt.bundleSet = true;
+        } else if (arg == "--pixel-queue" && i + 1 < argc &&
+                   parseUnsigned(argv[++i], value)) {
+            opt.pixelQueue = value;
+            opt.pixelQueueSet = true;
+        } else {
+            return usage(argv[0]);
+        }
+    }
+
+    return opt.mode == "lint" ? runLint(opt) : runProtocol(opt);
+}
