@@ -17,6 +17,7 @@
 
 #include "bench_common.hh"
 #include "query/engine.hh"
+#include "query/sharded.hh"
 #include "sim/random.hh"
 #include "trace/io.hh"
 
@@ -62,10 +63,14 @@ writeBenchTrace(const std::string &path)
     return trace::saveTrace(path, events);
 }
 
-/** One timed streaming pass; returns events/second (0 on failure). */
+/**
+ * One timed pass; returns events/second (0 on failure). jobs == 0
+ * streams through runQueryFile; jobs >= 1 uses the sharded executor.
+ */
 double
 timeQuery(const std::string &path,
-          const trace::EventDictionary &dict, const char *text)
+          const trace::EventDictionary &dict, const char *text,
+          unsigned jobs = 0)
 {
     const auto parsed = query::parseQuery(text);
     if (!parsed.ok) {
@@ -76,8 +81,13 @@ timeQuery(const std::string &path,
     const auto start = std::chrono::steady_clock::now();
     query::Table table;
     std::string error;
-    if (!query::runQueryFile(path, dict, parsed.query, table,
-                             error)) {
+    const bool ok =
+        jobs == 0 ? query::runQueryFile(path, dict, parsed.query,
+                                        table, error)
+                  : query::runQueryFileSharded(path, dict,
+                                               parsed.query, jobs,
+                                               table, error);
+    if (!ok) {
         std::fprintf(stderr, "%s\n", error.c_str());
         return 0.0;
     }
@@ -135,6 +145,23 @@ main()
             status = 1;
         bench::paperRow(c.text, "-", eps(rate));
         report.add(std::string(c.id) + "_events_per_sec", rate);
+    }
+
+    // The same `states` pipeline through the sharded executor: the
+    // merge is bit-exact with the streaming pass, so the only
+    // difference is the wall clock.
+    std::printf("\n");
+    for (unsigned jobs : {1u, 2u, 4u}) {
+        const double rate = timeQuery(path, dict, "states", jobs);
+        if (rate <= 0.0)
+            status = 1;
+        bench::paperRow(
+            sim::strprintf("states, sharded --jobs %u", jobs).c_str(),
+            "-", eps(rate));
+        report.add(
+            sim::strprintf("states_sharded_jobs%u_events_per_sec",
+                           jobs),
+            rate);
     }
     std::printf("\n");
     if (!report.write()) {

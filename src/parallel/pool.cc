@@ -1,0 +1,136 @@
+#include "pool.hh"
+
+#include <algorithm>
+#include <atomic>
+
+namespace supmon
+{
+namespace parallel
+{
+
+unsigned
+defaultJobs()
+{
+    const unsigned n = std::thread::hardware_concurrency();
+    return n ? n : 1;
+}
+
+WorkerPool::WorkerPool(unsigned workers)
+{
+    if (workers < 2)
+        return; // inline mode: submit() runs tasks directly
+    threads.reserve(workers);
+    for (unsigned i = 0; i < workers; ++i)
+        threads.emplace_back([this] { workerMain(); });
+}
+
+WorkerPool::~WorkerPool()
+{
+    try {
+        wait();
+    } catch (...) {
+        // The destructor cannot rethrow; wait() was the caller's
+        // chance to observe task failures.
+    }
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        stopping = true;
+    }
+    wakeWorkers.notify_all();
+    for (auto &t : threads)
+        t.join();
+}
+
+void
+WorkerPool::runOne(std::function<void()> &task)
+{
+    try {
+        task();
+    } catch (...) {
+        std::lock_guard<std::mutex> lock(mutex);
+        if (!firstError)
+            firstError = std::current_exception();
+    }
+}
+
+void
+WorkerPool::submit(std::function<void()> task)
+{
+    if (threads.empty()) {
+        // Inline pool: strictly serial, in submission order.
+        runOne(task);
+        return;
+    }
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        queue.push_back(std::move(task));
+        ++pending;
+    }
+    wakeWorkers.notify_one();
+}
+
+void
+WorkerPool::wait()
+{
+    std::unique_lock<std::mutex> lock(mutex);
+    idle.wait(lock, [this] { return pending == 0; });
+    if (firstError) {
+        std::exception_ptr err = firstError;
+        firstError = nullptr;
+        std::rethrow_exception(err);
+    }
+}
+
+void
+WorkerPool::workerMain()
+{
+    for (;;) {
+        std::function<void()> task;
+        {
+            std::unique_lock<std::mutex> lock(mutex);
+            wakeWorkers.wait(
+                lock, [this] { return stopping || !queue.empty(); });
+            if (queue.empty())
+                return; // stopping and drained
+            task = std::move(queue.front());
+            queue.pop_front();
+        }
+        runOne(task);
+        {
+            std::lock_guard<std::mutex> lock(mutex);
+            --pending;
+            if (pending == 0)
+                idle.notify_all();
+        }
+    }
+}
+
+void
+forEachIndex(unsigned jobs, std::size_t count,
+             const std::function<void(std::size_t)> &fn)
+{
+    if (jobs <= 1 || count <= 1) {
+        for (std::size_t i = 0; i < count; ++i)
+            fn(i);
+        return;
+    }
+    const unsigned workers =
+        static_cast<unsigned>(std::min<std::size_t>(jobs, count));
+    std::atomic<std::size_t> next{0};
+    WorkerPool pool(workers);
+    for (unsigned w = 0; w < workers; ++w) {
+        pool.submit([&next, count, &fn] {
+            for (;;) {
+                const std::size_t i =
+                    next.fetch_add(1, std::memory_order_relaxed);
+                if (i >= count)
+                    return;
+                fn(i);
+            }
+        });
+    }
+    pool.wait();
+}
+
+} // namespace parallel
+} // namespace supmon

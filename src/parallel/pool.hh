@@ -1,0 +1,111 @@
+/**
+ * @file
+ * The repo's one threading primitive: a small fixed-size worker pool
+ * plus an index-parallel loop built on top of it.
+ *
+ * Everything else in the library is single-threaded by design (the
+ * simulator is a deterministic event loop; the analyzers are
+ * streaming folds). Parallelism enters only at the outermost,
+ * embarrassingly parallel seams — shards of a trace file, independent
+ * input files, independent scenario runs — and always through this
+ * module, so the concurrency surface stays small and auditable:
+ *
+ *  - workers share nothing but the task queue;
+ *  - task results land in caller-owned, pre-sized slots (one per
+ *    task), so no result locking is needed;
+ *  - the first exception thrown by any task is captured and rethrown
+ *    on the calling thread after all workers finish.
+ *
+ * Determinism contract: the pool schedules, it never aggregates.
+ * Callers that need byte-identical output to a serial run must merge
+ * their per-task slots in task order (see query::runQuerySharded and
+ * validate::runScenariosConcurrent).
+ */
+
+#ifndef PARALLEL_POOL_HH
+#define PARALLEL_POOL_HH
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace supmon
+{
+namespace parallel
+{
+
+/**
+ * Job count to use when the user did not pick one: the hardware
+ * concurrency, or 1 when the runtime cannot tell.
+ */
+unsigned defaultJobs();
+
+/**
+ * Fixed-size pool of worker threads draining one task queue.
+ *
+ * submit() enqueues a task; wait() blocks until every submitted task
+ * has finished (and rethrows the first task exception, if any);
+ * the destructor waits, then joins the workers.
+ *
+ * A pool constructed with fewer than 2 workers runs every task inline
+ * in submit() — the degenerate case stays strictly serial, with no
+ * threads spawned at all, so `--jobs 1` paths are exactly the old
+ * single-threaded code path.
+ */
+class WorkerPool
+{
+  public:
+    explicit WorkerPool(unsigned workers);
+    ~WorkerPool();
+
+    WorkerPool(const WorkerPool &) = delete;
+    WorkerPool &operator=(const WorkerPool &) = delete;
+
+    /** Enqueue one task (runs it inline on a <2-worker pool). */
+    void submit(std::function<void()> task);
+
+    /**
+     * Block until all submitted tasks completed. Rethrows the first
+     * captured task exception (in submission order of capture).
+     * The pool is reusable after wait().
+     */
+    void wait();
+
+    /** Worker threads backing the pool (0 = inline execution). */
+    unsigned
+    workerCount() const
+    {
+        return static_cast<unsigned>(threads.size());
+    }
+
+  private:
+    void workerMain();
+    void runOne(std::function<void()> &task);
+
+    std::vector<std::thread> threads;
+    std::mutex mutex;
+    std::condition_variable wakeWorkers;
+    std::condition_variable idle;
+    std::deque<std::function<void()>> queue;
+    std::size_t pending = 0;
+    std::exception_ptr firstError;
+    bool stopping = false;
+};
+
+/**
+ * Run fn(0) .. fn(count - 1), each exactly once, on up to @p jobs
+ * threads (inline when jobs <= 1 or count <= 1, in which case the
+ * indexes run in order). Blocks until all calls returned; rethrows
+ * the first exception a call threw.
+ */
+void forEachIndex(unsigned jobs, std::size_t count,
+                  const std::function<void(std::size_t)> &fn);
+
+} // namespace parallel
+} // namespace supmon
+
+#endif // PARALLEL_POOL_HH

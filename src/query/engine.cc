@@ -48,7 +48,7 @@ numericStreamRange(const std::string &pattern, unsigned &lo,
 } // namespace
 
 bool
-QueryEngine::CompiledFilter::accepts(
+FilterChain::CompiledFilter::accepts(
     const trace::TraceEvent &ev, const trace::EventDictionary &dict)
 {
     if (hasFrom && ev.timestamp < from)
@@ -82,16 +82,10 @@ QueryEngine::CompiledFilter::accepts(
     return true;
 }
 
-QueryEngine::QueryEngine(const Query &query,
-                         const trace::EventDictionary &dict,
-                         sim::Tick trace_end)
+FilterChain::FilterChain(const Query &query,
+                         const trace::EventDictionary &dict)
     : dictionary(dict)
 {
-    FoldContext ctx;
-    ctx.dict = &dict;
-    ctx.window = query.window;
-    ctx.traceEnd = trace_end;
-
     for (const FilterSpec &spec : query.filters) {
         CompiledFilter filter;
         filter.hasTokenFilter = !spec.tokenPatterns.empty();
@@ -109,9 +103,31 @@ QueryEngine::QueryEngine(const Query &query,
         filter.paramLo = spec.paramLo;
         filter.paramHi = spec.paramHi;
         filters.push_back(std::move(filter));
+    }
+}
 
-        // The narrowest explicit time range across all filter
-        // stages becomes the fold's evaluation range.
+bool
+FilterChain::accepts(const trace::TraceEvent &ev)
+{
+    for (auto &filter : filters) {
+        if (!filter.accepts(ev, dictionary))
+            return false;
+    }
+    return true;
+}
+
+FoldContext
+makeFoldContext(const Query &query,
+                const trace::EventDictionary &dict,
+                sim::Tick trace_end)
+{
+    FoldContext ctx;
+    ctx.dict = &dict;
+    ctx.window = query.window;
+    ctx.traceEnd = trace_end;
+    // The narrowest explicit time range across all filter stages
+    // becomes the fold's evaluation range.
+    for (const FilterSpec &spec : query.filters) {
         if (spec.hasFrom &&
             (!ctx.hasFrom || spec.from > ctx.from)) {
             ctx.hasFrom = true;
@@ -122,18 +138,24 @@ QueryEngine::QueryEngine(const Query &query,
             ctx.to = spec.to;
         }
     }
+    return ctx;
+}
 
-    fold = makeFold(query.fold, ctx);
+QueryEngine::QueryEngine(const Query &query,
+                         const trace::EventDictionary &dict,
+                         sim::Tick trace_end)
+    : chain(query, dict),
+      fold(makeFold(query.fold,
+                    makeFoldContext(query, dict, trace_end)))
+{
 }
 
 void
 QueryEngine::onEvent(const trace::TraceEvent &ev)
 {
     ++seen;
-    for (auto &filter : filters) {
-        if (!filter.accepts(ev, dictionary))
-            return;
-    }
+    if (!chain.accepts(ev))
+        return;
     ++accepted;
     fold->onEvent(ev);
 }
@@ -166,9 +188,12 @@ runQueryFile(const std::string &path,
         return false;
     }
     QueryEngine engine(query, dict, trace_end);
-    trace::TraceEvent ev;
-    while (reader.next(ev))
-        engine.onEvent(ev);
+    std::vector<trace::TraceEvent> batch(4096);
+    std::size_t n;
+    while ((n = reader.nextBatch(batch.data(), batch.size())) != 0) {
+        for (std::size_t i = 0; i < n; ++i)
+            engine.onEvent(batch[i]);
+    }
     if (!reader.error().empty()) {
         error = reader.error();
         return false;

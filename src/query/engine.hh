@@ -25,6 +25,57 @@ namespace supmon
 namespace query
 {
 
+/**
+ * The compiled `filter` stages of a query: resolves token patterns
+ * against the dictionary once, then decides accept/reject per event.
+ * Stream-name glob results are cached per stream id, so a chain is
+ * stateful (not const) but cheap. Each shard of the sharded executor
+ * compiles its own chain — chains are never shared across threads.
+ */
+class FilterChain
+{
+  public:
+    FilterChain(const Query &query,
+                const trace::EventDictionary &dict);
+
+    /** Does @p ev pass every filter stage? */
+    bool accepts(const trace::TraceEvent &ev);
+
+  private:
+    /** One compiled `filter` stage. */
+    struct CompiledFilter
+    {
+        bool hasTokenFilter = false;
+        std::set<std::uint16_t> tokens;
+        std::vector<std::string> streamPatterns;
+        /** Lazy glob-vs-stream-name results, per stream id. */
+        std::map<unsigned, bool> streamMatch;
+        bool hasFrom = false;
+        bool hasTo = false;
+        sim::Tick from = 0;
+        sim::Tick to = 0;
+        bool hasParam = false;
+        std::uint32_t paramLo = 0;
+        std::uint32_t paramHi = 0;
+
+        bool accepts(const trace::TraceEvent &ev,
+                     const trace::EventDictionary &dict);
+    };
+
+    const trace::EventDictionary &dictionary;
+    std::vector<CompiledFilter> filters;
+};
+
+/**
+ * The fold context a query implies: dictionary, window spec, the
+ * narrowest explicit time range across the filter stages, and the
+ * trace-end close time. Serial and sharded execution derive their
+ * (identical) context through this one function.
+ */
+FoldContext makeFoldContext(const Query &query,
+                            const trace::EventDictionary &dict,
+                            sim::Tick trace_end);
+
 class QueryEngine
 {
   public:
@@ -56,28 +107,7 @@ class QueryEngine
     }
 
   private:
-    /** One compiled `filter` stage. */
-    struct CompiledFilter
-    {
-        bool hasTokenFilter = false;
-        std::set<std::uint16_t> tokens;
-        std::vector<std::string> streamPatterns;
-        /** Lazy glob-vs-stream-name results, per stream id. */
-        std::map<unsigned, bool> streamMatch;
-        bool hasFrom = false;
-        bool hasTo = false;
-        sim::Tick from = 0;
-        sim::Tick to = 0;
-        bool hasParam = false;
-        std::uint32_t paramLo = 0;
-        std::uint32_t paramHi = 0;
-
-        bool accepts(const trace::TraceEvent &ev,
-                     const trace::EventDictionary &dict);
-    };
-
-    const trace::EventDictionary &dictionary;
-    std::vector<CompiledFilter> filters;
+    FilterChain chain;
     std::unique_ptr<Fold> fold;
     std::uint64_t seen = 0;
     std::uint64_t accepted = 0;

@@ -73,6 +73,19 @@ class StateTracker
         }
     }
 
+    /**
+     * Sharded merge: adopt the global first/last-event state so that
+     * close() and traceBegin()/traceCloseTime() reproduce what a
+     * serial tracker fed the whole accepted stream would compute.
+     */
+    void
+    prime(bool saw, sim::Tick first, sim::Tick last)
+    {
+        sawEvent = saw;
+        firstTs = first;
+        lastTs = last;
+    }
+
     bool
     any() const
     {
@@ -214,6 +227,14 @@ class CountFold : public Fold
         return table;
     }
 
+    /** Sharded merge (unwindowed): add a pre-counted aggregate. */
+    void
+    absorbCount(unsigned stream, std::uint16_t token,
+                std::uint64_t n)
+    {
+        counts[{0, stream, token}] += n;
+    }
+
   private:
     FoldContext context;
     Windower windower;
@@ -287,6 +308,22 @@ class StatesFold : public Fold
             }
         }
         return table;
+    }
+
+    /** Sharded merge: adopt global event bounds (see
+     *  StateTracker::prime). */
+    void
+    primeTracker(bool saw, sim::Tick first, sim::Tick last)
+    {
+        tracker.prime(saw, first, last);
+    }
+
+    /** Sharded merge: replay one stitched interval. */
+    void
+    absorbInterval(unsigned stream, const std::string &state,
+                   sim::Tick begin, sim::Tick end)
+    {
+        addInterval(stream, state, begin, end);
     }
 
   private:
@@ -401,6 +438,31 @@ class UtilizationFold : public Fold
         return table;
     }
 
+    /** Sharded merge: adopt global event bounds (see
+     *  StateTracker::prime). */
+    void
+    primeTracker(bool saw, sim::Tick first, sim::Tick last)
+    {
+        tracker.prime(saw, first, last);
+    }
+
+    /** Sharded merge: anchor the window origin at the global first
+     *  accepted event (no-op when already anchored or unwindowed). */
+    void
+    anchorOrigin(sim::Tick t)
+    {
+        if (context.window)
+            windower.anchor(t);
+    }
+
+    /** Sharded merge: replay one stitched interval. */
+    void
+    absorbInterval(unsigned stream, const std::string &state,
+                   sim::Tick begin, sim::Tick end)
+    {
+        addInterval(stream, state, begin, end);
+    }
+
   private:
     void
     addWindowRow(Table &table, std::int64_t k, unsigned stream,
@@ -473,25 +535,33 @@ class LatencyFold : public Fold
     {
         auto it = lastSeen.find(ev.stream);
         if (it != lastSeen.end()) {
-            const double gap =
-                static_cast<double>(ev.timestamp - it->second);
-            stats[ev.stream].push(gap);
-            if (bins) {
-                auto h = hists.find(ev.stream);
-                if (h == hists.end()) {
-                    h = hists
-                            .emplace(ev.stream,
-                                     sim::Histogram(
-                                         0.0,
-                                         static_cast<double>(histMax),
-                                         bins))
-                            .first;
-                }
-                h->second.push(gap);
-            }
+            pushGap(ev.stream, ev.timestamp - it->second);
             it->second = ev.timestamp;
         } else {
             lastSeen[ev.stream] = ev.timestamp;
+        }
+    }
+
+    /** One inter-event gap; also the sharded-merge replay entry
+     *  point (gaps are exact tick differences, so replaying them in
+     *  serial order reproduces the serial doubles bit for bit). */
+    void
+    pushGap(unsigned stream, sim::Tick gapTicks)
+    {
+        const double gap = static_cast<double>(gapTicks);
+        stats[stream].push(gap);
+        if (bins) {
+            auto h = hists.find(stream);
+            if (h == hists.end()) {
+                h = hists
+                        .emplace(stream,
+                                 sim::Histogram(
+                                     0.0,
+                                     static_cast<double>(histMax),
+                                     bins))
+                        .first;
+            }
+            h->second.push(gap);
         }
     }
 
@@ -604,6 +674,236 @@ class RttFold : public Fold
     std::uint64_t unmatchedEnds = 0;
 };
 
+// ======================================================= shard partials
+//
+// One class per fold kind, mirroring the serial folds above. Each
+// accumulates only what can be aggregated without global knowledge;
+// mergeShardFolds() stitches the partials in shard order so the
+// result is bit-exact with the serial fold (see folds.hh).
+
+/** Minimal accepted-event tuple for origin-dependent replay. */
+struct MiniEvent
+{
+    sim::Tick ts;
+    unsigned stream;
+    std::uint16_t token;
+};
+
+class CountShard : public ShardFold
+{
+  public:
+    explicit CountShard(const FoldContext &ctx)
+        : windowed(ctx.window.has_value())
+    {
+    }
+
+    void
+    onEvent(const trace::TraceEvent &ev) override
+    {
+        // Windowed counting buckets against the *global* first
+        // accepted event, unknowable inside one shard — buffer the
+        // three needed fields and bucket at merge time. Unwindowed
+        // counts are plain integers and merge by addition.
+        if (windowed)
+            buffer.push_back({ev.timestamp, ev.stream, ev.token});
+        else
+            ++counts[{ev.stream, ev.token}];
+    }
+
+    bool windowed;
+    std::map<std::pair<unsigned, std::uint16_t>, std::uint64_t>
+        counts;
+    std::vector<MiniEvent> buffer;
+};
+
+/**
+ * Shared by `states` and `utilization`: runs the same open-state
+ * machine as StateTracker over the shard's slice, but keeps the
+ * boundary state explicit — closed intervals in emission order, the
+ * first Begin per stream (which closes the *previous* shard's open
+ * state at merge time), and the still-open state per stream at the
+ * shard's end.
+ */
+class StateShard : public ShardFold
+{
+  public:
+    explicit StateShard(const trace::EventDictionary &dict)
+        : dictionary(dict)
+    {
+    }
+
+    void
+    onEvent(const trace::TraceEvent &ev) override
+    {
+        if (!sawEvent) {
+            sawEvent = true;
+            firstTs = ev.timestamp;
+        }
+        lastTs = ev.timestamp;
+        const trace::EventDef *def = dictionary.find(ev.token);
+        if (!def || def->kind != trace::EventKind::Begin)
+            return;
+        OpenState &cur = open[ev.stream];
+        if (!cur.isOpen)
+            firstBegin.emplace(ev.stream, ev.timestamp);
+        else if (ev.timestamp > cur.since)
+            intervals.push_back(
+                {ev.stream, cur.state, cur.since, ev.timestamp});
+        cur.state = def->state;
+        cur.since = ev.timestamp;
+        cur.isOpen = true;
+    }
+
+    struct OpenState
+    {
+        std::string state;
+        sim::Tick since = 0;
+        bool isOpen = false;
+    };
+
+    struct Interval
+    {
+        unsigned stream;
+        std::string state;
+        sim::Tick begin;
+        sim::Tick end;
+    };
+
+    const trace::EventDictionary &dictionary;
+    std::vector<Interval> intervals;
+    /** First accepted Begin per stream (boundary stitching). */
+    std::map<unsigned, sim::Tick> firstBegin;
+    /** Open state per stream at the end of the slice. */
+    std::map<unsigned, OpenState> open;
+    bool sawEvent = false;
+    sim::Tick firstTs = 0;
+    sim::Tick lastTs = 0;
+};
+
+class LatencyShard : public ShardFold
+{
+  public:
+    void
+    onEvent(const trace::TraceEvent &ev) override
+    {
+        auto it = streams.find(ev.stream);
+        if (it == streams.end()) {
+            streams.emplace(
+                ev.stream,
+                PerStream{ev.timestamp, ev.timestamp, {}});
+        } else {
+            it->second.gaps.push_back(ev.timestamp -
+                                      it->second.last);
+            it->second.last = ev.timestamp;
+        }
+    }
+
+    struct PerStream
+    {
+        sim::Tick first;
+        sim::Tick last;
+        /** Exact tick gaps, in event order. */
+        std::vector<sim::Tick> gaps;
+    };
+
+    std::map<unsigned, PerStream> streams;
+};
+
+class RttShard : public ShardFold
+{
+  public:
+    RttShard(const FoldSpec &spec, const FoldContext &ctx)
+    {
+        for (std::uint16_t t :
+             resolveTokenPattern(spec.beginPattern, *ctx.dict))
+            relevant.insert(t);
+        for (std::uint16_t t :
+             resolveTokenPattern(spec.endPattern, *ctx.dict))
+            relevant.insert(t);
+    }
+
+    void
+    onEvent(const trace::TraceEvent &ev) override
+    {
+        // Begin/end pairing is keyed on the parameter with
+        // first-begin-wins semantics across the whole trace — a
+        // local match can differ from the global one (the matching
+        // begin may live in an earlier shard). Buffer the relevant
+        // events and replay the pairing serially at merge time.
+        if (relevant.count(ev.token))
+            buffer.push_back({ev.timestamp, ev.param, ev.token});
+    }
+
+    struct MiniRtt
+    {
+        sim::Tick ts;
+        std::uint32_t param;
+        std::uint16_t token;
+    };
+
+    std::set<std::uint16_t> relevant;
+    std::vector<MiniRtt> buffer;
+};
+
+/**
+ * Stitch the state-machine shards: close a carried open state at the
+ * next shard's first Begin of that stream, replay each shard's
+ * closed intervals, and close what is still open at the end-of-trace
+ * time — emitting every interval through @p emit in an order whose
+ * per-(stream, state) projection equals the serial emission order
+ * (which is all that matters: statistics are keyed per
+ * (stream, state), and integer overlap sums are order-free).
+ */
+template <typename Emit>
+void
+stitchStateShards(
+    const std::vector<std::unique_ptr<ShardFold>> &shards,
+    sim::Tick trace_end, bool &any, sim::Tick &firstTs,
+    sim::Tick &lastTs, Emit &&emit)
+{
+    any = false;
+    firstTs = 0;
+    lastTs = 0;
+    for (const auto &p : shards) {
+        const auto *s = static_cast<const StateShard *>(p.get());
+        if (!s || !s->sawEvent)
+            continue;
+        if (!any) {
+            any = true;
+            firstTs = s->firstTs;
+        }
+        lastTs = s->lastTs;
+    }
+
+    std::map<unsigned, StateShard::OpenState> carry;
+    for (const auto &p : shards) {
+        const auto *s = static_cast<const StateShard *>(p.get());
+        if (!s)
+            continue;
+        for (const auto &kv : s->firstBegin) {
+            auto it = carry.find(kv.first);
+            if (it == carry.end())
+                continue;
+            if (kv.second > it->second.since)
+                emit(kv.first, it->second.state, it->second.since,
+                     kv.second);
+            carry.erase(it);
+        }
+        for (const auto &iv : s->intervals)
+            emit(iv.stream, iv.state, iv.begin, iv.end);
+        for (const auto &kv : s->open)
+            carry[kv.first] = kv.second;
+    }
+    if (!any)
+        return;
+    const sim::Tick endTs =
+        trace_end ? std::max(trace_end, lastTs) : lastTs;
+    for (const auto &kv : carry) {
+        if (endTs > kv.second.since)
+            emit(kv.first, kv.second.state, kv.second.since, endTs);
+    }
+}
+
 } // namespace
 
 std::vector<std::uint16_t>
@@ -657,6 +957,127 @@ makeFold(const FoldSpec &spec, const FoldContext &ctx)
         break;
     }
     return std::make_unique<CountFold>(ctx);
+}
+
+std::unique_ptr<ShardFold>
+makeShardFold(const FoldSpec &spec, const FoldContext &ctx)
+{
+    switch (spec.kind) {
+      case FoldKind::States:
+      case FoldKind::Utilization:
+        return std::make_unique<StateShard>(*ctx.dict);
+      case FoldKind::Latency:
+        return std::make_unique<LatencyShard>();
+      case FoldKind::Rtt:
+        return std::make_unique<RttShard>(spec, ctx);
+      case FoldKind::Count:
+        break;
+    }
+    return std::make_unique<CountShard>(ctx);
+}
+
+Table
+mergeShardFolds(const FoldSpec &spec, const FoldContext &ctx,
+                std::vector<std::unique_ptr<ShardFold>> &shards)
+{
+    switch (spec.kind) {
+      case FoldKind::Count: {
+          CountFold serial(ctx);
+          trace::TraceEvent ev;
+          for (const auto &p : shards) {
+              const auto *s = static_cast<const CountShard *>(p.get());
+              if (!s)
+                  continue;
+              for (const auto &kv : s->counts)
+                  serial.absorbCount(kv.first.first, kv.first.second,
+                                     kv.second);
+              for (const auto &m : s->buffer) {
+                  ev.timestamp = m.ts;
+                  ev.stream = m.stream;
+                  ev.token = m.token;
+                  serial.onEvent(ev);
+              }
+          }
+          return serial.finish();
+      }
+      case FoldKind::States: {
+          StatesFold serial(ctx);
+          bool any = false;
+          sim::Tick firstTs = 0;
+          sim::Tick lastTs = 0;
+          stitchStateShards(
+              shards, ctx.traceEnd, any, firstTs, lastTs,
+              [&serial](unsigned stream, const std::string &state,
+                        sim::Tick b, sim::Tick e) {
+                  serial.absorbInterval(stream, state, b, e);
+              });
+          serial.primeTracker(any, firstTs, lastTs);
+          return serial.finish();
+      }
+      case FoldKind::Utilization: {
+          UtilizationFold serial(spec, ctx);
+          // The window origin is the global first accepted event
+          // (or the explicit `from`, which the constructor already
+          // anchored) — set it before replaying any interval.
+          bool any = false;
+          sim::Tick firstTs = 0;
+          sim::Tick lastTs = 0;
+          for (const auto &p : shards) {
+              const auto *s =
+                  static_cast<const StateShard *>(p.get());
+              if (s && s->sawEvent) {
+                  serial.anchorOrigin(s->firstTs);
+                  break;
+              }
+          }
+          stitchStateShards(
+              shards, ctx.traceEnd, any, firstTs, lastTs,
+              [&serial](unsigned stream, const std::string &state,
+                        sim::Tick b, sim::Tick e) {
+                  serial.absorbInterval(stream, state, b, e);
+              });
+          serial.primeTracker(any, firstTs, lastTs);
+          return serial.finish();
+      }
+      case FoldKind::Latency: {
+          LatencyFold serial(spec, ctx);
+          std::map<unsigned, sim::Tick> carryLast;
+          for (const auto &p : shards) {
+              const auto *s =
+                  static_cast<const LatencyShard *>(p.get());
+              if (!s)
+                  continue;
+              for (const auto &kv : s->streams) {
+                  auto it = carryLast.find(kv.first);
+                  if (it != carryLast.end())
+                      serial.pushGap(kv.first,
+                                     kv.second.first - it->second);
+                  for (sim::Tick gap : kv.second.gaps)
+                      serial.pushGap(kv.first, gap);
+                  carryLast[kv.first] = kv.second.last;
+              }
+          }
+          return serial.finish();
+      }
+      case FoldKind::Rtt: {
+          RttFold serial(spec, ctx);
+          trace::TraceEvent ev;
+          for (const auto &p : shards) {
+              const auto *s = static_cast<const RttShard *>(p.get());
+              if (!s)
+                  continue;
+              for (const auto &m : s->buffer) {
+                  ev.timestamp = m.ts;
+                  ev.param = m.param;
+                  ev.token = m.token;
+                  serial.onEvent(ev);
+              }
+          }
+          return serial.finish();
+      }
+    }
+    // Unreachable: every FoldKind is handled above.
+    return Table();
 }
 
 } // namespace query

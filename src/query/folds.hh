@@ -61,6 +61,53 @@ std::unique_ptr<Fold> makeFold(const FoldSpec &spec,
                                const FoldContext &ctx);
 
 /**
+ * Per-shard partial aggregation state for sharded query execution.
+ *
+ * A shard fold consumes one contiguous, already-filtered slice of
+ * the trace and accumulates whatever partial state its fold kind can
+ * aggregate without seeing the rest of the trace:
+ *
+ *  - integer aggregates that merge by addition (unwindowed counts);
+ *  - closed state intervals plus the boundary state (the still-open
+ *    state per stream, the first Begin per stream) that lets the
+ *    merge stitch intervals across shard edges;
+ *  - per-stream inter-event gaps plus first/last timestamps
+ *    (latency);
+ *  - compact replay buffers where the needed state is irreducibly
+ *    global (windowed counts need the global window origin; rtt
+ *    matching needs the global begin/end pairing order).
+ *
+ * mergeShardFolds() combines the partials *in shard order* and
+ * produces a table that is bit-exact — the same doubles, not
+ * approximately equal — with a serial Fold fed the concatenated
+ * accepted stream, because every floating-point accumulation is
+ * replayed in the serial order while integer aggregates merge by
+ * (order-free) addition. tests/query/test_crosscheck.cpp and
+ * tests/parallel/test_sharded_query.cpp lock this contract for every
+ * fold kind and shard count.
+ */
+class ShardFold
+{
+  public:
+    virtual ~ShardFold() = default;
+
+    /** Consume one (already filtered) event of this shard's slice. */
+    virtual void onEvent(const trace::TraceEvent &ev) = 0;
+};
+
+/** Instantiate one shard's partial sink for @p spec. */
+std::unique_ptr<ShardFold> makeShardFold(const FoldSpec &spec,
+                                         const FoldContext &ctx);
+
+/**
+ * Merge shard partials (created by makeShardFold for the same spec
+ * and context, shards in trace order) into the final result table.
+ * Null entries (shards that saw no work) are skipped.
+ */
+Table mergeShardFolds(const FoldSpec &spec, const FoldContext &ctx,
+                      std::vector<std::unique_ptr<ShardFold>> &shards);
+
+/**
  * Resolve a token pattern (event name glob, decimal, or 0x-hex
  * literal) against a dictionary.
  */

@@ -1,0 +1,126 @@
+#include "sharded.hh"
+
+#include <algorithm>
+#include <memory>
+
+#include "parallel/pool.hh"
+#include "query/engine.hh"
+#include "query/folds.hh"
+#include "trace/io.hh"
+
+namespace supmon
+{
+namespace query
+{
+
+namespace
+{
+
+/**
+ * Balanced split of @p n records into @p shards contiguous ranges:
+ * the first n % shards ranges get one extra record.
+ */
+void
+shardRange(std::uint64_t n, unsigned shards, unsigned s,
+           std::uint64_t &lo, std::uint64_t &len)
+{
+    const std::uint64_t base = n / shards;
+    const std::uint64_t extra = n % shards;
+    lo = base * s + std::min<std::uint64_t>(s, extra);
+    len = base + (s < extra ? 1 : 0);
+}
+
+} // namespace
+
+Table
+runQuerySharded(const std::vector<trace::TraceEvent> &events,
+                const trace::EventDictionary &dict, const Query &query,
+                unsigned jobs, sim::Tick trace_end)
+{
+    const std::uint64_t n = events.size();
+    const unsigned shards = static_cast<unsigned>(std::max<std::uint64_t>(
+        1, std::min<std::uint64_t>(std::max(jobs, 1u), n ? n : 1)));
+    const FoldContext ctx = makeFoldContext(query, dict, trace_end);
+    std::vector<std::unique_ptr<ShardFold>> partials(shards);
+    parallel::forEachIndex(
+        shards, shards, [&](std::size_t s) {
+            // Each shard compiles its own filter chain (the chain
+            // caches glob results, so it is stateful) and owns its
+            // partial fold; nothing is shared across shards.
+            std::uint64_t lo = 0;
+            std::uint64_t len = 0;
+            shardRange(n, shards, static_cast<unsigned>(s), lo, len);
+            FilterChain chain(query, dict);
+            auto fold = makeShardFold(query.fold, ctx);
+            for (std::uint64_t i = lo; i < lo + len; ++i) {
+                if (chain.accepts(events[i]))
+                    fold->onEvent(events[i]);
+            }
+            partials[s] = std::move(fold);
+        });
+    return mergeShardFolds(query.fold, ctx, partials);
+}
+
+bool
+runQueryFileSharded(const std::string &path,
+                    const trace::EventDictionary &dict,
+                    const Query &query, unsigned jobs, Table &out,
+                    std::string &error, sim::Tick trace_end)
+{
+    // Probe the header once (validates magic/version/count and the
+    // record alignment) before fanning out.
+    std::uint64_t n = 0;
+    {
+        trace::TraceReader probe(path);
+        if (!probe.ok()) {
+            error = probe.error();
+            return false;
+        }
+        n = probe.declaredCount();
+    }
+    const unsigned shards = static_cast<unsigned>(std::max<std::uint64_t>(
+        1, std::min<std::uint64_t>(std::max(jobs, 1u), n ? n : 1)));
+    const FoldContext ctx = makeFoldContext(query, dict, trace_end);
+    std::vector<std::unique_ptr<ShardFold>> partials(shards);
+    std::vector<std::string> shardErrors(shards);
+    parallel::forEachIndex(
+        shards, shards, [&](std::size_t s) {
+            std::uint64_t lo = 0;
+            std::uint64_t len = 0;
+            shardRange(n, shards, static_cast<unsigned>(s), lo, len);
+            trace::TraceReader reader(path, lo, len);
+            if (!reader.ok()) {
+                shardErrors[s] = reader.error();
+                return;
+            }
+            FilterChain chain(query, dict);
+            auto fold = makeShardFold(query.fold, ctx);
+            std::vector<trace::TraceEvent> batch(4096);
+            std::size_t got;
+            while ((got = reader.nextBatch(batch.data(),
+                                           batch.size())) != 0) {
+                for (std::size_t i = 0; i < got; ++i) {
+                    if (chain.accepts(batch[i]))
+                        fold->onEvent(batch[i]);
+                }
+            }
+            if (!reader.error().empty()) {
+                shardErrors[s] = reader.error();
+                return;
+            }
+            partials[s] = std::move(fold);
+        });
+    // The lowest-numbered shard's error wins, so the message is
+    // deterministic regardless of which worker failed first.
+    for (const std::string &e : shardErrors) {
+        if (!e.empty()) {
+            error = e;
+            return false;
+        }
+    }
+    out = mergeShardFolds(query.fold, ctx, partials);
+    return true;
+}
+
+} // namespace query
+} // namespace supmon

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Sharded query execution: split a trace into contiguous per-thread
+ * record ranges, run the filter chain and a per-shard partial fold
+ * over each range concurrently, then merge the partials in shard
+ * order into the final table.
+ *
+ * The merge is *bit-exact* with the streaming QueryEngine — the same
+ * doubles, not approximately equal — for every shard count, including
+ * one shard (see query::mergeShardFolds for how). The cross-check
+ * tests (tests/query/test_crosscheck.cpp,
+ * tests/parallel/test_sharded_query.cpp) lock this contract.
+ */
+
+#ifndef QUERY_SHARDED_HH
+#define QUERY_SHARDED_HH
+
+#include <string>
+#include <vector>
+
+#include "query/query.hh"
+#include "query/table.hh"
+#include "trace/dictionary.hh"
+#include "trace/event.hh"
+
+namespace supmon
+{
+namespace query
+{
+
+/**
+ * Run @p query over an in-memory trace on up to @p jobs threads.
+ * Result is bit-exact with runQuery() for any @p jobs >= 1.
+ */
+Table runQuerySharded(const std::vector<trace::TraceEvent> &events,
+                      const trace::EventDictionary &dict,
+                      const Query &query, unsigned jobs,
+                      sim::Tick trace_end = 0);
+
+/**
+ * Run @p query over a saved trace file on up to @p jobs threads, each
+ * shard streaming its own contiguous record range through its own
+ * trace::TraceReader. Result is bit-exact with runQueryFile() for any
+ * @p jobs >= 1.
+ * @return false with @p error set if the file is unreadable or
+ *         truncated (the lowest-numbered failing shard's error wins).
+ */
+bool runQueryFileSharded(const std::string &path,
+                         const trace::EventDictionary &dict,
+                         const Query &query, unsigned jobs, Table &out,
+                         std::string &error, sim::Tick trace_end = 0);
+
+} // namespace query
+} // namespace supmon
+
+#endif // QUERY_SHARDED_HH

@@ -1,5 +1,6 @@
 #include "logging.hh"
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <vector>
@@ -11,19 +12,21 @@ namespace sim
 
 namespace
 {
-bool quietFlag = false;
+/** Atomic so concurrent scenario/query workers can log safely while
+ *  another thread toggles quiet mode. */
+std::atomic<bool> quietFlag{false};
 } // namespace
 
 void
 setQuiet(bool q)
 {
-    quietFlag = q;
+    quietFlag.store(q, std::memory_order_relaxed);
 }
 
 bool
 quiet()
 {
-    return quietFlag;
+    return quietFlag.load(std::memory_order_relaxed);
 }
 
 std::string

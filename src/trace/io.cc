@@ -1,6 +1,8 @@
 #include "io.hh"
 
+#include <algorithm>
 #include <cstring>
+#include <limits>
 
 #include "sim/logging.hh"
 
@@ -30,6 +32,35 @@ constexpr long headerBytesV1 = 4 + sizeof(std::uint32_t) +
                                sizeof(std::uint64_t);
 /** Version 2 header: magic + version + seed + count. */
 constexpr long headerBytesV2 = headerBytesV1 + sizeof(std::uint64_t);
+
+/**
+ * Block size of the buffered reader: one fread per this many
+ * records. 256 KiB keeps the buffer cache-friendly while making the
+ * stdio round trip cost negligible per record.
+ */
+constexpr std::size_t readerBlockRecords =
+    (256 * 1024) / sizeof(DiskRecord);
+
+inline void
+decodeRecord(const unsigned char *bytes, TraceEvent &ev)
+{
+    // Three word loads plus shifts, decoding straight from the block
+    // buffer; the memcpys compile to plain unaligned loads. This
+    // stays fast even with the tree vectorizer off (see the GCC 12
+    // note in the top-level CMakeLists.txt) where a struct-sized
+    // memcpy through a DiskRecord temporary does not.
+    std::uint64_t w0;
+    std::uint64_t w1;
+    std::uint64_t w2;
+    std::memcpy(&w0, bytes, sizeof(w0));
+    std::memcpy(&w1, bytes + 8, sizeof(w1));
+    std::memcpy(&w2, bytes + 16, sizeof(w2));
+    ev.timestamp = w0;
+    ev.param = static_cast<std::uint32_t>(w1);
+    ev.stream = static_cast<unsigned>(w1 >> 32);
+    ev.token = static_cast<std::uint16_t>(w2);
+    ev.flags = static_cast<std::uint8_t>(w2 >> 16);
+}
 
 struct FileCloser
 {
@@ -78,6 +109,12 @@ saveTrace(const std::string &path,
 }
 
 TraceReader::TraceReader(const std::string &path)
+    : TraceReader(path, 0, std::numeric_limits<std::uint64_t>::max())
+{
+}
+
+TraceReader::TraceReader(const std::string &path, std::uint64_t first,
+                         std::uint64_t n)
     : file(std::fopen(path.c_str(), "rb")), pathName(path)
 {
     if (!file) {
@@ -123,8 +160,7 @@ TraceReader::TraceReader(const std::string &path)
         return;
     }
     const long size = std::ftell(file.get());
-    if (size < 0 ||
-        std::fseek(file.get(), headerBytes, SEEK_SET) != 0) {
+    if (size < 0) {
         errorMessage = "'" + path + "': cannot seek";
         return;
     }
@@ -137,29 +173,94 @@ TraceReader::TraceReader(const std::string &path)
             path.c_str(), static_cast<unsigned long long>(count),
             static_cast<unsigned long long>(payload /
                                             sizeof(DiskRecord)));
+        return;
     }
+    // A file that is *longer* than the count implies may carry whole
+    // appended records (ignored), but never a partial one: a ragged
+    // tail means the writer died mid-record or the file is corrupt.
+    if (payload % sizeof(DiskRecord) != 0) {
+        errorMessage = sim::strprintf(
+            "'%s': file ends in a partial record (%llu stray bytes "
+            "after the last whole record; truncated or corrupt)",
+            path.c_str(),
+            static_cast<unsigned long long>(payload %
+                                            sizeof(DiskRecord)));
+        return;
+    }
+    // Clamp the requested view to the declared records and position
+    // the stream at its first record.
+    baseRecord = std::min(first, count);
+    limit = std::min(n, count - baseRecord);
+    const auto offset =
+        headerBytes +
+        static_cast<long>(baseRecord * sizeof(DiskRecord));
+    if (std::fseek(file.get(), offset, SEEK_SET) != 0)
+        errorMessage = "'" + path + "': cannot seek";
+}
+
+bool
+TraceReader::fillBuffer()
+{
+    bufferNext = 0;
+    bufferedRecords = 0;
+    const std::uint64_t remaining = limit - read;
+    if (remaining == 0)
+        return false;
+    if (buffer.empty())
+        buffer.resize(readerBlockRecords * sizeof(DiskRecord));
+    const std::size_t want = static_cast<std::size_t>(
+        std::min<std::uint64_t>(remaining, readerBlockRecords));
+    const std::size_t got = std::fread(
+        buffer.data(), sizeof(DiskRecord), want, file.get());
+    if (got == 0) {
+        // The header promised these records (the size was validated
+        // at open), so a short read means the file shrank or an I/O
+        // error; surface it like a mid-record truncation.
+        errorMessage = sim::strprintf(
+            "'%s': truncated mid-record: record %llu of %llu",
+            pathName.c_str(),
+            static_cast<unsigned long long>(baseRecord + read),
+            static_cast<unsigned long long>(count));
+        return false;
+    }
+    bufferedRecords = got;
+    return true;
 }
 
 bool
 TraceReader::next(TraceEvent &ev)
 {
-    if (!ok() || read == count)
-        return false;
-    DiskRecord rec;
-    if (std::fread(&rec, sizeof(rec), 1, file.get()) != 1) {
-        errorMessage = sim::strprintf(
-            "'%s': truncated mid-record: record %llu of %llu",
-            pathName.c_str(), static_cast<unsigned long long>(read),
-            static_cast<unsigned long long>(count));
-        return false;
+    if (bufferNext == bufferedRecords) {
+        if (!ok() || !fillBuffer())
+            return false;
     }
-    ev.timestamp = rec.timestamp;
-    ev.param = rec.param;
-    ev.stream = rec.stream;
-    ev.token = rec.token;
-    ev.flags = rec.flags;
+    decodeRecord(buffer.data() + bufferNext * sizeof(DiskRecord), ev);
+    ++bufferNext;
     ++read;
     return true;
+}
+
+std::size_t
+TraceReader::nextBatch(TraceEvent *out, std::size_t max)
+{
+    std::size_t produced = 0;
+    while (produced < max) {
+        if (bufferNext == bufferedRecords) {
+            if (!ok() || !fillBuffer())
+                break;
+        }
+        const std::size_t run = std::min(
+            max - produced, bufferedRecords - bufferNext);
+        const unsigned char *src =
+            buffer.data() + bufferNext * sizeof(DiskRecord);
+        for (std::size_t i = 0; i < run; ++i)
+            decodeRecord(src + i * sizeof(DiskRecord),
+                         out[produced + i]);
+        bufferNext += run;
+        read += run;
+        produced += run;
+    }
+    return produced;
 }
 
 std::optional<std::vector<TraceEvent>>
@@ -168,14 +269,13 @@ loadTrace(const std::string &path)
     TraceReader reader(path);
     if (!reader.ok())
         return std::nullopt;
-    std::vector<TraceEvent> events;
     // The reader has validated the count against the file size, so
-    // this reserve is bounded by the actual bytes on disk.
-    events.reserve(static_cast<std::size_t>(reader.declaredCount()));
-    TraceEvent ev;
-    while (reader.next(ev))
-        events.push_back(ev);
-    if (!reader.error().empty())
+    // this allocation is bounded by the actual bytes on disk.
+    std::vector<TraceEvent> events(
+        static_cast<std::size_t>(reader.declaredCount()));
+    const std::size_t got =
+        reader.nextBatch(events.data(), events.size());
+    if (got != events.size() || !reader.error().empty())
         return std::nullopt; // truncated mid-record
     return events;
 }

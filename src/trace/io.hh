@@ -55,16 +55,32 @@ std::optional<std::vector<TraceEvent>> loadTrace(
     const std::string &path);
 
 /**
- * Incremental trace file reader: decodes a saveTrace() file
- * record-by-record in a single forward pass with O(1) memory, so
- * traces that do not fit in memory can still be evaluated (the
- * streaming query engine in src/query/ runs on top of this).
+ * Incremental trace file reader: decodes a saveTrace() file in a
+ * single forward pass with O(1) memory, so traces that do not fit in
+ * memory can still be evaluated (the streaming query engine in
+ * src/query/ runs on top of this).
+ *
+ * Reads are block-buffered: the reader issues one large fread per
+ * block (not one per 24-byte record) and decodes records straight
+ * out of the block buffer, so the per-record cost is a couple of
+ * loads, not a stdio round trip. nextBatch() additionally amortizes
+ * the per-record call overhead for bulk consumers.
  *
  * The header is validated on construction (magic, version, and the
  * declared record count against the actual file size, so a corrupt
- * count can neither over-read nor drive a huge allocation); every
- * next() bounds-checks the record read, and a file truncated
- * mid-record surfaces as an error message instead of a short trace.
+ * count can neither over-read nor drive a huge allocation; a file
+ * that ends in a partial record is rejected even when the declared
+ * records all fit); every next() bounds-checks the record read, and
+ * a file truncated mid-record surfaces as an error message instead
+ * of a short trace.
+ *
+ * The range constructor opens a *view* of records
+ * [first, first + n): the header is validated exactly as for a whole
+ * -file reader, but next()/nextBatch() deliver only that slice. This
+ * is the seam the sharded query executor (query::runQueryFileSharded)
+ * uses to hand each worker thread its own contiguous record range —
+ * each shard owns an independent TraceReader (own FILE handle, own
+ * buffer), so concurrent shards share no reader state.
  *
  * @code
  * trace::TraceReader reader(path);
@@ -81,6 +97,15 @@ class TraceReader
 {
   public:
     explicit TraceReader(const std::string &path);
+
+    /**
+     * Open a view of records [first, first + n) of @p path (clamped
+     * to the declared count). Header validation is identical to the
+     * whole-file constructor.
+     */
+    TraceReader(const std::string &path, std::uint64_t first,
+                std::uint64_t n);
+
     TraceReader(TraceReader &&) = default;
     TraceReader &operator=(TraceReader &&) = default;
 
@@ -112,18 +137,26 @@ class TraceReader
         return headerSeed;
     }
 
-    /** Records decoded so far. */
+    /** Records decoded so far (relative to the view's start). */
     std::uint64_t
     recordsRead() const
     {
         return read;
     }
 
-    /** All declared records have been consumed. */
+    /** Records this reader will deliver (= declaredCount() for a
+     *  whole-file reader, the clamped slice length for a range). */
+    std::uint64_t
+    rangeLength() const
+    {
+        return limit;
+    }
+
+    /** All of this reader's records have been consumed. */
     bool
     atEnd() const
     {
-        return read == count;
+        return read == limit;
     }
 
     /**
@@ -133,7 +166,16 @@ class TraceReader
      */
     bool next(TraceEvent &ev);
 
+    /**
+     * Decode up to @p max records into @p out.
+     * @return the number decoded; 0 at end of trace or on error
+     *         (distinguish with error(), as for next()).
+     */
+    std::size_t nextBatch(TraceEvent *out, std::size_t max);
+
   private:
+    /** Refill the block buffer. @return false at end or on error. */
+    bool fillBuffer();
     struct FileCloser
     {
         void
@@ -148,8 +190,16 @@ class TraceReader
     std::string pathName;
     std::string errorMessage;
     std::uint64_t count = 0;
+    /** Records this view delivers (count, or the clamped range). */
+    std::uint64_t limit = 0;
+    /** Absolute index of the view's first record (error messages). */
+    std::uint64_t baseRecord = 0;
     std::uint64_t read = 0;
     std::uint64_t headerSeed = 0;
+    /** Block buffer: raw on-disk records, decoded lazily. */
+    std::vector<unsigned char> buffer;
+    std::size_t bufferedRecords = 0;
+    std::size_t bufferNext = 0;
 };
 
 } // namespace trace

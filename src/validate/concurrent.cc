@@ -1,0 +1,44 @@
+#include "validate/concurrent.hh"
+
+#include "parallel/pool.hh"
+#include "sim/logging.hh"
+
+namespace supmon
+{
+namespace validate
+{
+
+std::vector<par::RunResult>
+runScenariosConcurrent(const std::vector<const Scenario *> &scenarios,
+                       unsigned jobs)
+{
+    // Silence warn()/inform() for the whole batch up front instead of
+    // per-task QuietScopes: the scope's save/restore of the previous
+    // value is not meaningful when scopes overlap across threads.
+    const bool wasQuiet = sim::quiet();
+    sim::setQuiet(true);
+    std::vector<par::RunResult> results(scenarios.size());
+    try {
+        parallel::forEachIndex(
+            jobs, scenarios.size(), [&](std::size_t i) {
+                results[i] = par::runRayTracer(scenarios[i]->config);
+            });
+    } catch (...) {
+        sim::setQuiet(wasQuiet);
+        throw;
+    }
+    sim::setQuiet(wasQuiet);
+    return results;
+}
+
+std::vector<par::RunResult>
+runGoldenScenariosConcurrent(unsigned jobs)
+{
+    std::vector<const Scenario *> all;
+    for (const Scenario &s : goldenScenarios())
+        all.push_back(&s);
+    return runScenariosConcurrent(all, jobs);
+}
+
+} // namespace validate
+} // namespace supmon

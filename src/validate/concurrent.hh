@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Concurrent multi-scenario execution: run several golden scenarios
+ * (or benchmark workloads) on a worker pool, one simulator instance
+ * per task, and return the results in input order.
+ *
+ * Each par::runRayTracer() call is a self-contained deterministic
+ * event-loop simulation — the only process-global it touches is the
+ * (atomic) quiet flag — so scenario runs are embarrassingly parallel:
+ * a concurrent batch produces byte-identical traces to running the
+ * same scenarios serially. tests/parallel/test_concurrent_scenarios
+ * .cpp locks that with validate::digestOf.
+ */
+
+#ifndef VALIDATE_CONCURRENT_HH
+#define VALIDATE_CONCURRENT_HH
+
+#include <vector>
+
+#include "partracer/runner.hh"
+#include "validate/scenarios.hh"
+
+namespace supmon
+{
+namespace validate
+{
+
+/**
+ * Run every scenario in @p scenarios on up to @p jobs threads
+ * (quietly, like runScenario). Results land in input order;
+ * result[i] belongs to scenarios[i].
+ */
+std::vector<par::RunResult> runScenariosConcurrent(
+    const std::vector<const Scenario *> &scenarios, unsigned jobs);
+
+/** Convenience: all golden scenarios, concurrently. */
+std::vector<par::RunResult> runGoldenScenariosConcurrent(
+    unsigned jobs);
+
+} // namespace validate
+} // namespace supmon
+
+#endif // VALIDATE_CONCURRENT_HH

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Concurrent scenario execution: running the golden scenarios on a
+ * worker pool must produce traces byte-identical (same digest) to
+ * serial runs, results must land in input order, and repeated
+ * concurrent batches must agree with each other.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "validate/concurrent.hh"
+#include "validate/golden.hh"
+#include "validate/scenarios.hh"
+
+using namespace supmon;
+
+TEST(ConcurrentScenarios, ByteIdenticalToSerialRuns)
+{
+    const auto &scenarios = validate::goldenScenarios();
+    std::vector<const validate::Scenario *> selected;
+    for (const auto &s : scenarios)
+        selected.push_back(&s);
+
+    const auto concurrent =
+        validate::runScenariosConcurrent(selected, 4);
+    ASSERT_EQ(concurrent.size(), selected.size());
+    for (std::size_t i = 0; i < selected.size(); ++i) {
+        ASSERT_TRUE(concurrent[i].completed) << selected[i]->name;
+        const auto serial = validate::runScenario(*selected[i]);
+        EXPECT_EQ(validate::digestOf(concurrent[i].events),
+                  validate::digestOf(serial.events))
+            << selected[i]->name;
+        // Results are in input order: the config identifies the run.
+        EXPECT_EQ(concurrent[i].config.version,
+                  selected[i]->config.version)
+            << selected[i]->name;
+    }
+}
+
+TEST(ConcurrentScenarios, RepeatedBatchesAgree)
+{
+    const auto first = validate::runGoldenScenariosConcurrent(4);
+    const auto second = validate::runGoldenScenariosConcurrent(2);
+    ASSERT_EQ(first.size(), second.size());
+    for (std::size_t i = 0; i < first.size(); ++i) {
+        EXPECT_EQ(validate::digestOf(first[i].events),
+                  validate::digestOf(second[i].events));
+    }
+}
+
+TEST(ConcurrentScenarios, SingleJobDegeneratesToSerial)
+{
+    std::vector<const validate::Scenario *> one = {
+        validate::findScenario("fig07-mailbox")};
+    ASSERT_NE(one[0], nullptr);
+    const auto results = validate::runScenariosConcurrent(one, 1);
+    ASSERT_EQ(results.size(), 1u);
+    const auto serial = validate::runScenario(*one[0]);
+    EXPECT_EQ(validate::digestOf(results[0].events),
+              validate::digestOf(serial.events));
+}

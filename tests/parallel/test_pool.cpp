@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Tests of the worker-pool primitive: task completion, inline
+ * degenerate mode, exception propagation, reuse, and the
+ * index-parallel loop.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+#include "parallel/pool.hh"
+
+using namespace supmon;
+
+TEST(WorkerPool, RunsEverySubmittedTask)
+{
+    parallel::WorkerPool pool(4);
+    EXPECT_EQ(pool.workerCount(), 4u);
+    std::atomic<int> done{0};
+    for (int i = 0; i < 100; ++i)
+        pool.submit([&done] { ++done; });
+    pool.wait();
+    EXPECT_EQ(done.load(), 100);
+}
+
+TEST(WorkerPool, InlineModeSpawnsNoThreadsAndRunsInOrder)
+{
+    parallel::WorkerPool pool(1);
+    EXPECT_EQ(pool.workerCount(), 0u);
+    std::vector<int> order;
+    for (int i = 0; i < 10; ++i)
+        pool.submit([&order, i] { order.push_back(i); });
+    pool.wait();
+    ASSERT_EQ(order.size(), 10u);
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(WorkerPool, WaitRethrowsFirstTaskException)
+{
+    parallel::WorkerPool pool(2);
+    pool.submit([] { throw std::runtime_error("task failed"); });
+    EXPECT_THROW(pool.wait(), std::runtime_error);
+    // The error is consumed; the pool stays usable.
+    std::atomic<int> done{0};
+    pool.submit([&done] { ++done; });
+    pool.wait();
+    EXPECT_EQ(done.load(), 1);
+}
+
+TEST(WorkerPool, ReusableAcrossWaitCycles)
+{
+    parallel::WorkerPool pool(3);
+    std::atomic<int> done{0};
+    for (int round = 0; round < 5; ++round) {
+        for (int i = 0; i < 20; ++i)
+            pool.submit([&done] { ++done; });
+        pool.wait();
+    }
+    EXPECT_EQ(done.load(), 100);
+}
+
+TEST(ForEachIndex, CoversEveryIndexExactlyOnce)
+{
+    for (unsigned jobs : {1u, 2u, 7u, 32u}) {
+        std::vector<std::atomic<int>> hits(257);
+        parallel::forEachIndex(jobs, hits.size(), [&](std::size_t i) {
+            ++hits[i];
+        });
+        for (std::size_t i = 0; i < hits.size(); ++i)
+            EXPECT_EQ(hits[i].load(), 1) << "jobs " << jobs
+                                         << " index " << i;
+    }
+}
+
+TEST(ForEachIndex, ZeroCountIsANoop)
+{
+    bool called = false;
+    parallel::forEachIndex(4, 0, [&](std::size_t) { called = true; });
+    EXPECT_FALSE(called);
+}
+
+TEST(ForEachIndex, PropagatesExceptions)
+{
+    EXPECT_THROW(parallel::forEachIndex(
+                     4, 100,
+                     [](std::size_t i) {
+                         if (i == 57)
+                             throw std::runtime_error("index 57");
+                     }),
+                 std::runtime_error);
+}
+
+TEST(DefaultJobs, IsAtLeastOne)
+{
+    EXPECT_GE(parallel::defaultJobs(), 1u);
+}

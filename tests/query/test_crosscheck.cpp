@@ -14,6 +14,7 @@
 #include <map>
 
 #include "query/engine.hh"
+#include "query/sharded.hh"
 #include "trace/activity.hh"
 #include "trace/io.hh"
 #include "validate/scenarios.hh"
@@ -22,6 +23,25 @@ using namespace supmon;
 
 namespace
 {
+
+/** Every cell equal: text, integer, and the exact double. */
+void
+expectTablesIdentical(const query::Table &a, const query::Table &b,
+                      const std::string &what)
+{
+    ASSERT_EQ(a.columns, b.columns) << what;
+    ASSERT_EQ(a.rows.size(), b.rows.size()) << what;
+    for (std::size_t r = 0; r < a.rows.size(); ++r) {
+        for (std::size_t c = 0; c < a.columns.size(); ++c) {
+            EXPECT_EQ(a.rows[r][c].text, b.rows[r][c].text)
+                << what << " row " << r << " col " << c;
+            EXPECT_EQ(a.rows[r][c].integer, b.rows[r][c].integer)
+                << what << " row " << r << " col " << c;
+            EXPECT_EQ(a.rows[r][c].real, b.rows[r][c].real)
+                << what << " row " << r << " col " << c;
+        }
+    }
+}
 
 const char *scenarioNames[] = {"fig07-mailbox", "fig09-agents",
                                "fig10-versions"};
@@ -187,15 +207,96 @@ TEST(QueryCrossCheck, FileStreamingMatchesInMemoryOnGoldenTrace)
                                     error, res.phaseEnd))
         << error;
 
-    ASSERT_EQ(streamed.columns, batch.columns);
-    ASSERT_EQ(streamed.rows.size(), batch.rows.size());
-    for (std::size_t r = 0; r < batch.rows.size(); ++r) {
-        for (std::size_t c = 0; c < batch.columns.size(); ++c) {
-            EXPECT_EQ(streamed.rows[r][c].text, batch.rows[r][c].text);
-            EXPECT_EQ(streamed.rows[r][c].integer,
-                      batch.rows[r][c].integer);
-            EXPECT_EQ(streamed.rows[r][c].real, batch.rows[r][c].real);
+    expectTablesIdentical(streamed, batch, "file-vs-memory");
+    std::remove(path);
+}
+
+TEST(QueryCrossCheck, ShardCountIndependence)
+{
+    // The sharded executor must produce bit-exact results for EVERY
+    // shard count — including one shard, which proves the shard
+    // machinery itself (partial folds + merge) reproduces the
+    // streaming fold, not just that the splits line up.
+    const auto res = runNamedScenario("fig09-agents");
+
+    std::vector<query::Query> queries;
+    {
+        query::Query q;
+        q.fold.kind = query::FoldKind::States;
+        queries.push_back(q);
+    }
+    {
+        query::Query q;
+        q.fold.kind = query::FoldKind::Utilization;
+        q.fold.state = "WORK";
+        queries.push_back(q);
+    }
+    {
+        query::Query q;
+        q.fold.kind = query::FoldKind::Count;
+        queries.push_back(q);
+    }
+    {
+        query::Query q;
+        q.fold.kind = query::FoldKind::Count;
+        query::WindowSpec w;
+        w.size = sim::milliseconds(10);
+        w.step = sim::milliseconds(10);
+        q.window = w;
+        queries.push_back(q);
+    }
+    {
+        query::Query q;
+        q.fold.kind = query::FoldKind::Latency;
+        query::FilterSpec f;
+        f.tokenPatterns.push_back("evWorkBegin");
+        q.filters.push_back(f);
+        queries.push_back(q);
+    }
+    {
+        query::Query q;
+        q.fold.kind = query::FoldKind::Rtt;
+        q.fold.beginPattern = "evJobSend";
+        q.fold.endPattern = "evReceiveResultsBegin";
+        queries.push_back(q);
+    }
+
+    for (std::size_t qi = 0; qi < queries.size(); ++qi) {
+        const query::Table serial = query::runQuery(
+            res.events, res.dictionary, queries[qi], res.phaseEnd);
+        for (unsigned jobs : {1u, 2u, 3u, 8u}) {
+            const query::Table sharded = query::runQuerySharded(
+                res.events, res.dictionary, queries[qi], jobs,
+                res.phaseEnd);
+            expectTablesIdentical(
+                sharded, serial,
+                "query " + std::to_string(qi) + " jobs " +
+                    std::to_string(jobs));
         }
+    }
+}
+
+TEST(QueryCrossCheck, ShardedFileMatchesStreamingFile)
+{
+    const char *path = "/tmp/supmon_query_crosscheck_sharded.smtr";
+    const auto res = runNamedScenario("fig10-versions");
+    ASSERT_TRUE(trace::saveTrace(path, res.events));
+
+    query::Query q;
+    q.fold.kind = query::FoldKind::States;
+    query::Table streamed;
+    std::string error;
+    ASSERT_TRUE(query::runQueryFile(path, res.dictionary, q, streamed,
+                                    error, res.phaseEnd))
+        << error;
+    for (unsigned jobs : {1u, 2u, 4u}) {
+        query::Table sharded;
+        ASSERT_TRUE(query::runQueryFileSharded(path, res.dictionary,
+                                               q, jobs, sharded,
+                                               error, res.phaseEnd))
+            << error;
+        expectTablesIdentical(sharded, streamed,
+                              "file jobs " + std::to_string(jobs));
     }
     std::remove(path);
 }

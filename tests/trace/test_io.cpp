@@ -162,6 +162,68 @@ TEST(TraceIo, TruncatedFileRejected)
     std::remove(tmpPath);
 }
 
+TEST(TraceIo, TrailingPartialRecordRejected)
+{
+    // A file longer than the declared count implies, by a fraction of
+    // a record, means the writer died mid-record (or the file is
+    // corrupt) — even though all declared records still fit.
+    const auto original = randomTrace(20, 11);
+    ASSERT_TRUE(trace::saveTrace(tmpPath, original));
+    std::ofstream out(tmpPath, std::ios::binary | std::ios::app);
+    out.write("\0\0\0\0\0\0\0", 7);
+    out.close();
+    trace::TraceReader reader(tmpPath);
+    EXPECT_FALSE(reader.ok());
+    EXPECT_NE(reader.error().find("partial record"),
+              std::string::npos)
+        << reader.error();
+    EXPECT_FALSE(trace::loadTrace(tmpPath).has_value());
+    std::remove(tmpPath);
+}
+
+TEST(TraceIo, WholeAppendedRecordsStillReadable)
+{
+    // Whole records beyond the declared count stay permitted (and
+    // ignored): only a ragged, partial tail is an error.
+    const auto original = randomTrace(20, 12);
+    ASSERT_TRUE(trace::saveTrace(tmpPath, original));
+    const std::vector<char> whole(24, '\0');
+    std::ofstream out(tmpPath, std::ios::binary | std::ios::app);
+    out.write(whole.data(),
+              static_cast<std::streamsize>(whole.size()));
+    out.close();
+    const auto loaded = trace::loadTrace(tmpPath);
+    ASSERT_TRUE(loaded.has_value());
+    EXPECT_EQ(loaded->size(), original.size());
+    std::remove(tmpPath);
+}
+
+TEST(TraceIo, RangeViewDeliversExactSlice)
+{
+    const auto original = randomTrace(100, 13);
+    ASSERT_TRUE(trace::saveTrace(tmpPath, original));
+    trace::TraceReader reader(tmpPath, 40, 25);
+    ASSERT_TRUE(reader.ok()) << reader.error();
+    EXPECT_EQ(reader.rangeLength(), 25u);
+    TraceEvent ev;
+    for (std::size_t i = 0; i < 25; ++i) {
+        ASSERT_TRUE(reader.next(ev));
+        EXPECT_EQ(ev.timestamp, original[40 + i].timestamp);
+        EXPECT_EQ(ev.token, original[40 + i].token);
+    }
+    EXPECT_FALSE(reader.next(ev));
+    EXPECT_TRUE(reader.error().empty());
+    EXPECT_TRUE(reader.atEnd());
+    // Out-of-bounds views clamp instead of failing.
+    trace::TraceReader past(tmpPath, 90, 50);
+    ASSERT_TRUE(past.ok());
+    EXPECT_EQ(past.rangeLength(), 10u);
+    trace::TraceReader beyond(tmpPath, 200, 5);
+    ASSERT_TRUE(beyond.ok());
+    EXPECT_EQ(beyond.rangeLength(), 0u);
+    std::remove(tmpPath);
+}
+
 TEST(TraceIo, UnwritablePathFails)
 {
     EXPECT_FALSE(trace::saveTrace("/nonexistent-dir/trace.smtr", {}));

@@ -1,0 +1,148 @@
+/**
+ * @file
+ * scenariorun - run the golden scenarios (and the figure benchmark
+ * workloads they mirror) concurrently on a worker pool.
+ *
+ * Usage:
+ *   scenariorun [--jobs N] [--verify] [<scenario>...]
+ *   scenariorun --list
+ *
+ * Options:
+ *   --jobs N   worker threads (0 = all cores; default all cores)
+ *   --verify   also run every selected scenario serially and check
+ *              the concurrent traces are byte-identical (digest
+ *              comparison); exit 1 on any mismatch
+ *   --list     list scenario names and exit
+ *
+ * With no scenario arguments all golden scenarios run. Per scenario
+ * the tool prints the trace digest (the same hash the golden files
+ * record), the event count, and the simulated run time. Exit status:
+ * 0 ok, 1 failed or diverging run, 2 usage error.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "parallel/pool.hh"
+#include "sim/logging.hh"
+#include "validate/concurrent.hh"
+#include "validate/golden.hh"
+#include "validate/scenarios.hh"
+
+using namespace supmon;
+
+namespace
+{
+
+int
+usage(const char *argv0)
+{
+    std::fprintf(stderr,
+                 "usage: %s [--jobs N] [--verify] [<scenario>...]\n"
+                 "       %s --list\n",
+                 argv0, argv0);
+    return 2;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    sim::setQuiet(true);
+
+    unsigned jobs = parallel::defaultJobs();
+    bool verify = false;
+    bool list = false;
+    std::vector<std::string> names;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--jobs" && i + 1 < argc) {
+            const int n = std::atoi(argv[++i]);
+            if (n < 0 || n > 1024) {
+                std::fprintf(stderr, "bad job count '%s'\n", argv[i]);
+                return 2;
+            }
+            jobs = n == 0 ? parallel::defaultJobs()
+                          : static_cast<unsigned>(n);
+        } else if (arg == "--verify") {
+            verify = true;
+        } else if (arg == "--list") {
+            list = true;
+        } else if (!arg.empty() && arg[0] == '-') {
+            return usage(argv[0]);
+        } else {
+            names.push_back(arg);
+        }
+    }
+
+    if (list) {
+        for (const auto &s : validate::goldenScenarios())
+            std::printf("%-16s %s\n", s.name.c_str(),
+                        s.description.c_str());
+        return 0;
+    }
+
+    std::vector<const validate::Scenario *> selected;
+    if (names.empty()) {
+        for (const auto &s : validate::goldenScenarios())
+            selected.push_back(&s);
+    } else {
+        for (const auto &name : names) {
+            const auto *s = validate::findScenario(name);
+            if (!s) {
+                std::fprintf(stderr,
+                             "unknown scenario '%s' (try --list)\n",
+                             name.c_str());
+                return 2;
+            }
+            selected.push_back(s);
+        }
+    }
+
+    const std::vector<par::RunResult> results =
+        validate::runScenariosConcurrent(selected, jobs);
+
+    int status = 0;
+    for (std::size_t i = 0; i < selected.size(); ++i) {
+        const auto &result = results[i];
+        if (!result.completed) {
+            std::printf("%-16s FAILED (run did not complete)\n",
+                        selected[i]->name.c_str());
+            status = 1;
+            continue;
+        }
+        const validate::TraceDigest digest =
+            validate::digestOf(result.events);
+        std::printf("%-16s %s %8llu events  %8.1f ms simulated\n",
+                    selected[i]->name.c_str(),
+                    validate::hashHex(digest.hash).c_str(),
+                    static_cast<unsigned long long>(
+                        digest.eventCount),
+                    sim::toMilliseconds(result.applicationTime));
+    }
+    if (status != 0 || !verify)
+        return status;
+
+    // Verification: the concurrent batch must be byte-identical to
+    // serial runs of the same scenarios.
+    for (std::size_t i = 0; i < selected.size(); ++i) {
+        const par::RunResult serial =
+            validate::runScenario(*selected[i]);
+        if (validate::digestOf(serial.events) !=
+            validate::digestOf(results[i].events)) {
+            std::printf("%-16s DIVERGED from serial run\n",
+                        selected[i]->name.c_str());
+            status = 1;
+        }
+    }
+    if (status == 0)
+        std::printf("verify: %zu scenario(s) byte-identical to "
+                    "serial runs\n",
+                    selected.size());
+    return status;
+}

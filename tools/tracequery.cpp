@@ -12,6 +12,7 @@
  *   --format text|csv|json   output format (default text)
  *   --trace-end TIME         close open states at TIME (saved traces)
  *   --nodes N                name streams for N nodes (default 32)
+ *   --jobs N                 worker threads (0 = all cores; default 1)
  *   --phase                  scenario mode: evaluate only the
  *                            measurement phase window
  *
@@ -19,9 +20,13 @@
  *   filter stream=servant.* token=evWork* | window 10ms | utilization
  *
  * Saved trace files are evaluated in a single streaming pass with
- * bounded memory, so traces far larger than RAM work. Exit status:
- * 0 ok, 1 unreadable/invalid input or failed run, 2 usage or query
- * parse error.
+ * bounded memory, so traces far larger than RAM work. With --jobs N a
+ * single file is split into N record shards evaluated concurrently
+ * (bit-exact with the streaming pass), several files are evaluated
+ * concurrently (output stays in argument order), and `--scenario all`
+ * runs the scenario simulations concurrently. Exit status: 0 ok, 1
+ * unreadable/invalid input or failed run, 2 usage or query parse
+ * error.
  */
 
 #include <cstdio>
@@ -29,9 +34,12 @@
 #include <string>
 #include <vector>
 
+#include "parallel/pool.hh"
 #include "partracer/events.hh"
 #include "query/engine.hh"
+#include "query/sharded.hh"
 #include "sim/logging.hh"
+#include "validate/concurrent.hh"
 #include "validate/scenarios.hh"
 
 using namespace supmon;
@@ -48,7 +56,7 @@ usage(const char *argv0)
         "       %s [options] \"<query>\" --scenario <name>|all\n"
         "       %s --list-scenarios\n"
         "options: --format text|csv|json  --trace-end TIME\n"
-        "         --nodes N  --phase\n"
+        "         --nodes N  --jobs N  --phase\n"
         "query:   filter stream=PAT token=PAT from=T to=T param=N |\n"
         "         window SIZE [slide STEP] |\n"
         "         count|states|utilization [state=S]|latency "
@@ -60,31 +68,44 @@ usage(const char *argv0)
 int
 queryFiles(const std::vector<std::string> &paths,
            const query::Query &parsed, query::OutputFormat format,
-           sim::Tick trace_end, unsigned nodes)
+           sim::Tick trace_end, unsigned nodes, unsigned jobs)
 {
     trace::EventDictionary dict = par::rayTracerDictionary();
     par::nameRayTracerStreams(dict, nodes);
+    // One file: shard it across the workers. Several files: one
+    // worker per file (the coarser, cheaper split), rendered output
+    // buffered per file and printed in argument order so the result
+    // is byte-identical to a serial run.
+    const unsigned perFileJobs = paths.size() > 1 ? 1 : jobs;
+    std::vector<std::string> rendered(paths.size());
+    std::vector<std::string> errors(paths.size());
+    parallel::forEachIndex(
+        jobs, paths.size(), [&](std::size_t i) {
+            query::Table table;
+            if (query::runQueryFileSharded(paths[i], dict, parsed,
+                                           perFileJobs, table,
+                                           errors[i], trace_end))
+                rendered[i] = table.render(format);
+        });
     int status = 0;
-    for (const auto &path : paths) {
-        query::Table table;
-        std::string error;
-        if (!query::runQueryFile(path, dict, parsed, table, error,
-                                 trace_end)) {
-            std::fprintf(stderr, "%s\n", error.c_str());
+    for (std::size_t i = 0; i < paths.size(); ++i) {
+        if (!errors[i].empty()) {
+            std::fprintf(stderr, "%s\n", errors[i].c_str());
             status = 1;
             continue;
         }
         if (paths.size() > 1 &&
             format == query::OutputFormat::Text)
-            std::printf("== %s\n", path.c_str());
-        std::printf("%s", table.render(format).c_str());
+            std::printf("== %s\n", paths[i].c_str());
+        std::printf("%s", rendered[i].c_str());
     }
     return status;
 }
 
 int
 queryScenarios(const std::string &which, const query::Query &parsed,
-               query::OutputFormat format, bool phase_only)
+               query::OutputFormat format, bool phase_only,
+               unsigned jobs)
 {
     std::vector<const validate::Scenario *> selected;
     if (which == "all") {
@@ -99,8 +120,13 @@ queryScenarios(const std::string &which, const query::Query &parsed,
         return 2;
     }
 
-    for (const auto *scenario : selected) {
-        const auto result = validate::runScenario(*scenario);
+    // The simulations dominate the wall clock; run them on the pool
+    // (results land in scenario order, so output order is unchanged).
+    const std::vector<par::RunResult> results =
+        validate::runScenariosConcurrent(selected, jobs);
+    for (std::size_t idx = 0; idx < selected.size(); ++idx) {
+        const auto *scenario = selected[idx];
+        const auto &result = results[idx];
         if (!result.completed) {
             std::fprintf(stderr, "%s: run did not complete\n",
                          scenario->name.c_str());
@@ -140,6 +166,7 @@ main(int argc, char **argv)
     query::OutputFormat format = query::OutputFormat::Text;
     sim::Tick trace_end = 0;
     unsigned nodes = 32;
+    unsigned jobs = 1;
     bool phase_only = false;
     bool list = false;
     bool haveQuery = false;
@@ -164,6 +191,15 @@ main(int argc, char **argv)
                              argv[i]);
                 return 2;
             }
+        } else if (arg == "--jobs" && i + 1 < argc) {
+            const int n = std::atoi(argv[++i]);
+            if (n < 0 || n > 1024) {
+                std::fprintf(stderr, "bad job count '%s'\n",
+                             argv[i]);
+                return 2;
+            }
+            jobs = n == 0 ? parallel::defaultJobs()
+                          : static_cast<unsigned>(n);
         } else if (arg == "--scenario" && i + 1 < argc) {
             scenario = argv[++i];
         } else if (arg == "--phase") {
@@ -198,8 +234,9 @@ main(int argc, char **argv)
 
     if (!scenario.empty())
         return queryScenarios(scenario, parsed.query, format,
-                              phase_only);
+                              phase_only, jobs);
     if (files.empty())
         return usage(argv[0]);
-    return queryFiles(files, parsed.query, format, trace_end, nodes);
+    return queryFiles(files, parsed.query, format, trace_end, nodes,
+                      jobs);
 }
