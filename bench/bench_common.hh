@@ -9,6 +9,9 @@
 
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
 #include <string>
 #include <utility>
 #include <vector>
@@ -60,6 +63,7 @@ class JsonReport
     {
         entries.emplace_back(key,
                              supmon::sim::strprintf("%.10g", value));
+        numericEntries.emplace_back(key, value);
     }
 
     void
@@ -68,6 +72,7 @@ class JsonReport
         entries.emplace_back(
             key, supmon::sim::strprintf(
                      "%llu", static_cast<unsigned long long>(value)));
+        numericEntries.emplace_back(key, static_cast<double>(value));
     }
 
     void
@@ -95,11 +100,147 @@ class JsonReport
         return ok;
     }
 
+    /** Numeric entries in insertion order (for --check mode). */
+    const std::vector<std::pair<std::string, double>> &
+    numeric() const
+    {
+        return numericEntries;
+    }
+
   private:
     std::string filePath;
     /** key -> pre-rendered JSON value (keys are plain identifiers). */
     std::vector<std::pair<std::string, std::string>> entries;
+    std::vector<std::pair<std::string, double>> numericEntries;
 };
+
+/**
+ * Parse a flat JSON object as written by JsonReport::write() (one
+ * `"key": value` pair per line) and return the numeric entries.
+ * String values are skipped. This is not a general JSON parser — it
+ * reads exactly the committed BENCH_*.json shape.
+ * @return false if the file cannot be opened.
+ */
+inline bool
+readBaseline(const std::string &path,
+             std::map<std::string, double> &out)
+{
+    std::FILE *f = std::fopen(path.c_str(), "r");
+    if (!f)
+        return false;
+    char line[512];
+    while (std::fgets(line, sizeof(line), f)) {
+        const char *keyBegin = std::strchr(line, '"');
+        if (!keyBegin)
+            continue;
+        const char *keyEnd = std::strchr(keyBegin + 1, '"');
+        if (!keyEnd)
+            continue;
+        const char *colon = std::strchr(keyEnd + 1, ':');
+        if (!colon)
+            continue;
+        const char *value = colon + 1;
+        while (*value == ' ' || *value == '\t')
+            ++value;
+        if (*value == '"')
+            continue; // string entry
+        char *parsedEnd = nullptr;
+        const double parsed = std::strtod(value, &parsedEnd);
+        if (parsedEnd == value)
+            continue;
+        out[std::string(keyBegin + 1, keyEnd)] = parsed;
+    }
+    std::fclose(f);
+    return true;
+}
+
+/**
+ * Bench regression gate (`bench --check`): compare this run's
+ * throughput numbers against a committed baseline JSON and fail on a
+ * drop beyond @p allowedDrop. Only keys ending in @p suffix are
+ * compared — absolute events/second regress meaningfully, while
+ * counts and ratio fields have their own tolerances. A compared key
+ * missing from the fresh run also fails (a silently dropped bench
+ * row must not pass the gate).
+ * @return true if every compared metric holds.
+ */
+inline bool
+checkAgainstBaseline(const JsonReport &report,
+                     const std::string &baselinePath,
+                     const char *suffix = "_events_per_sec",
+                     double allowedDrop = 0.30)
+{
+    std::map<std::string, double> baseline;
+    if (!readBaseline(baselinePath, baseline)) {
+        std::fprintf(stderr, "check: cannot read baseline '%s'\n",
+                     baselinePath.c_str());
+        return false;
+    }
+    const std::size_t suffixLen = std::strlen(suffix);
+    auto comparable = [&](const std::string &key) {
+        return key.size() >= suffixLen &&
+               key.compare(key.size() - suffixLen, suffixLen,
+                           suffix) == 0;
+    };
+    std::map<std::string, double> fresh;
+    for (const auto &kv : report.numeric())
+        fresh[kv.first] = kv.second;
+
+    bool ok = true;
+    for (const auto &kv : baseline) {
+        if (!comparable(kv.first) || kv.second <= 0.0)
+            continue;
+        const auto it = fresh.find(kv.first);
+        if (it == fresh.end()) {
+            std::fprintf(stderr,
+                         "check FAIL: %s present in baseline but "
+                         "missing from this run\n",
+                         kv.first.c_str());
+            ok = false;
+            continue;
+        }
+        const double floor = kv.second * (1.0 - allowedDrop);
+        if (it->second < floor) {
+            std::fprintf(stderr,
+                         "check FAIL: %s = %.3g below baseline "
+                         "%.3g - %.0f%% = %.3g\n",
+                         kv.first.c_str(), it->second, kv.second,
+                         100.0 * allowedDrop, floor);
+            ok = false;
+        } else {
+            std::printf("check ok: %-44s %.3g (baseline %.3g)\n",
+                        kv.first.c_str(), it->second, kv.second);
+        }
+    }
+    // New rows (present here, absent from the baseline) are fine —
+    // they start gating once the baseline is regenerated.
+    for (const auto &kv : fresh) {
+        if (comparable(kv.first) && !baseline.count(kv.first))
+            std::printf("check new: %-43s %.3g (no baseline yet)\n",
+                        kv.first.c_str(), kv.second);
+    }
+    return ok;
+}
+
+/**
+ * Parse the common `--check [baseline.json]` bench argument.
+ * @return true when check mode was requested; @p baselinePath is
+ *         set to the explicit path or @p defaultPath.
+ */
+inline bool
+parseCheckArg(int argc, char **argv, const char *defaultPath,
+              std::string &baselinePath)
+{
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--check") != 0)
+            continue;
+        baselinePath = (i + 1 < argc && argv[i + 1][0] != '-')
+                           ? argv[i + 1]
+                           : defaultPath;
+        return true;
+    }
+    return false;
+}
 
 } // namespace bench
 

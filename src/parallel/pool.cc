@@ -105,6 +105,51 @@ WorkerPool::workerMain()
     }
 }
 
+namespace
+{
+
+/** The process-wide pool PoolLease hands out (guarded by
+ *  leaseMutex; workers park on the pool's own condvar between
+ *  leases). */
+std::mutex leaseMutex;
+std::unique_ptr<WorkerPool> cachedPool;
+unsigned cachedWorkers = 0;
+bool cacheBusy = false;
+
+} // namespace
+
+PoolLease::PoolLease(unsigned workers)
+{
+    {
+        std::lock_guard<std::mutex> lock(leaseMutex);
+        if (!cacheBusy) {
+            if (!cachedPool || cachedWorkers < workers) {
+                // Grow (never shrink) the cached pool: join the old
+                // workers, then spawn the wider set.
+                cachedPool.reset();
+                cachedPool = std::make_unique<WorkerPool>(workers);
+                cachedWorkers = workers;
+            }
+            cacheBusy = true;
+            fromCache = true;
+            leased = cachedPool.get();
+            return;
+        }
+    }
+    // The cache is held by an outer lease (a sharded run nested
+    // inside a pool task): a private pool avoids any deadlock.
+    privatePool = std::make_unique<WorkerPool>(workers);
+    leased = privatePool.get();
+}
+
+PoolLease::~PoolLease()
+{
+    if (fromCache) {
+        std::lock_guard<std::mutex> lock(leaseMutex);
+        cacheBusy = false;
+    }
+}
+
 void
 forEachIndex(unsigned jobs, std::size_t count,
              const std::function<void(std::size_t)> &fn)
@@ -116,13 +161,28 @@ forEachIndex(unsigned jobs, std::size_t count,
     }
     const unsigned workers =
         static_cast<unsigned>(std::min<std::size_t>(jobs, count));
-    std::atomic<std::size_t> next{0};
     WorkerPool pool(workers);
-    for (unsigned w = 0; w < workers; ++w) {
-        pool.submit([&next, count, &fn] {
+    forEachIndex(pool, workers, count, fn);
+}
+
+void
+forEachIndex(WorkerPool &pool, unsigned jobs, std::size_t count,
+             const std::function<void(std::size_t)> &fn)
+{
+    if (jobs <= 1 || count <= 1 || pool.workerCount() == 0) {
+        for (std::size_t i = 0; i < count; ++i)
+            fn(i);
+        return;
+    }
+    const unsigned runners = static_cast<unsigned>(
+        std::min<std::size_t>(std::min<std::size_t>(jobs, count),
+                              pool.workerCount()));
+    auto next = std::make_shared<std::atomic<std::size_t>>(0);
+    for (unsigned w = 0; w < runners; ++w) {
+        pool.submit([next, count, &fn] {
             for (;;) {
                 const std::size_t i =
-                    next.fetch_add(1, std::memory_order_relaxed);
+                    next->fetch_add(1, std::memory_order_relaxed);
                 if (i >= count)
                     return;
                 fn(i);

@@ -29,6 +29,7 @@
 #include <cstddef>
 #include <deque>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -97,12 +98,54 @@ class WorkerPool
 };
 
 /**
+ * Lease on a process-wide cached WorkerPool: repeated sharded runs
+ * (a query per scenario, a bench sweeping job counts) reuse one set
+ * of worker threads instead of spawning and joining threads per
+ * call. Acquiring the lease hands out the cached pool when it is
+ * free and at least @p workers wide (growing it when too narrow);
+ * when another lease holds the cache — e.g. a sharded query issued
+ * from inside a pool task — the lease falls back to a private pool,
+ * so nesting can never deadlock. Destroying the lease returns the
+ * cached pool (workers stay parked on the queue's condvar) or joins
+ * the private one.
+ */
+class PoolLease
+{
+  public:
+    explicit PoolLease(unsigned workers);
+    ~PoolLease();
+
+    PoolLease(const PoolLease &) = delete;
+    PoolLease &operator=(const PoolLease &) = delete;
+
+    WorkerPool &
+    pool()
+    {
+        return *leased;
+    }
+
+  private:
+    WorkerPool *leased = nullptr;
+    std::unique_ptr<WorkerPool> privatePool;
+    bool fromCache = false;
+};
+
+/**
  * Run fn(0) .. fn(count - 1), each exactly once, on up to @p jobs
  * threads (inline when jobs <= 1 or count <= 1, in which case the
  * indexes run in order). Blocks until all calls returned; rethrows
  * the first exception a call threw.
  */
 void forEachIndex(unsigned jobs, std::size_t count,
+                  const std::function<void(std::size_t)> &fn);
+
+/**
+ * Same loop on an existing pool (e.g. a PoolLease's): submits up to
+ * min(jobs, count) queue-draining runners, so a wide cached pool
+ * still honours a narrower --jobs limit. Inline (in index order)
+ * when jobs <= 1, count <= 1, or the pool is an inline pool.
+ */
+void forEachIndex(WorkerPool &pool, unsigned jobs, std::size_t count,
                   const std::function<void(std::size_t)> &fn);
 
 } // namespace parallel

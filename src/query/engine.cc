@@ -45,7 +45,43 @@ numericStreamRange(const std::string &pattern, unsigned &lo,
     return lo <= hi;
 }
 
+/** Flat stream-match cache covers ids below this; rest use a map
+ *  (a hostile trace can carry any 32-bit stream id). */
+constexpr unsigned streamCacheLimit = 1u << 16;
+
 } // namespace
+
+bool
+FilterChain::CompiledFilter::streamAccepted(
+    unsigned stream, const trace::EventDictionary &dict)
+{
+    // Resolve the patterns against this stream once; later events on
+    // the stream are one flat-table load.
+    bool match = false;
+    for (const auto &pattern : streamPatterns) {
+        unsigned lo = 0;
+        unsigned hi = 0;
+        if (numericStreamRange(pattern, lo, hi)
+                ? (stream >= lo && stream <= hi)
+                : globMatch(pattern, dict.streamName(stream))) {
+            match = true;
+            break;
+        }
+    }
+    if (stream < streamCacheLimit) {
+        if (stream >= streamCache.size())
+            streamCache.resize(
+                std::min<std::size_t>(
+                    std::max<std::size_t>(stream + 1,
+                                          streamCache.size() * 2),
+                    streamCacheLimit),
+                -1);
+        streamCache[stream] = match ? 1 : 0;
+    } else {
+        streamMatchBig.emplace(stream, match);
+    }
+    return match;
+}
 
 bool
 FilterChain::CompiledFilter::accepts(
@@ -57,27 +93,20 @@ FilterChain::CompiledFilter::accepts(
         return false;
     if (hasParam && (ev.param < paramLo || ev.param > paramHi))
         return false;
-    if (hasTokenFilter && !tokens.count(ev.token))
+    if (hasTokenFilter &&
+        !(tokenBits[ev.token >> 6] >> (ev.token & 63) & 1))
         return false;
     if (!streamPatterns.empty()) {
-        auto cached = streamMatch.find(ev.stream);
-        if (cached == streamMatch.end()) {
-            bool match = false;
-            for (const auto &pattern : streamPatterns) {
-                unsigned lo = 0;
-                unsigned hi = 0;
-                if (numericStreamRange(pattern, lo, hi)
-                        ? (ev.stream >= lo && ev.stream <= hi)
-                        : globMatch(pattern,
-                                    dict.streamName(ev.stream))) {
-                    match = true;
-                    break;
-                }
-            }
-            cached = streamMatch.emplace(ev.stream, match).first;
+        if (ev.stream < streamCache.size()) {
+            const std::int8_t cached = streamCache[ev.stream];
+            if (cached >= 0)
+                return cached != 0;
+        } else if (ev.stream >= streamCacheLimit) {
+            auto it = streamMatchBig.find(ev.stream);
+            if (it != streamMatchBig.end())
+                return it->second;
         }
-        if (!cached->second)
-            return false;
+        return streamAccepted(ev.stream, dict);
     }
     return true;
 }
@@ -89,10 +118,14 @@ FilterChain::FilterChain(const Query &query,
     for (const FilterSpec &spec : query.filters) {
         CompiledFilter filter;
         filter.hasTokenFilter = !spec.tokenPatterns.empty();
-        for (const auto &pattern : spec.tokenPatterns) {
-            for (std::uint16_t t :
-                 resolveTokenPattern(pattern, dict))
-                filter.tokens.insert(t);
+        if (filter.hasTokenFilter) {
+            filter.tokenBits.assign(65536 / 64, 0);
+            for (const auto &pattern : spec.tokenPatterns) {
+                for (std::uint16_t t :
+                     resolveTokenPattern(pattern, dict))
+                    filter.tokenBits[t >> 6] |= std::uint64_t(1)
+                                                << (t & 63);
+            }
         }
         filter.streamPatterns = spec.streamPatterns;
         filter.hasFrom = spec.hasFrom;
@@ -116,6 +149,75 @@ FilterChain::accepts(const trace::TraceEvent &ev)
     return true;
 }
 
+std::size_t
+FilterChain::filterBatch(trace::TraceEvent *events, std::size_t n)
+{
+    if (filters.empty())
+        return n;
+    std::size_t kept = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+        if (accepts(events[i])) {
+            if (kept != i)
+                events[kept] = events[i];
+            ++kept;
+        }
+    }
+    return kept;
+}
+
+std::size_t
+FilterChain::filterDecodeBatch(const unsigned char *raw,
+                               std::size_t n, trace::TraceEvent *out)
+{
+    std::size_t kept = 0;
+    trace::TraceEvent ev;
+    // The dominant query shape — one filter stage testing tokens
+    // and/or streams, no time/param range — gets a specialized loop
+    // with the stage state hoisted: per record that is the three
+    // decode loads, one bitmap test, and one flat cache load,
+    // instead of re-walking the stage list and its feature flags.
+    if (filters.size() == 1 && !filters[0].hasFrom &&
+        !filters[0].hasTo && !filters[0].hasParam) {
+        CompiledFilter &f = filters[0];
+        const std::uint64_t *tokenBits =
+            f.hasTokenFilter ? f.tokenBits.data() : nullptr;
+        const bool hasStreams = !f.streamPatterns.empty();
+        for (std::size_t i = 0; i < n;
+             ++i, raw += trace::TraceReader::recordBytes) {
+            trace::TraceReader::decodeRecord(raw, ev);
+            if (tokenBits &&
+                !(tokenBits[ev.token >> 6] >> (ev.token & 63) & 1))
+                continue;
+            if (hasStreams) {
+                // Flat cache hit is the steady state; the first
+                // sighting of a stream takes the full resolver
+                // (which also fills the cache, so the size/data
+                // loads below see the grown vector next time).
+                bool match;
+                if (ev.stream < f.streamCache.size() &&
+                    f.streamCache[ev.stream] >= 0)
+                    match = f.streamCache[ev.stream] != 0;
+                else if (ev.stream >= streamCacheLimit &&
+                         f.streamMatchBig.count(ev.stream))
+                    match = f.streamMatchBig.at(ev.stream);
+                else
+                    match = f.streamAccepted(ev.stream, dictionary);
+                if (!match)
+                    continue;
+            }
+            out[kept++] = ev;
+        }
+        return kept;
+    }
+    for (std::size_t i = 0; i < n;
+         ++i, raw += trace::TraceReader::recordBytes) {
+        trace::TraceReader::decodeRecord(raw, ev);
+        if (accepts(ev))
+            out[kept++] = ev;
+    }
+    return kept;
+}
+
 FoldContext
 makeFoldContext(const Query &query,
                 const trace::EventDictionary &dict,
@@ -125,6 +227,11 @@ makeFoldContext(const Query &query,
     ctx.dict = &dict;
     ctx.window = query.window;
     ctx.traceEnd = trace_end;
+    // Compile the activity state machine once; the serial fold and
+    // every shard of a sharded run share it read-only.
+    if (query.fold.kind == FoldKind::States ||
+        query.fold.kind == FoldKind::Utilization)
+        ctx.stateTable = StateTable::compile(dict);
     // The narrowest explicit time range across all filter stages
     // becomes the fold's evaluation range.
     for (const FilterSpec &spec : query.filters) {

@@ -28,9 +28,11 @@ namespace query
 /**
  * The compiled `filter` stages of a query: resolves token patterns
  * against the dictionary once, then decides accept/reject per event.
- * Stream-name glob results are cached per stream id, so a chain is
- * stateful (not const) but cheap. Each shard of the sharded executor
- * compiles its own chain — chains are never shared across threads.
+ * Token sets compile to a 64 Ki bitmap (one load + mask per test)
+ * and stream-name glob results are cached in a flat per-stream-id
+ * table, so a chain is stateful (not const) but a few loads per
+ * event. Each shard of the sharded executor compiles its own chain —
+ * chains are never shared across threads.
  */
 class FilterChain
 {
@@ -41,15 +43,50 @@ class FilterChain
     /** Does @p ev pass every filter stage? */
     bool accepts(const trace::TraceEvent &ev);
 
+    /** The query has no filter stages (everything passes). */
+    bool
+    empty() const
+    {
+        return filters.empty();
+    }
+
+    /**
+     * Batch filter stage: run the compiled predicate over a whole
+     * decoded block, compacting survivors (stably) to the front of
+     * @p events.
+     * @return the number of surviving records.
+     */
+    std::size_t filterBatch(trace::TraceEvent *events,
+                            std::size_t n);
+
+    /**
+     * Fused decode + filter over a raw record block (from
+     * trace::TraceReader::nextRawBlock()): each record is decoded
+     * into a register-resident event, tested, and only survivors are
+     * written to @p out (which must hold @p n events). Rejected
+     * records never touch a batch array, which is what pushes the
+     * filter+count pipeline past the plain decode-then-filter
+     * throughput. Survivor order is the record order, so the fold
+     * sees exactly the sequence the per-event path accepts.
+     * @return the number of surviving records.
+     */
+    std::size_t filterDecodeBatch(const unsigned char *raw,
+                                  std::size_t n,
+                                  trace::TraceEvent *out);
+
   private:
     /** One compiled `filter` stage. */
     struct CompiledFilter
     {
         bool hasTokenFilter = false;
-        std::set<std::uint16_t> tokens;
+        /** Accepted-token bitmap, 65536 bits (empty if no filter). */
+        std::vector<std::uint64_t> tokenBits;
         std::vector<std::string> streamPatterns;
-        /** Lazy glob-vs-stream-name results, per stream id. */
-        std::map<unsigned, bool> streamMatch;
+        /** Lazy glob-vs-stream-name results, flat per stream id
+         *  (-1 unknown / 0 reject / 1 accept); ids past the flat
+         *  range fall back to the map. */
+        std::vector<std::int8_t> streamCache;
+        std::map<unsigned, bool> streamMatchBig;
         bool hasFrom = false;
         bool hasTo = false;
         sim::Tick from = 0;
@@ -60,6 +97,8 @@ class FilterChain
 
         bool accepts(const trace::TraceEvent &ev,
                      const trace::EventDictionary &dict);
+        bool streamAccepted(unsigned stream,
+                            const trace::EventDictionary &dict);
     };
 
     const trace::EventDictionary &dictionary;

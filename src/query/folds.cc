@@ -8,6 +8,7 @@
 
 #include "sim/logging.hh"
 #include "sim/stats.hh"
+#include "trace/io.hh"
 
 namespace supmon
 {
@@ -24,19 +25,37 @@ tokenName(const trace::EventDictionary &dict, std::uint16_t token)
     return def ? def->name : sim::strprintf("0x%04x", token);
 }
 
+/** Open-state slots are flat-indexed below this stream id; rarer
+ *  (hostile) ids above it fall back to an ordered map. */
+constexpr unsigned flatStreamLimit = 1u << 16;
+
+/** Ensure the compiled table exists (normally shared via the
+ *  context; compiled locally for a bare context). */
+std::shared_ptr<const StateTable>
+stateTableFor(const FoldContext &ctx)
+{
+    if (ctx.stateTable)
+        return ctx.stateTable;
+    return StateTable::compile(*ctx.dict);
+}
+
 /**
  * The open-state machine of ActivityMap::build(), streamed: emits
  * each closed StateInterval-equivalent through a callback instead of
  * collecting a vector. Feeding it the same events in the same order
  * produces the same intervals, per stream in the same order, so
  * per-(stream,state) statistics match the batch path bit for bit.
+ * States are handled as interned ids of a compiled StateTable (one
+ * dense-table load per event instead of a dictionary map lookup) and
+ * open states live in a flat per-stream array, with an ordered-map
+ * fallback for hostile stream ids.
  */
 class StateTracker
 {
   public:
-    explicit StateTracker(const trace::EventDictionary &dict,
-                          sim::Tick trace_end)
-        : dictionary(dict), traceEnd(trace_end)
+    StateTracker(std::shared_ptr<const StateTable> state_table,
+                 sim::Tick trace_end)
+        : table(std::move(state_table)), traceEnd(trace_end)
     {
     }
 
@@ -49,26 +68,33 @@ class StateTracker
             firstTs = ev.timestamp;
         }
         lastTs = ev.timestamp;
-        const trace::EventDef *def = dictionary.find(ev.token);
-        if (!def || def->kind != trace::EventKind::Begin)
+        const std::uint16_t sid = table->tokenState[ev.token];
+        if (sid == StateTable::noState)
             return;
-        OpenState &cur = open[ev.stream];
+        OpenState &cur = slot(ev.stream);
         if (cur.isOpen && ev.timestamp > cur.since)
-            emit(ev.stream, cur.state, cur.since, ev.timestamp);
-        cur.state = def->state;
+            emit(ev.stream, cur.sid, cur.since, ev.timestamp);
+        cur.sid = sid;
         cur.since = ev.timestamp;
         cur.isOpen = true;
     }
 
-    /** Close still-open states; call exactly once, at end of stream. */
+    /** Close still-open states; call exactly once, at end of stream.
+     *  Streams are visited in ascending id order, exactly like the
+     *  ordered-map implementation this replaces. */
     template <typename Emit>
     void
     close(Emit &&emit)
     {
         endTs = traceEnd ? std::max(traceEnd, lastTs) : lastTs;
-        for (auto &kv : open) {
+        for (unsigned s = 0; s < flat.size(); ++s) {
+            const OpenState &cur = flat[s];
+            if (cur.isOpen && endTs > cur.since)
+                emit(s, cur.sid, cur.since, endTs);
+        }
+        for (const auto &kv : overflow) {
             if (kv.second.isOpen && endTs > kv.second.since)
-                emit(kv.first, kv.second.state, kv.second.since,
+                emit(kv.first, kv.second.sid, kv.second.since,
                      endTs);
         }
     }
@@ -108,13 +134,26 @@ class StateTracker
   private:
     struct OpenState
     {
-        std::string state;
         sim::Tick since = 0;
+        std::uint16_t sid = 0;
         bool isOpen = false;
     };
 
-    const trace::EventDictionary &dictionary;
-    std::map<unsigned, OpenState> open;
+    OpenState &
+    slot(unsigned stream)
+    {
+        if (stream >= flatStreamLimit)
+            return overflow[stream];
+        if (stream >= flat.size())
+            flat.resize(std::min<std::size_t>(
+                std::max<std::size_t>(stream + 1, flat.size() * 2),
+                flatStreamLimit));
+        return flat[stream];
+    }
+
+    std::shared_ptr<const StateTable> table;
+    std::vector<OpenState> flat;
+    std::map<unsigned, OpenState> overflow;
     sim::Tick traceEnd = 0;
     sim::Tick firstTs = 0;
     sim::Tick lastTs = 0;
@@ -249,7 +288,8 @@ class StatesFold : public Fold
 {
   public:
     explicit StatesFold(const FoldContext &ctx)
-        : context(ctx), tracker(*ctx.dict, ctx.traceEnd)
+        : context(ctx), table(stateTableFor(ctx)),
+          tracker(table, ctx.traceEnd)
     {
     }
 
@@ -257,82 +297,76 @@ class StatesFold : public Fold
     onEvent(const trace::TraceEvent &ev) override
     {
         tracker.onEvent(ev, [this](unsigned stream,
-                                   const std::string &state,
+                                   std::uint16_t sid,
                                    sim::Tick begin, sim::Tick end) {
-            addInterval(stream, state, begin, end);
+            addInterval(stream, sid, begin, end);
         });
     }
 
     Table
     finish() override
     {
-        tracker.close([this](unsigned stream, const std::string &state,
+        tracker.close([this](unsigned stream, std::uint16_t sid,
                              sim::Tick begin, sim::Tick end) {
-            addInterval(stream, state, begin, end);
+            addInterval(stream, sid, begin, end);
         });
         const sim::Tick t0 =
             context.hasFrom ? context.from : tracker.traceBegin();
         const sim::Tick t1 =
             context.hasTo ? context.to : tracker.traceCloseTime();
 
-        Table table;
-        table.columns = {"stream",  "state",  "count",
-                         "total_ms", "mean_ms", "min_ms",
-                         "max_ms",  "share"};
-        std::set<unsigned> streams;
-        for (const auto &kv : stats)
-            streams.insert(kv.first.first);
-        for (unsigned stream : streams) {
-            for (const auto &state :
-                 context.dict->statesInOrder()) {
-                auto it = stats.find({stream, state});
-                if (it == stats.end())
+        Table table_;
+        table_.columns = {"stream",  "state",  "count",
+                          "total_ms", "mean_ms", "min_ms",
+                          "max_ms",  "share"};
+        // Streams ascending, states in statesInOrder() order (which
+        // state ids index by construction) — the exact row order of
+        // the string-keyed implementation this replaces.
+        for (const auto &kv : perStream) {
+            for (std::size_t sid = 0; sid < kv.second.size();
+                 ++sid) {
+                const Slot &slot = kv.second[sid];
+                if (slot.stat.count() == 0)
                     continue;
-                const sim::SummaryStat &s = it->second;
-                sim::Tick covered = 0;
-                if (auto ov = inState.find({stream, state});
-                    ov != inState.end())
-                    covered = ov->second;
                 const double share =
-                    t1 > t0 ? static_cast<double>(covered) /
+                    t1 > t0 ? static_cast<double>(slot.covered) /
                                   static_cast<double>(t1 - t0)
                             : 0.0;
-                table.addRow(
-                    {Value::str(context.dict->streamName(stream)),
-                     Value::str(state), Value::count(s.count()),
-                     Value::number(s.sum() * 1e-6),
-                     Value::number(s.mean() * 1e-6),
-                     Value::number(s.min() * 1e-6),
-                     Value::number(s.max() * 1e-6),
+                table_.addRow(
+                    {Value::str(context.dict->streamName(kv.first)),
+                     Value::str(table->states[sid]),
+                     Value::count(slot.stat.count()),
+                     Value::number(slot.stat.sum() * 1e-6),
+                     Value::number(slot.stat.mean() * 1e-6),
+                     Value::number(slot.stat.min() * 1e-6),
+                     Value::number(slot.stat.max() * 1e-6),
                      Value::number(share)});
             }
         }
-        return table;
-    }
-
-    /** Sharded merge: adopt global event bounds (see
-     *  StateTracker::prime). */
-    void
-    primeTracker(bool saw, sim::Tick first, sim::Tick last)
-    {
-        tracker.prime(saw, first, last);
-    }
-
-    /** Sharded merge: replay one stitched interval. */
-    void
-    absorbInterval(unsigned stream, const std::string &state,
-                   sim::Tick begin, sim::Tick end)
-    {
-        addInterval(stream, state, begin, end);
+        return table_;
     }
 
   private:
-    void
-    addInterval(unsigned stream, const std::string &state,
-                sim::Tick begin, sim::Tick end)
+    /** Per-(stream, state) accumulation; indexed by state id. */
+    struct Slot
     {
-        stats[{stream, state}].push(
-            static_cast<double>(end - begin));
+        sim::SummaryStat stat;
+        sim::Tick covered = 0;
+    };
+
+    void
+    addInterval(unsigned stream, std::uint16_t sid, sim::Tick begin,
+                sim::Tick end)
+    {
+        auto it = perStream.find(stream);
+        if (it == perStream.end()) {
+            it = perStream
+                     .emplace(stream,
+                              std::vector<Slot>(table->states.size()))
+                     .first;
+        }
+        Slot &slot = it->second[sid];
+        slot.stat.push(static_cast<double>(end - begin));
         // Overlap with the evaluation range, clamped per interval.
         const sim::Tick lo = context.hasFrom
                                  ? std::max(begin, context.from)
@@ -340,14 +374,13 @@ class StatesFold : public Fold
         const sim::Tick hi =
             context.hasTo ? std::min(end, context.to) : end;
         if (hi > lo)
-            inState[{stream, state}] += hi - lo;
+            slot.covered += hi - lo;
     }
 
     FoldContext context;
+    std::shared_ptr<const StateTable> table;
     StateTracker tracker;
-    std::map<std::pair<unsigned, std::string>, sim::SummaryStat>
-        stats;
-    std::map<std::pair<unsigned, std::string>, sim::Tick> inState;
+    std::map<unsigned, std::vector<Slot>> perStream;
 };
 
 // ----------------------------------------------------------- utilization
@@ -357,7 +390,8 @@ class UtilizationFold : public Fold
   public:
     UtilizationFold(const FoldSpec &spec, const FoldContext &ctx)
         : context(ctx), state(spec.state),
-          tracker(*ctx.dict, ctx.traceEnd)
+          table(stateTableFor(ctx)), targetSid(table->idOf(state)),
+          tracker(table, ctx.traceEnd)
     {
         if (context.window) {
             windower.spec = *context.window;
@@ -372,18 +406,18 @@ class UtilizationFold : public Fold
         if (context.window)
             windower.anchor(ev.timestamp);
         tracker.onEvent(ev, [this](unsigned stream,
-                                   const std::string &st,
+                                   std::uint16_t sid,
                                    sim::Tick begin, sim::Tick end) {
-            addInterval(stream, st, begin, end);
+            addInterval(stream, sid, begin, end);
         });
     }
 
     Table
     finish() override
     {
-        tracker.close([this](unsigned stream, const std::string &st,
+        tracker.close([this](unsigned stream, std::uint16_t sid,
                              sim::Tick begin, sim::Tick end) {
-            addInterval(stream, st, begin, end);
+            addInterval(stream, sid, begin, end);
         });
         const sim::Tick t0 =
             context.hasFrom ? context.from : tracker.traceBegin();
@@ -457,10 +491,10 @@ class UtilizationFold : public Fold
 
     /** Sharded merge: replay one stitched interval. */
     void
-    absorbInterval(unsigned stream, const std::string &state,
+    absorbInterval(unsigned stream, std::uint16_t sid,
                    sim::Tick begin, sim::Tick end)
     {
-        addInterval(stream, state, begin, end);
+        addInterval(stream, sid, begin, end);
     }
 
   private:
@@ -477,11 +511,14 @@ class UtilizationFold : public Fold
     }
 
     void
-    addInterval(unsigned stream, const std::string &st,
-                sim::Tick begin, sim::Tick end)
+    addInterval(unsigned stream, std::uint16_t sid, sim::Tick begin,
+                sim::Tick end)
     {
         streams.insert(stream);
-        if (st != state)
+        // An unknown target state compiles to noState, which no
+        // tracked interval carries — zero utilization rows, exactly
+        // like the string comparison this replaces.
+        if (sid != targetSid)
             return;
         if (!context.window) {
             const sim::Tick lo = context.hasFrom
@@ -514,6 +551,8 @@ class UtilizationFold : public Fold
 
     FoldContext context;
     std::string state;
+    std::shared_ptr<const StateTable> table;
+    std::uint16_t targetSid;
     StateTracker tracker;
     Windower windower;
     std::set<unsigned> streams;
@@ -689,6 +728,93 @@ struct MiniEvent
     std::uint16_t token;
 };
 
+/** Cap arena / replay-buffer preallocation (records). */
+constexpr std::uint64_t reserveCapRecords = 1u << 20;
+
+/**
+ * Open-addressing (stream, token) -> count table: the unwindowed
+ * count hot path. Keys pack as (stream << 16) | token (< 2^48, so
+ * the all-ones empty sentinel is never a real key); power-of-two
+ * capacity, linear probing, growth at 3/4 load. No allocation per
+ * event — the table doubles rarely and the probe loop is a couple of
+ * loads.
+ */
+class CountTable
+{
+  public:
+    CountTable()
+    {
+        keys.assign(capacity, emptyKey);
+        vals.assign(capacity, 0);
+    }
+
+    void
+    increment(std::uint64_t key)
+    {
+        std::size_t i = probeOf(key);
+        if (keys[i] == emptyKey) {
+            if ((used + 1) * 4 > capacity * 3) {
+                grow();
+                i = probeOf(key);
+            }
+            keys[i] = key;
+            ++used;
+        }
+        ++vals[i];
+    }
+
+    /** (key, count) pairs sorted by key (= stream-major order). */
+    std::vector<std::pair<std::uint64_t, std::uint64_t>>
+    sortedEntries() const
+    {
+        std::vector<std::pair<std::uint64_t, std::uint64_t>> out;
+        out.reserve(used);
+        for (std::size_t i = 0; i < capacity; ++i) {
+            if (keys[i] != emptyKey)
+                out.emplace_back(keys[i], vals[i]);
+        }
+        std::sort(out.begin(), out.end());
+        return out;
+    }
+
+  private:
+    static constexpr std::uint64_t emptyKey = ~std::uint64_t(0);
+
+    std::size_t
+    probeOf(std::uint64_t key) const
+    {
+        // Fibonacci-style multiplicative hash onto the table size.
+        std::size_t i = static_cast<std::size_t>(
+            (key * 0x9E3779B97F4A7C15ull) >> 32) &
+            (capacity - 1);
+        while (keys[i] != emptyKey && keys[i] != key)
+            i = (i + 1) & (capacity - 1);
+        return i;
+    }
+
+    void
+    grow()
+    {
+        const std::vector<std::uint64_t> oldKeys = std::move(keys);
+        const std::vector<std::uint64_t> oldVals = std::move(vals);
+        capacity *= 2;
+        keys.assign(capacity, emptyKey);
+        vals.assign(capacity, 0);
+        for (std::size_t i = 0; i < oldKeys.size(); ++i) {
+            if (oldKeys[i] == emptyKey)
+                continue;
+            const std::size_t j = probeOf(oldKeys[i]);
+            keys[j] = oldKeys[i];
+            vals[j] = oldVals[i];
+        }
+    }
+
+    std::size_t capacity = 1024;
+    std::size_t used = 0;
+    std::vector<std::uint64_t> keys;
+    std::vector<std::uint64_t> vals;
+};
+
 class CountShard : public ShardFold
 {
   public:
@@ -707,12 +833,55 @@ class CountShard : public ShardFold
         if (windowed)
             buffer.push_back({ev.timestamp, ev.stream, ev.token});
         else
-            ++counts[{ev.stream, ev.token}];
+            counts.increment(packKey(ev.stream, ev.token));
+    }
+
+    void
+    onBatch(const trace::TraceEvent *events, std::size_t n) override
+    {
+        if (windowed) {
+            for (std::size_t i = 0; i < n; ++i)
+                buffer.push_back({events[i].timestamp,
+                                  events[i].stream,
+                                  events[i].token});
+            return;
+        }
+        for (std::size_t i = 0; i < n; ++i)
+            counts.increment(
+                packKey(events[i].stream, events[i].token));
+    }
+
+    void
+    onRawBatch(const unsigned char *raw, std::size_t n) override
+    {
+        // Fused decode + count: the record never leaves registers.
+        trace::TraceEvent ev;
+        for (std::size_t i = 0; i < n;
+             ++i, raw += trace::TraceReader::recordBytes) {
+            trace::TraceReader::decodeRecord(raw, ev);
+            if (windowed)
+                buffer.push_back({ev.timestamp, ev.stream, ev.token});
+            else
+                counts.increment(packKey(ev.stream, ev.token));
+        }
+    }
+
+    void
+    reserveHint(std::uint64_t records) override
+    {
+        if (windowed)
+            buffer.reserve(static_cast<std::size_t>(
+                std::min(records, reserveCapRecords)));
+    }
+
+    static std::uint64_t
+    packKey(unsigned stream, std::uint16_t token)
+    {
+        return (static_cast<std::uint64_t>(stream) << 16) | token;
     }
 
     bool windowed;
-    std::map<std::pair<unsigned, std::uint16_t>, std::uint64_t>
-        counts;
+    CountTable counts;
     std::vector<MiniEvent> buffer;
 };
 
@@ -727,57 +896,207 @@ class CountShard : public ShardFold
 class StateShard : public ShardFold
 {
   public:
-    explicit StateShard(const trace::EventDictionary &dict)
-        : dictionary(dict)
+    explicit StateShard(std::shared_ptr<const StateTable> state_table)
+        : table(std::move(state_table))
     {
     }
 
     void
     onEvent(const trace::TraceEvent &ev) override
     {
+        consume(ev);
+    }
+
+    void
+    onBatch(const trace::TraceEvent *events, std::size_t n) override
+    {
+        if (n == 0)
+            return;
+        // First/last timestamps move to block granularity; events
+        // arrive in trace order, so the block's last event is the
+        // running last.
+        if (!sawEvent) {
+            sawEvent = true;
+            firstTs = events[0].timestamp;
+        }
+        lastTs = events[n - 1].timestamp;
+        const std::uint16_t *token_state = table->tokenState.data();
+        for (std::size_t i = 0; i < n; ++i)
+            track(events[i], token_state);
+    }
+
+    void
+    onRawBatch(const unsigned char *raw, std::size_t n) override
+    {
+        if (n == 0)
+            return;
+        // Fused decode + state machine: each record decodes into one
+        // register-resident event and is consumed immediately,
+        // skipping the staging batch array entirely.
+        const std::uint16_t *token_state = table->tokenState.data();
+        trace::TraceEvent ev;
+        for (std::size_t i = 0; i < n;
+             ++i, raw += trace::TraceReader::recordBytes) {
+            trace::TraceReader::decodeRecord(raw, ev);
+            if (!sawEvent) {
+                sawEvent = true;
+                firstTs = ev.timestamp;
+            }
+            track(ev, token_state);
+        }
+        lastTs = ev.timestamp;
+    }
+
+    void
+    reserveHint(std::uint64_t records) override
+    {
+        intervals.reserve(static_cast<std::size_t>(
+            std::min(records, reserveCapRecords)));
+    }
+
+    /** Sentinel duration: the interval's end/stream live in the next
+     *  `wide` record (huge durations and >16-bit stream ids). */
+    static constexpr std::uint32_t wideDur = 0xffffffffu;
+
+    /**
+     * Closed interval of the shard's slice: 16 POD bytes in an
+     * arena, not a string-keyed map entry. The merge replays the
+     * arena (one streaming pass) into the final accumulator, so its
+     * byte size is merge-stage memory traffic — hence the packed
+     * duration with a rare wide-record escape instead of two full
+     * ticks.
+     */
+    struct Interval
+    {
+        sim::Tick begin;
+        /** end - begin, or wideDur (see `wide`). */
+        std::uint32_t dur;
+        std::uint16_t stream;
+        std::uint16_t sid;
+    };
+
+    /** Escape record for intervals wideDur cannot represent; one per
+     *  sentinel arena entry, in arena order. */
+    struct WideInterval
+    {
+        sim::Tick end;
+        std::uint32_t stream;
+    };
+
+    /** Boundary state of one stream at the slice's edges. */
+    struct OpenSlot
+    {
+        sim::Tick since = 0;
+        /** The first accepted Begin (closes the previous shard's
+         *  open state at merge time). */
+        sim::Tick firstBegin = 0;
+        std::uint16_t sid = 0;
+        bool isOpen = false;
+        bool hasFirstBegin = false;
+    };
+
+    /** Visit (stream, firstBegin) pairs, streams ascending. */
+    template <typename F>
+    void
+    forEachFirstBegin(F &&f) const
+    {
+        for (unsigned s = 0; s < flat.size(); ++s) {
+            if (flat[s].hasFirstBegin)
+                f(s, flat[s].firstBegin);
+        }
+        for (const auto &kv : overflow) {
+            if (kv.second.hasFirstBegin)
+                f(kv.first, kv.second.firstBegin);
+        }
+    }
+
+    /** Visit still-open (stream, sid, since), streams ascending. */
+    template <typename F>
+    void
+    forEachOpen(F &&f) const
+    {
+        for (unsigned s = 0; s < flat.size(); ++s) {
+            if (flat[s].isOpen)
+                f(s, flat[s].sid, flat[s].since);
+        }
+        for (const auto &kv : overflow) {
+            if (kv.second.isOpen)
+                f(kv.first, kv.second.sid, kv.second.since);
+        }
+    }
+
+    std::shared_ptr<const StateTable> table;
+    std::vector<Interval> intervals;
+    std::vector<WideInterval> wide;
+    bool sawEvent = false;
+    sim::Tick firstTs = 0;
+    sim::Tick lastTs = 0;
+
+  private:
+    void
+    consume(const trace::TraceEvent &ev)
+    {
         if (!sawEvent) {
             sawEvent = true;
             firstTs = ev.timestamp;
         }
         lastTs = ev.timestamp;
-        const trace::EventDef *def = dictionary.find(ev.token);
-        if (!def || def->kind != trace::EventKind::Begin)
+        track(ev, table->tokenState.data());
+    }
+
+    /** The per-event state machine with the token table hoisted out
+     *  (the batch loop loads it once, not per event). */
+    void
+    track(const trace::TraceEvent &ev,
+          const std::uint16_t *token_state)
+    {
+        const std::uint16_t sid = token_state[ev.token];
+        if (sid == StateTable::noState)
             return;
-        OpenState &cur = open[ev.stream];
-        if (!cur.isOpen)
-            firstBegin.emplace(ev.stream, ev.timestamp);
-        else if (ev.timestamp > cur.since)
-            intervals.push_back(
-                {ev.stream, cur.state, cur.since, ev.timestamp});
-        cur.state = def->state;
+        OpenSlot &cur = slot(ev.stream);
+        if (!cur.isOpen) {
+            // isOpen never resets, so this records the genuinely
+            // first accepted Begin of the stream.
+            cur.hasFirstBegin = true;
+            cur.firstBegin = ev.timestamp;
+        } else if (ev.timestamp > cur.since) {
+            pushInterval(ev.stream, cur.sid, cur.since,
+                         ev.timestamp);
+        }
+        cur.sid = sid;
         cur.since = ev.timestamp;
         cur.isOpen = true;
     }
 
-    struct OpenState
+    void
+    pushInterval(unsigned stream, std::uint16_t sid, sim::Tick b,
+                 sim::Tick e)
     {
-        std::string state;
-        sim::Tick since = 0;
-        bool isOpen = false;
-    };
+        const sim::Tick d = e - b;
+        if (stream < flatStreamLimit && d < wideDur) {
+            intervals.push_back({b, static_cast<std::uint32_t>(d),
+                                 static_cast<std::uint16_t>(stream),
+                                 sid});
+            return;
+        }
+        intervals.push_back({b, wideDur, 0, sid});
+        wide.push_back({e, stream});
+    }
 
-    struct Interval
+    OpenSlot &
+    slot(unsigned stream)
     {
-        unsigned stream;
-        std::string state;
-        sim::Tick begin;
-        sim::Tick end;
-    };
+        if (stream >= flatStreamLimit)
+            return overflow[stream];
+        if (stream >= flat.size())
+            flat.resize(std::min<std::size_t>(
+                std::max<std::size_t>(stream + 1, flat.size() * 2),
+                flatStreamLimit));
+        return flat[stream];
+    }
 
-    const trace::EventDictionary &dictionary;
-    std::vector<Interval> intervals;
-    /** First accepted Begin per stream (boundary stitching). */
-    std::map<unsigned, sim::Tick> firstBegin;
-    /** Open state per stream at the end of the slice. */
-    std::map<unsigned, OpenState> open;
-    bool sawEvent = false;
-    sim::Tick firstTs = 0;
-    sim::Tick lastTs = 0;
+    std::vector<OpenSlot> flat;
+    std::map<unsigned, OpenSlot> overflow;
 };
 
 class LatencyShard : public ShardFold
@@ -875,24 +1194,42 @@ stitchStateShards(
         lastTs = s->lastTs;
     }
 
-    std::map<unsigned, StateShard::OpenState> carry;
+    struct Carry
+    {
+        sim::Tick since;
+        std::uint16_t sid;
+    };
+    std::map<unsigned, Carry> carry;
     for (const auto &p : shards) {
         const auto *s = static_cast<const StateShard *>(p.get());
         if (!s)
             continue;
-        for (const auto &kv : s->firstBegin) {
-            auto it = carry.find(kv.first);
-            if (it == carry.end())
-                continue;
-            if (kv.second > it->second.since)
-                emit(kv.first, it->second.state, it->second.since,
-                     kv.second);
-            carry.erase(it);
+        s->forEachFirstBegin(
+            [&carry, &emit](unsigned stream, sim::Tick first) {
+                auto it = carry.find(stream);
+                if (it == carry.end())
+                    return;
+                if (first > it->second.since)
+                    emit(stream, it->second.sid, it->second.since,
+                         first);
+                carry.erase(it);
+            });
+        // Streaming replay of the arena; wide records (rare) are
+        // consumed in step with their sentinel entries.
+        std::size_t w = 0;
+        for (const auto &iv : s->intervals) {
+            if (iv.dur != StateShard::wideDur) {
+                emit(iv.stream, iv.sid, iv.begin,
+                     iv.begin + iv.dur);
+            } else {
+                const StateShard::WideInterval &wd = s->wide[w++];
+                emit(wd.stream, iv.sid, iv.begin, wd.end);
+            }
         }
-        for (const auto &iv : s->intervals)
-            emit(iv.stream, iv.state, iv.begin, iv.end);
-        for (const auto &kv : s->open)
-            carry[kv.first] = kv.second;
+        s->forEachOpen([&carry](unsigned stream, std::uint16_t sid,
+                                sim::Tick since) {
+            carry[stream] = Carry{since, sid};
+        });
     }
     if (!any)
         return;
@@ -900,11 +1237,148 @@ stitchStateShards(
         trace_end ? std::max(trace_end, lastTs) : lastTs;
     for (const auto &kv : carry) {
         if (endTs > kv.second.since)
-            emit(kv.first, kv.second.state, kv.second.since, endTs);
+            emit(kv.first, kv.second.sid, kv.second.since, endTs);
     }
 }
 
+/**
+ * Flat per-(stream, state) accumulator for the `states` merge: one
+ * multiply-indexed array slot per key instead of StatesFold's
+ * ordered-map lookup, so replaying the stitched interval stream
+ * costs a few loads per interval. The accumulation itself is the
+ * same SummaryStat::push / clamped-overlap sequence in the same
+ * per-key order as the serial fold, and finish() renders rows in the
+ * same order (streams ascending, states in id = statesInOrder()
+ * order), so the resulting table is bit-identical.
+ */
+class StateAccumulator
+{
+  public:
+    StateAccumulator(const FoldContext &ctx,
+                     std::shared_ptr<const StateTable> state_table)
+        : context(&ctx), table(std::move(state_table)),
+          nStates(table->states.size())
+    {
+    }
+
+    void
+    add(unsigned stream, std::uint16_t sid, sim::Tick begin,
+        sim::Tick end)
+    {
+        Slot &slot = slotFor(stream, sid);
+        slot.stat.push(static_cast<double>(end - begin));
+        const sim::Tick lo = context->hasFrom
+                                 ? std::max(begin, context->from)
+                                 : begin;
+        const sim::Tick hi =
+            context->hasTo ? std::min(end, context->to) : end;
+        if (hi > lo)
+            slot.covered += hi - lo;
+    }
+
+    /** Render the rows exactly like StatesFold::finish(). */
+    Table
+    finish(sim::Tick t0, sim::Tick t1) const
+    {
+        Table out;
+        out.columns = {"stream",  "state",  "count",
+                       "total_ms", "mean_ms", "min_ms",
+                       "max_ms",  "share"};
+        const unsigned flatStreams = static_cast<unsigned>(
+            nStates ? flat.size() / nStates : 0);
+        for (unsigned s = 0; s < flatStreams; ++s) {
+            for (std::size_t sid = 0; sid < nStates; ++sid)
+                addRow(out, s, sid, flat[s * nStates + sid], t0, t1);
+        }
+        for (const auto &kv : overflow) {
+            // Composite keys iterate stream-major, state-minor —
+            // the same row order as the flat part.
+            addRow(out, static_cast<unsigned>(kv.first / nStates),
+                   static_cast<std::size_t>(kv.first % nStates),
+                   kv.second, t0, t1);
+        }
+        return out;
+    }
+
+  private:
+    struct Slot
+    {
+        sim::SummaryStat stat;
+        sim::Tick covered = 0;
+    };
+
+    Slot &
+    slotFor(unsigned stream, std::uint16_t sid)
+    {
+        if (stream >= flatStreamLimit)
+            return overflow[static_cast<std::uint64_t>(stream) *
+                                nStates +
+                            sid];
+        const std::size_t index = stream * nStates + sid;
+        if (index >= flat.size()) {
+            flat.resize(std::min<std::size_t>(
+                std::max<std::size_t>((stream + 1) * nStates,
+                                      flat.size() * 2),
+                static_cast<std::size_t>(flatStreamLimit) *
+                    nStates));
+        }
+        return flat[index];
+    }
+
+    void
+    addRow(Table &out, unsigned stream, std::size_t sid,
+           const Slot &slot, sim::Tick t0, sim::Tick t1) const
+    {
+        if (slot.stat.count() == 0)
+            return;
+        const double share =
+            t1 > t0 ? static_cast<double>(slot.covered) /
+                          static_cast<double>(t1 - t0)
+                    : 0.0;
+        out.addRow({Value::str(context->dict->streamName(stream)),
+                    Value::str(table->states[sid]),
+                    Value::count(slot.stat.count()),
+                    Value::number(slot.stat.sum() * 1e-6),
+                    Value::number(slot.stat.mean() * 1e-6),
+                    Value::number(slot.stat.min() * 1e-6),
+                    Value::number(slot.stat.max() * 1e-6),
+                    Value::number(share)});
+    }
+
+    const FoldContext *context;
+    std::shared_ptr<const StateTable> table;
+    std::size_t nStates;
+    std::vector<Slot> flat;
+    std::map<std::uint64_t, Slot> overflow;
+};
+
 } // namespace
+
+std::uint16_t
+StateTable::idOf(const std::string &state) const
+{
+    auto it = ids.find(state);
+    return it == ids.end() ? noState : it->second;
+}
+
+std::shared_ptr<const StateTable>
+StateTable::compile(const trace::EventDictionary &dict)
+{
+    auto table = std::make_shared<StateTable>();
+    table->states = dict.statesInOrder();
+    for (std::size_t i = 0; i < table->states.size(); ++i) {
+        table->ids.emplace(table->states[i],
+                           static_cast<std::uint16_t>(i));
+    }
+    table->tokenState.assign(65536, noState);
+    // Every Begin definition's state is in statesInOrder() by
+    // construction, so no Begin token maps to noState.
+    for (const auto &def : dict.definitions()) {
+        if (def.kind == trace::EventKind::Begin)
+            table->tokenState[def.token] = table->idOf(def.state);
+    }
+    return table;
+}
 
 std::vector<std::uint16_t>
 resolveTokenPattern(const std::string &pattern,
@@ -959,13 +1433,26 @@ makeFold(const FoldSpec &spec, const FoldContext &ctx)
     return std::make_unique<CountFold>(ctx);
 }
 
+void
+ShardFold::onRawBatch(const unsigned char *raw, std::size_t n)
+{
+    // Generic raw path: decode per record, forward per event. The
+    // hot fold kinds override this with a fused loop.
+    trace::TraceEvent ev;
+    for (std::size_t i = 0; i < n;
+         ++i, raw += trace::TraceReader::recordBytes) {
+        trace::TraceReader::decodeRecord(raw, ev);
+        onEvent(ev);
+    }
+}
+
 std::unique_ptr<ShardFold>
 makeShardFold(const FoldSpec &spec, const FoldContext &ctx)
 {
     switch (spec.kind) {
       case FoldKind::States:
       case FoldKind::Utilization:
-        return std::make_unique<StateShard>(*ctx.dict);
+        return std::make_unique<StateShard>(stateTableFor(ctx));
       case FoldKind::Latency:
         return std::make_unique<LatencyShard>();
       case FoldKind::Rtt:
@@ -988,9 +1475,13 @@ mergeShardFolds(const FoldSpec &spec, const FoldContext &ctx,
               const auto *s = static_cast<const CountShard *>(p.get());
               if (!s)
                   continue;
-              for (const auto &kv : s->counts)
-                  serial.absorbCount(kv.first.first, kv.first.second,
-                                     kv.second);
+              // Sorted by packed key = (stream, token) ascending,
+              // the order the old ordered-map partial produced.
+              for (const auto &kv : s->counts.sortedEntries())
+                  serial.absorbCount(
+                      static_cast<unsigned>(kv.first >> 16),
+                      static_cast<std::uint16_t>(kv.first & 0xffff),
+                      kv.second);
               for (const auto &m : s->buffer) {
                   ev.timestamp = m.ts;
                   ev.stream = m.stream;
@@ -1001,18 +1492,26 @@ mergeShardFolds(const FoldSpec &spec, const FoldContext &ctx,
           return serial.finish();
       }
       case FoldKind::States: {
-          StatesFold serial(ctx);
+          // Replay the stitched intervals into the flat accumulator
+          // instead of a full StatesFold: same per-key push order and
+          // row order (bit-exact result), but each interval is a
+          // multiply-indexed array slot instead of an ordered-map
+          // lookup — this is the merge stage the scaling target
+          // leans on.
           bool any = false;
           sim::Tick firstTs = 0;
           sim::Tick lastTs = 0;
+          StateAccumulator acc(ctx, stateTableFor(ctx));
           stitchStateShards(
               shards, ctx.traceEnd, any, firstTs, lastTs,
-              [&serial](unsigned stream, const std::string &state,
-                        sim::Tick b, sim::Tick e) {
-                  serial.absorbInterval(stream, state, b, e);
-              });
-          serial.primeTracker(any, firstTs, lastTs);
-          return serial.finish();
+              [&acc](unsigned stream, std::uint16_t sid, sim::Tick b,
+                     sim::Tick e) { acc.add(stream, sid, b, e); });
+          // Same evaluation range a serial tracker would close with.
+          const sim::Tick endTs =
+              ctx.traceEnd ? std::max(ctx.traceEnd, lastTs) : lastTs;
+          const sim::Tick t0 = ctx.hasFrom ? ctx.from : firstTs;
+          const sim::Tick t1 = ctx.hasTo ? ctx.to : endTs;
+          return acc.finish(t0, t1);
       }
       case FoldKind::Utilization: {
           UtilizationFold serial(spec, ctx);
@@ -1032,9 +1531,9 @@ mergeShardFolds(const FoldSpec &spec, const FoldContext &ctx,
           }
           stitchStateShards(
               shards, ctx.traceEnd, any, firstTs, lastTs,
-              [&serial](unsigned stream, const std::string &state,
+              [&serial](unsigned stream, std::uint16_t sid,
                         sim::Tick b, sim::Tick e) {
-                  serial.absorbInterval(stream, state, b, e);
+                  serial.absorbInterval(stream, sid, b, e);
               });
           serial.primeTracker(any, firstTs, lastTs);
           return serial.finish();

@@ -14,8 +14,11 @@
 #ifndef QUERY_FOLDS_HH
 #define QUERY_FOLDS_HH
 
+#include <cstdint>
+#include <map>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "query/query.hh"
 #include "query/table.hh"
@@ -26,6 +29,34 @@ namespace supmon
 {
 namespace query
 {
+
+/**
+ * The activity state machine of a dictionary, compiled once per
+ * query and shared read-only by every shard: the distinct states in
+ * definition order, a dense token -> state-id table (one load per
+ * event instead of a dictionary map lookup), and the reverse
+ * interning map. State *ids* index `states`; `noState` marks tokens
+ * that are not Begin events and state names the dictionary does not
+ * know.
+ */
+struct StateTable
+{
+    static constexpr std::uint16_t noState = 0xffff;
+
+    /** statesInOrder() of the dictionary the table was built from. */
+    std::vector<std::string> states;
+    /** Dense token -> state id (65536 entries; noState = ignore). */
+    std::vector<std::uint16_t> tokenState;
+
+    /** Intern a state name; noState when unknown. */
+    std::uint16_t idOf(const std::string &state) const;
+
+    static std::shared_ptr<const StateTable> compile(
+        const trace::EventDictionary &dict);
+
+  private:
+    std::map<std::string, std::uint16_t> ids;
+};
 
 /** Everything a fold needs besides the events. */
 struct FoldContext
@@ -42,6 +73,13 @@ struct FoldContext
      * argument of ActivityMap::build(); 0 = last event's timestamp.
      */
     sim::Tick traceEnd = 0;
+    /**
+     * Compiled state machine, shared by the serial fold and every
+     * shard of a query (makeFoldContext fills it in for the
+     * state-based fold kinds; the folds compile their own when
+     * handed a bare context).
+     */
+    std::shared_ptr<const StateTable> stateTable;
 };
 
 class Fold
@@ -93,6 +131,41 @@ class ShardFold
 
     /** Consume one (already filtered) event of this shard's slice. */
     virtual void onEvent(const trace::TraceEvent &ev) = 0;
+
+    /**
+     * Consume a whole (already filtered) block in one virtual call —
+     * the hot path of the sharded executor. Overridden by the fold
+     * kinds with a tight inner loop; the default forwards to
+     * onEvent().
+     */
+    virtual void
+    onBatch(const trace::TraceEvent *events, std::size_t n)
+    {
+        for (std::size_t i = 0; i < n; ++i)
+            onEvent(events[i]);
+    }
+
+    /**
+     * Consume a whole *raw* record block (the unfiltered fast path:
+     * trace::TraceReader::nextRawBlock() bytes, record stride
+     * trace::TraceReader::recordBytes). Overriding folds fuse the
+     * decode into their consume loop, so each record is decoded into
+     * a register-resident event and never staged through a batch
+     * array. The default decodes per record and forwards to
+     * onEvent().
+     */
+    virtual void onRawBatch(const unsigned char *raw, std::size_t n);
+
+    /**
+     * Arena hint: the shard will see at most @p records records.
+     * Folds preallocate their partial storage (interval arenas,
+     * count tables) so the hot loop never reallocates.
+     */
+    virtual void
+    reserveHint(std::uint64_t records)
+    {
+        (void)records;
+    }
 };
 
 /** Instantiate one shard's partial sink for @p spec. */

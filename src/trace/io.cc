@@ -1,8 +1,15 @@
 #include "io.hh"
 
 #include <algorithm>
+#include <cerrno>
+#include <cstdio>
 #include <cstring>
 #include <limits>
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
 
 #include "sim/logging.hh"
 
@@ -34,33 +41,15 @@ constexpr long headerBytesV1 = 4 + sizeof(std::uint32_t) +
 constexpr long headerBytesV2 = headerBytesV1 + sizeof(std::uint64_t);
 
 /**
- * Block size of the buffered reader: one fread per this many
+ * Block size of the buffered reader: one pread per this many
  * records. 256 KiB keeps the buffer cache-friendly while making the
- * stdio round trip cost negligible per record.
+ * syscall round trip cost negligible per record.
  */
 constexpr std::size_t readerBlockRecords =
     (256 * 1024) / sizeof(DiskRecord);
 
-inline void
-decodeRecord(const unsigned char *bytes, TraceEvent &ev)
-{
-    // Three word loads plus shifts, decoding straight from the block
-    // buffer; the memcpys compile to plain unaligned loads. This
-    // stays fast even with the tree vectorizer off (see the GCC 12
-    // note in the top-level CMakeLists.txt) where a struct-sized
-    // memcpy through a DiskRecord temporary does not.
-    std::uint64_t w0;
-    std::uint64_t w1;
-    std::uint64_t w2;
-    std::memcpy(&w0, bytes, sizeof(w0));
-    std::memcpy(&w1, bytes + 8, sizeof(w1));
-    std::memcpy(&w2, bytes + 16, sizeof(w2));
-    ev.timestamp = w0;
-    ev.param = static_cast<std::uint32_t>(w1);
-    ev.stream = static_cast<unsigned>(w1 >> 32);
-    ev.token = static_cast<std::uint16_t>(w2);
-    ev.flags = static_cast<std::uint8_t>(w2 >> 16);
-}
+static_assert(sizeof(DiskRecord) == TraceReader::recordBytes,
+              "raw-block API stride must match the disk layout");
 
 struct FileCloser
 {
@@ -73,6 +62,25 @@ struct FileCloser
 };
 
 using File = std::unique_ptr<std::FILE, FileCloser>;
+
+/** read(2) that retries short reads and EINTR; bytes actually read. */
+std::size_t
+readFully(int fd, unsigned char *out, std::size_t n)
+{
+    std::size_t done = 0;
+    while (done < n) {
+        const ssize_t got = ::read(fd, out + done, n - done);
+        if (got < 0) {
+            if (errno == EINTR)
+                continue;
+            break;
+        }
+        if (got == 0)
+            break;
+        done += static_cast<std::size_t>(got);
+    }
+    return done;
+}
 
 } // namespace
 
@@ -108,30 +116,27 @@ saveTrace(const std::string &path,
     return true;
 }
 
-TraceReader::TraceReader(const std::string &path)
-    : TraceReader(path, 0, std::numeric_limits<std::uint64_t>::max())
+SharedTraceFile::SharedTraceFile(const std::string &path)
+    : filePath(path)
 {
-}
-
-TraceReader::TraceReader(const std::string &path, std::uint64_t first,
-                         std::uint64_t n)
-    : file(std::fopen(path.c_str(), "rb")), pathName(path)
-{
-    if (!file) {
+    fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+    if (fd < 0) {
         errorMessage = "cannot open '" + path + "'";
         return;
     }
-    char magic[4];
-    if (std::fread(magic, 1, 4, file.get()) != 4 ||
-        std::memcmp(magic, traceFileMagic, 4) != 0) {
+    unsigned char header[headerBytesV2];
+    const std::size_t got = readFully(fd, header, sizeof(header));
+    if (got < 4 ||
+        std::memcmp(header, traceFileMagic, 4) != 0) {
         errorMessage = "'" + path + "' is not a trace file (bad magic)";
         return;
     }
     std::uint32_t version = 0;
-    if (std::fread(&version, sizeof(version), 1, file.get()) != 1) {
+    if (got < 8) {
         errorMessage = "'" + path + "': truncated header";
         return;
     }
+    std::memcpy(&version, header + 4, sizeof(version));
     if (version != 1 && version != traceFileVersion) {
         errorMessage = sim::strprintf(
             "'%s': unsupported trace version %u (expected %u or 1)",
@@ -140,32 +145,29 @@ TraceReader::TraceReader(const std::string &path, std::uint64_t first,
     }
     // Version 2 inserted the run seed between version and count;
     // version-1 files simply have no seed (reported as 0).
-    if (version >= 2 &&
-        std::fread(&headerSeed, sizeof(headerSeed), 1, file.get()) !=
-            1) {
+    headerBytes = version >= 2 ? headerBytesV2 : headerBytesV1;
+    if (got < static_cast<std::size_t>(headerBytes)) {
         errorMessage = "'" + path + "': truncated header";
         return;
     }
-    if (std::fread(&count, sizeof(count), 1, file.get()) != 1) {
-        errorMessage = "'" + path + "': truncated header";
+    if (version >= 2) {
+        std::memcpy(&headerSeed, header + 8, sizeof(headerSeed));
+        std::memcpy(&count, header + 16, sizeof(count));
+    } else {
+        std::memcpy(&count, header + 8, sizeof(count));
+    }
+    struct stat st;
+    if (::fstat(fd, &st) != 0 ||
+        st.st_size < static_cast<off_t>(headerBytes)) {
+        errorMessage = "'" + path + "': cannot stat";
         return;
     }
-    const long headerBytes =
-        version >= 2 ? headerBytesV2 : headerBytesV1;
     // Validate the declared count against the real file size before
     // anyone trusts it (a flipped count byte must not over-read the
     // file or drive a multi-gigabyte reserve in loadTrace()).
-    if (std::fseek(file.get(), 0, SEEK_END) != 0) {
-        errorMessage = "'" + path + "': cannot seek";
-        return;
-    }
-    const long size = std::ftell(file.get());
-    if (size < 0) {
-        errorMessage = "'" + path + "': cannot seek";
-        return;
-    }
     const std::uint64_t payload =
-        static_cast<std::uint64_t>(size - headerBytes);
+        static_cast<std::uint64_t>(st.st_size) -
+        static_cast<std::uint64_t>(headerBytes);
     if (count > payload / sizeof(DiskRecord)) {
         errorMessage = sim::strprintf(
             "'%s': header declares %llu records but only %llu fit in "
@@ -187,15 +189,90 @@ TraceReader::TraceReader(const std::string &path, std::uint64_t first,
                                             sizeof(DiskRecord)));
         return;
     }
-    // Clamp the requested view to the declared records and position
-    // the stream at its first record.
+    // Map the validated file read-only: reader views then decode
+    // straight from the page cache instead of copying every block
+    // through a pread buffer. Failure is not an error — readers
+    // fall back to readRecords().
+    if (st.st_size > 0) {
+        void *m = ::mmap(nullptr,
+                         static_cast<std::size_t>(st.st_size),
+                         PROT_READ, MAP_PRIVATE, fd, 0);
+        if (m != MAP_FAILED) {
+            mapBase = m;
+            mapLength = static_cast<std::size_t>(st.st_size);
+            mapRecords =
+                static_cast<const unsigned char *>(m) + headerBytes;
+        }
+    }
+}
+
+SharedTraceFile::~SharedTraceFile()
+{
+    if (mapBase)
+        ::munmap(mapBase, mapLength);
+    if (fd >= 0)
+        ::close(fd);
+}
+
+std::size_t
+SharedTraceFile::readRecords(std::uint64_t first, std::size_t n,
+                             unsigned char *out) const
+{
+    if (fd < 0 || first >= count)
+        return 0;
+    n = static_cast<std::size_t>(
+        std::min<std::uint64_t>(n, count - first));
+    const std::size_t want = n * sizeof(DiskRecord);
+    std::size_t done = 0;
+    off_t offset = static_cast<off_t>(headerBytes) +
+                   static_cast<off_t>(first * sizeof(DiskRecord));
+    while (done < want) {
+        const ssize_t got = ::pread(fd, out + done, want - done,
+                                    offset + static_cast<off_t>(done));
+        if (got < 0) {
+            if (errno == EINTR)
+                continue;
+            break;
+        }
+        if (got == 0)
+            break; // file shrank after validation
+        done += static_cast<std::size_t>(got);
+    }
+    return done / sizeof(DiskRecord);
+}
+
+TraceReader::TraceReader(const std::string &path)
+    : TraceReader(path, 0, std::numeric_limits<std::uint64_t>::max())
+{
+}
+
+TraceReader::TraceReader(const std::string &path, std::uint64_t first,
+                         std::uint64_t n)
+    : owned(std::make_unique<SharedTraceFile>(path)),
+      source(owned.get())
+{
+    initView(first, n);
+}
+
+TraceReader::TraceReader(const SharedTraceFile &file,
+                         std::uint64_t first, std::uint64_t n)
+    : source(&file)
+{
+    initView(first, n);
+}
+
+void
+TraceReader::initView(std::uint64_t first, std::uint64_t n)
+{
+    if (!source->ok()) {
+        errorMessage = source->error();
+        return;
+    }
+    count = source->recordCount();
+    headerSeed = source->seed();
+    // Clamp the requested view to the declared records.
     baseRecord = std::min(first, count);
     limit = std::min(n, count - baseRecord);
-    const auto offset =
-        headerBytes +
-        static_cast<long>(baseRecord * sizeof(DiskRecord));
-    if (std::fseek(file.get(), offset, SEEK_SET) != 0)
-        errorMessage = "'" + path + "': cannot seek";
 }
 
 bool
@@ -206,25 +283,69 @@ TraceReader::fillBuffer()
     const std::uint64_t remaining = limit - read;
     if (remaining == 0)
         return false;
-    if (buffer.empty())
-        buffer.resize(readerBlockRecords * sizeof(DiskRecord));
     const std::size_t want = static_cast<std::size_t>(
         std::min<std::uint64_t>(remaining, readerBlockRecords));
-    const std::size_t got = std::fread(
-        buffer.data(), sizeof(DiskRecord), want, file.get());
+    if (const unsigned char *mapped = source->mappedRecords()) {
+        // Zero-copy refill: the window is the mapping itself (the
+        // file size was validated against the record count at open,
+        // so the whole view is in bounds).
+        window = mapped + (baseRecord + read) * sizeof(DiskRecord);
+        bufferedRecords = want;
+        return true;
+    }
+    if (buffer.empty())
+        buffer.resize(readerBlockRecords * sizeof(DiskRecord));
+    const std::size_t got =
+        source->readRecords(baseRecord + read, want, buffer.data());
     if (got == 0) {
         // The header promised these records (the size was validated
         // at open), so a short read means the file shrank or an I/O
         // error; surface it like a mid-record truncation.
         errorMessage = sim::strprintf(
             "'%s': truncated mid-record: record %llu of %llu",
-            pathName.c_str(),
+            source->path().c_str(),
             static_cast<unsigned long long>(baseRecord + read),
             static_cast<unsigned long long>(count));
         return false;
     }
+    window = buffer.data();
     bufferedRecords = got;
     return true;
+}
+
+void
+TraceReader::decodeRecord(const unsigned char *bytes, TraceEvent &ev)
+{
+    // Three word loads plus shifts, decoding straight from the block
+    // buffer; the memcpys compile to plain unaligned loads. This
+    // stays fast even with the tree vectorizer off (see the GCC 12
+    // note in the top-level CMakeLists.txt) where a struct-sized
+    // memcpy through a DiskRecord temporary does not.
+    std::uint64_t w0;
+    std::uint64_t w1;
+    std::uint64_t w2;
+    std::memcpy(&w0, bytes, sizeof(w0));
+    std::memcpy(&w1, bytes + 8, sizeof(w1));
+    std::memcpy(&w2, bytes + 16, sizeof(w2));
+    ev.timestamp = w0;
+    ev.param = static_cast<std::uint32_t>(w1);
+    ev.stream = static_cast<unsigned>(w1 >> 32);
+    ev.token = static_cast<std::uint16_t>(w2);
+    ev.flags = static_cast<std::uint8_t>(w2 >> 16);
+}
+
+std::size_t
+TraceReader::nextRawBlock(const unsigned char *&bytes)
+{
+    if (bufferNext == bufferedRecords) {
+        if (!ok() || !fillBuffer())
+            return 0;
+    }
+    const std::size_t run = bufferedRecords - bufferNext;
+    bytes = window + bufferNext * sizeof(DiskRecord);
+    bufferNext = bufferedRecords;
+    read += run;
+    return run;
 }
 
 bool
@@ -234,7 +355,7 @@ TraceReader::next(TraceEvent &ev)
         if (!ok() || !fillBuffer())
             return false;
     }
-    decodeRecord(buffer.data() + bufferNext * sizeof(DiskRecord), ev);
+    decodeRecord(window + bufferNext * sizeof(DiskRecord), ev);
     ++bufferNext;
     ++read;
     return true;
@@ -252,7 +373,7 @@ TraceReader::nextBatch(TraceEvent *out, std::size_t max)
         const std::size_t run = std::min(
             max - produced, bufferedRecords - bufferNext);
         const unsigned char *src =
-            buffer.data() + bufferNext * sizeof(DiskRecord);
+            window + bufferNext * sizeof(DiskRecord);
         for (std::size_t i = 0; i < run; ++i)
             decodeRecord(src + i * sizeof(DiskRecord),
                          out[produced + i]);

@@ -13,7 +13,7 @@
 #ifndef TRACE_IO_HH
 #define TRACE_IO_HH
 
-#include <cstdio>
+#include <cstdint>
 #include <memory>
 #include <optional>
 #include <string>
@@ -55,32 +55,130 @@ std::optional<std::vector<TraceEvent>> loadTrace(
     const std::string &path);
 
 /**
+ * A validated trace file opened for positional reads: the one fd the
+ * sharded query executor shares across its worker threads.
+ *
+ * The header is validated on open exactly like TraceReader used to do
+ * per instance (magic, version, declared count against the real file
+ * size, whole-record payload), so a corrupt count can neither
+ * over-read the file nor drive a huge allocation, and a ragged tail
+ * is rejected up front. After that every read goes through pread(2)
+ * at an explicit record offset — no shared file position, no locking
+ * — so any number of TraceReader views can stream disjoint record
+ * ranges of the same SharedTraceFile concurrently.
+ */
+class SharedTraceFile
+{
+  public:
+    explicit SharedTraceFile(const std::string &path);
+    ~SharedTraceFile();
+
+    SharedTraceFile(const SharedTraceFile &) = delete;
+    SharedTraceFile &operator=(const SharedTraceFile &) = delete;
+
+    /** Header parsed and validated successfully. */
+    bool
+    ok() const
+    {
+        return errorMessage.empty();
+    }
+
+    /** Human-readable failure description; empty while healthy. */
+    const std::string &
+    error() const
+    {
+        return errorMessage;
+    }
+
+    const std::string &
+    path() const
+    {
+        return filePath;
+    }
+
+    /** Record count declared in the (validated) header. */
+    std::uint64_t
+    recordCount() const
+    {
+        return count;
+    }
+
+    /** Run seed recorded in the header (0 for version-1 files). */
+    std::uint64_t
+    seed() const
+    {
+        return headerSeed;
+    }
+
+    /**
+     * Positional read of up to @p n raw on-disk records starting at
+     * record index @p first into @p out (which must hold n records).
+     * Thread-safe: concurrent callers never share a file position.
+     * @return whole records actually read (short only if the file
+     *         shrank after validation or the device failed).
+     */
+    std::size_t readRecords(std::uint64_t first, std::size_t n,
+                            unsigned char *out) const;
+
+    /**
+     * Zero-copy view of record 0 when the validated file is
+     * memory-mapped (the normal case): reader views decode straight
+     * from the page cache instead of copying every block through a
+     * pread buffer. nullptr when the mapping is unavailable, in
+     * which case reads fall back to readRecords(). Read-only and
+     * position-free, so it is shared by concurrent readers exactly
+     * like the pread path.
+     */
+    const unsigned char *
+    mappedRecords() const
+    {
+        return mapRecords;
+    }
+
+  private:
+    std::string filePath;
+    std::string errorMessage;
+    int fd = -1;
+    /** Byte offset of record 0 (version dependent). */
+    long headerBytes = 0;
+    std::uint64_t count = 0;
+    std::uint64_t headerSeed = 0;
+    /** Read-only whole-file mapping (null if mmap failed). */
+    void *mapBase = nullptr;
+    std::size_t mapLength = 0;
+    const unsigned char *mapRecords = nullptr;
+};
+
+/**
  * Incremental trace file reader: decodes a saveTrace() file in a
  * single forward pass with O(1) memory, so traces that do not fit in
  * memory can still be evaluated (the streaming query engine in
  * src/query/ runs on top of this).
  *
- * Reads are block-buffered: the reader issues one large fread per
- * block (not one per 24-byte record) and decodes records straight
- * out of the block buffer, so the per-record cost is a couple of
- * loads, not a stdio round trip. nextBatch() additionally amortizes
- * the per-record call overhead for bulk consumers.
+ * Reads are block-buffered positional reads: the reader issues one
+ * large pread per block (not one stdio round trip per 24-byte
+ * record) and decodes records straight out of the block buffer, so
+ * the per-record cost is a couple of loads. nextBatch() additionally
+ * amortizes the per-record call overhead for bulk consumers.
  *
  * The header is validated on construction (magic, version, and the
  * declared record count against the actual file size, so a corrupt
  * count can neither over-read nor drive a huge allocation; a file
  * that ends in a partial record is rejected even when the declared
- * records all fit); every next() bounds-checks the record read, and
+ * records all fit); every refill bounds-checks the record read, and
  * a file truncated mid-record surfaces as an error message instead
  * of a short trace.
  *
  * The range constructor opens a *view* of records
  * [first, first + n): the header is validated exactly as for a whole
- * -file reader, but next()/nextBatch() deliver only that slice. This
- * is the seam the sharded query executor (query::runQueryFileSharded)
- * uses to hand each worker thread its own contiguous record range —
- * each shard owns an independent TraceReader (own FILE handle, own
- * buffer), so concurrent shards share no reader state.
+ * -file reader, but next()/nextBatch() deliver only that slice. The
+ * borrowing constructor goes one step further and opens a view over
+ * an already-validated SharedTraceFile — no reopen, no header
+ * re-validation, just pread at the view's offsets. This is the seam
+ * the sharded query executor (query::runQueryFileSharded) uses to
+ * hand each worker thread its own contiguous record range over one
+ * shared fd; each shard still owns its private block buffer, so
+ * concurrent shards share no mutable reader state.
  *
  * @code
  * trace::TraceReader reader(path);
@@ -104,6 +202,14 @@ class TraceReader
      * whole-file constructor.
      */
     TraceReader(const std::string &path, std::uint64_t first,
+                std::uint64_t n);
+
+    /**
+     * Borrow a view of records [first, first + n) of an already
+     * opened and validated @p file (clamped to the declared count).
+     * The SharedTraceFile must outlive this reader.
+     */
+    TraceReader(const SharedTraceFile &file, std::uint64_t first,
                 std::uint64_t n);
 
     TraceReader(TraceReader &&) = default;
@@ -173,21 +279,36 @@ class TraceReader
      */
     std::size_t nextBatch(TraceEvent *out, std::size_t max);
 
+    /** Bytes of one on-disk record (stride of a raw block). */
+    static constexpr std::size_t recordBytes = 24;
+
+    /**
+     * Borrow the reader's next block of raw on-disk records instead
+     * of decoding them: @p bytes is set to the first record and the
+     * return value is the number of whole records behind it (spaced
+     * recordBytes apart), all consumed from this reader's view. The
+     * pointer is valid until the next read call. Decode fields with
+     * decodeRecord(). This is the zero-copy half of the batch filter
+     * stage: a caller can decode each record into a register-resident
+     * TraceEvent, apply a predicate, and materialize survivors only,
+     * instead of writing every record to a batch array first.
+     * @return 0 at end of view or on error (check error()).
+     */
+    std::size_t nextRawBlock(const unsigned char *&bytes);
+
+    /** Decode one raw record (from nextRawBlock()) into @p ev. */
+    static void decodeRecord(const unsigned char *bytes,
+                             TraceEvent &ev);
+
   private:
+    void initView(std::uint64_t first, std::uint64_t n);
     /** Refill the block buffer. @return false at end or on error. */
     bool fillBuffer();
-    struct FileCloser
-    {
-        void
-        operator()(std::FILE *f) const
-        {
-            if (f)
-                std::fclose(f);
-        }
-    };
 
-    std::unique_ptr<std::FILE, FileCloser> file;
-    std::string pathName;
+    /** Own file for the path constructors; null when borrowing. */
+    std::unique_ptr<SharedTraceFile> owned;
+    /** The file reads go through (owned.get() or a borrowed one). */
+    const SharedTraceFile *source = nullptr;
     std::string errorMessage;
     std::uint64_t count = 0;
     /** Records this view delivers (count, or the clamped range). */
@@ -196,8 +317,12 @@ class TraceReader
     std::uint64_t baseRecord = 0;
     std::uint64_t read = 0;
     std::uint64_t headerSeed = 0;
-    /** Block buffer: raw on-disk records, decoded lazily. */
+    /** Block buffer: raw on-disk records, decoded lazily. Unused
+     *  (empty) when the source file is memory-mapped. */
     std::vector<unsigned char> buffer;
+    /** The current block's records: into the file mapping
+     *  (zero copy) or into `buffer` (pread fallback). */
+    const unsigned char *window = nullptr;
     std::size_t bufferedRecords = 0;
     std::size_t bufferNext = 0;
 };

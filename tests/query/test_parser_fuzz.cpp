@@ -1,0 +1,217 @@
+/**
+ * @file
+ * Fuzzing the query parser: random byte soup, printable noise, and
+ * spliced fragments of real query vocabulary must all either parse
+ * (ok, well-formed Query) or fail with a non-empty error — never
+ * crash, hang, or return ok with a malformed pipeline. Queries that
+ * do parse are additionally executed through both the serial engine
+ * and the sharded executor on a small trace, so "ok" is backed by
+ * "runnable, and runnable identically under sharding" (the merge
+ * contract extends to every accidentally-valid pipeline the splicer
+ * finds, not just the hand-written ones).
+ *
+ * Runs under the ASan/UBSan CI job; all seeds are deterministic.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "query/engine.hh"
+#include "query/sharded.hh"
+#include "sim/logging.hh"
+#include "sim/random.hh"
+
+using namespace supmon;
+using trace::TraceEvent;
+
+namespace
+{
+
+constexpr std::uint16_t tokWork = 1;
+constexpr std::uint16_t tokWait = 2;
+constexpr std::uint16_t tokSend = 3;
+constexpr std::uint16_t tokRecv = 4;
+
+trace::EventDictionary
+testDictionary()
+{
+    trace::EventDictionary dict;
+    dict.defineBegin(tokWork, "Work Begin", "WORK");
+    dict.defineBegin(tokWait, "Wait Begin", "WAIT");
+    dict.definePoint(tokSend, "Job Send");
+    dict.definePoint(tokRecv, "Job Receive");
+    for (unsigned s = 0; s < 4; ++s)
+        dict.nameStream(s, sim::strprintf("SERVANT %u", s));
+    return dict;
+}
+
+std::vector<TraceEvent>
+tinyTrace()
+{
+    sim::Random rng(42);
+    std::vector<TraceEvent> events;
+    sim::Tick ts = 0;
+    std::uint32_t job = 0;
+    for (int i = 0; i < 400; ++i) {
+        ts += rng.uniformInt(1, 2000);
+        TraceEvent ev;
+        ev.timestamp = ts;
+        ev.stream = static_cast<unsigned>(rng.uniformInt(0, 3));
+        ev.token = static_cast<std::uint16_t>(
+            rng.uniformInt(tokWork, tokRecv));
+        ev.param = ev.token == tokSend
+                       ? job++
+                       : static_cast<std::uint32_t>(
+                             rng.uniformInt(0, job + 1));
+        events.push_back(ev);
+    }
+    return events;
+}
+
+/** Vocabulary the splicer recombines (valid and near-valid). */
+const char *const fragments[] = {
+    "filter",      "window",     "count",      "states",
+    "utilization", "latency",    "rtt",        "slide",
+    "stream=",     "token=",     "from=",      "to=",
+    "param=",      "state=",     "begin=",     "end=",
+    "bins=",       "max=",       "servant*",   "evWork*",
+    "0-3",         "100us",      "10ms",       "5s",
+    "1000",        "0x2a",       "|",          "||",
+    " ",           "=",          "*",          "?",
+    "WORK",        "Job Send",   "-1",         "1-",
+    "99999999999999999999",      "state==",    "|||",
+    "from=9s to=1s",             "param=5-2",  "\t",
+};
+
+/**
+ * Parse @p text; if it parses, run it serial and sharded and demand
+ * identical tables. Returns through gtest assertions.
+ */
+void
+parseAndMaybeRun(const std::string &text,
+                 const trace::EventDictionary &dict,
+                 const std::vector<TraceEvent> &events,
+                 const std::string &what)
+{
+    SCOPED_TRACE(what + ": [" + text + "]");
+    const auto parsed = query::parseQuery(text);
+    if (!parsed.ok) {
+        EXPECT_FALSE(parsed.error.empty());
+        return;
+    }
+    const auto serial = query::runQuery(events, dict, parsed.query);
+    const auto sharded =
+        query::runQuerySharded(events, dict, parsed.query, 4);
+    ASSERT_EQ(serial.columns, sharded.columns);
+    ASSERT_EQ(serial.rows.size(), sharded.rows.size());
+    for (std::size_t r = 0; r < serial.rows.size(); ++r) {
+        for (std::size_t c = 0; c < serial.columns.size(); ++c) {
+            EXPECT_EQ(serial.rows[r][c].text,
+                      sharded.rows[r][c].text);
+            EXPECT_EQ(serial.rows[r][c].integer,
+                      sharded.rows[r][c].integer);
+            EXPECT_EQ(serial.rows[r][c].real,
+                      sharded.rows[r][c].real);
+        }
+    }
+}
+
+} // namespace
+
+TEST(ParserFuzz, RandomByteSoup)
+{
+    const auto dict = testDictionary();
+    const auto events = tinyTrace();
+    for (std::uint64_t seed = 1; seed <= 100; ++seed) {
+        sim::Random rng(sim::deriveSeed(20260811, seed));
+        std::string text;
+        const std::size_t len =
+            static_cast<std::size_t>(rng.uniformInt(0, 200));
+        for (std::size_t i = 0; i < len; ++i)
+            text.push_back(
+                static_cast<char>(rng.uniformInt(1, 255)));
+        parseAndMaybeRun(text, dict, events,
+                         "bytes seed " + std::to_string(seed));
+    }
+}
+
+TEST(ParserFuzz, PrintableNoise)
+{
+    const auto dict = testDictionary();
+    const auto events = tinyTrace();
+    for (std::uint64_t seed = 1; seed <= 100; ++seed) {
+        sim::Random rng(sim::deriveSeed(20260812, seed));
+        std::string text;
+        const std::size_t len =
+            static_cast<std::size_t>(rng.uniformInt(0, 120));
+        for (std::size_t i = 0; i < len; ++i)
+            text.push_back(
+                static_cast<char>(rng.uniformInt(0x20, 0x7e)));
+        parseAndMaybeRun(text, dict, events,
+                         "printable seed " + std::to_string(seed));
+    }
+}
+
+TEST(ParserFuzz, SplicedFragments)
+{
+    const auto dict = testDictionary();
+    const auto events = tinyTrace();
+    constexpr std::size_t nFragments =
+        sizeof(fragments) / sizeof(fragments[0]);
+    for (std::uint64_t seed = 1; seed <= 150; ++seed) {
+        sim::Random rng(sim::deriveSeed(20260813, seed));
+        std::string text;
+        const unsigned parts =
+            static_cast<unsigned>(rng.uniformInt(1, 12));
+        for (unsigned i = 0; i < parts; ++i) {
+            text += fragments[rng.uniformInt(0, nFragments - 1)];
+            if (rng.bernoulli(0.6))
+                text += ' ';
+        }
+        parseAndMaybeRun(text, dict, events,
+                         "splice seed " + std::to_string(seed));
+    }
+}
+
+TEST(ParserFuzz, MutatedValidQueries)
+{
+    const auto dict = testDictionary();
+    const auto events = tinyTrace();
+    const char *const valid[] = {
+        "filter stream=servant* token=evWork* | count",
+        "states",
+        "window 100us | utilization state=WORK",
+        "rtt begin=evJobSend end=evWorkBegin",
+        "filter from=1ms to=9ms param=0-10 | window 50us slide "
+        "20us | latency bins=8 max=10ms",
+    };
+    for (std::uint64_t seed = 1; seed <= 100; ++seed) {
+        sim::Random rng(sim::deriveSeed(20260814, seed));
+        std::string text =
+            valid[rng.uniformInt(0, std::size(valid) - 1)];
+        const unsigned edits =
+            static_cast<unsigned>(rng.uniformInt(1, 4));
+        for (unsigned e = 0; e < edits && !text.empty(); ++e) {
+            const std::size_t at = static_cast<std::size_t>(
+                rng.uniformInt(0, text.size() - 1));
+            switch (rng.uniformInt(0, 2)) {
+              case 0:
+                text[at] =
+                    static_cast<char>(rng.uniformInt(0x20, 0x7e));
+                break;
+              case 1:
+                text.erase(at, 1);
+                break;
+              default:
+                text.insert(at, 1,
+                            static_cast<char>(
+                                rng.uniformInt(0x20, 0x7e)));
+                break;
+            }
+        }
+        parseAndMaybeRun(text, dict, events,
+                         "mutate seed " + std::to_string(seed));
+    }
+}

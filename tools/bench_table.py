@@ -1,0 +1,110 @@
+#!/usr/bin/env python3
+"""Regenerate the README "How fast is it" table from the committed
+bench JSON files.
+
+The throughput benches (bench_query_throughput, bench_reader_throughput)
+each write a flat JSON object of measured rates; this script renders
+the committed copies (BENCH_query.json, BENCH_reader.json) into the
+markdown table between the `<!-- bench-table:begin -->` /
+`<!-- bench-table:end -->` markers in README.md, so the README never
+drifts from the numbers CI's bench-gate job actually enforces.
+
+Usage, from the repository root:
+
+    ./build/bench/bench_query_throughput    # refresh BENCH_query.json
+    ./build/bench/bench_reader_throughput   # refresh BENCH_reader.json
+    python3 tools/bench_table.py            # rewrite the README table
+
+Pass --stdout to print the table instead of editing README.md.
+"""
+
+import argparse
+import json
+import pathlib
+import sys
+
+BEGIN = "<!-- bench-table:begin -->"
+END = "<!-- bench-table:end -->"
+
+
+def mevents(rates, key):
+    """Format rates[key] (events/s) as M events/s, or n/a."""
+    value = rates.get(key)
+    return f"{value / 1e6:.1f}" if value else "n/a"
+
+
+def ratio(rates, key):
+    value = rates.get(key)
+    return f"{value:.2f}x" if value else "n/a"
+
+
+def render(query, reader):
+    rows = [
+        "| pipeline | serial | sharded `--jobs 1` | sharded `--jobs 4` | jobs=4 vs serial |",
+        "|---|---|---|---|---|",
+        "| `filter ... | count` | {} | {} | {} | {} |".format(
+            mevents(query, "filter_count_events_per_sec"),
+            mevents(query, "filter_count_sharded_jobs1_events_per_sec"),
+            mevents(query, "filter_count_sharded_jobs4_events_per_sec"),
+            ratio(query, "filter_count_sharded_jobs4_vs_serial"),
+        ),
+        "| `states` | {} | {} | {} | {} |".format(
+            mevents(query, "states_events_per_sec"),
+            mevents(query, "states_sharded_jobs1_events_per_sec"),
+            mevents(query, "states_sharded_jobs4_events_per_sec"),
+            ratio(query, "states_sharded_jobs4_vs_serial"),
+        ),
+        "| `window 100us | utilization` | {} | - | - | - |".format(
+            mevents(query, "windowed_utilization_events_per_sec"),
+        ),
+        "| `rtt begin=... end=...` | {} | - | - | - |".format(
+            mevents(query, "rtt_events_per_sec"),
+        ),
+        "",
+        "Raw decode (no query): {} M records/s with `nextBatch()`, "
+        "{}x over the old per-record reader.".format(
+            mevents(reader, "block_next_batch_events_per_sec"),
+            ratio(reader, "block_vs_per_record_speedup").rstrip("x"),
+        ),
+    ]
+    # Markdown needs the literal | inside code spans escaped in tables.
+    rows = [r.replace("filter ... | count", "filter ... \\| count")
+             .replace("window 100us | utilization",
+                      "window 100us \\| utilization")
+            for r in rows]
+    return "\n".join(rows)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--stdout", action="store_true",
+                        help="print the table instead of editing README.md")
+    args = parser.parse_args()
+
+    root = pathlib.Path(__file__).resolve().parent.parent
+    query = json.loads((root / "BENCH_query.json").read_text())
+    reader = json.loads((root / "BENCH_reader.json").read_text())
+    table = render(query, reader)
+
+    if args.stdout:
+        print(table)
+        return 0
+
+    readme = root / "README.md"
+    text = readme.read_text()
+    begin = text.find(BEGIN)
+    end = text.find(END)
+    if begin < 0 or end < 0 or end < begin:
+        sys.exit(f"README.md is missing the {BEGIN} / {END} markers")
+    updated = (text[: begin + len(BEGIN)] + "\n" + table + "\n"
+               + text[end:])
+    if updated != text:
+        readme.write_text(updated)
+        print("README.md table updated")
+    else:
+        print("README.md table already current")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
